@@ -1,0 +1,40 @@
+//! Criterion benchmark: NOCAP plan search time (Algorithm 10).
+//!
+//! The paper reports that computing the partitioning scheme with k = 50 K
+//! tracked MCVs takes under one second; this benchmark measures the planner
+//! over growing MCV counts and memory budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nocap::{plan_nocap, PlannerConfig};
+use nocap_model::JoinSpec;
+
+fn mcvs(k: usize, n_s: u64) -> Vec<(u64, u64)> {
+    (0..k as u64)
+        .map(|i| (i, (n_s / 4) / (i + 1).pow(2) + 1))
+        .collect()
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nocap_planner");
+    group.sample_size(20);
+    for &k in &[1_000usize, 10_000, 50_000] {
+        let stats = mcvs(k, 8_000_000);
+        for &buffer_pages in &[256usize, 4_096] {
+            let spec = JoinSpec::paper_synthetic(1024, buffer_pages);
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), buffer_pages),
+                &stats,
+                |b, stats| {
+                    b.iter(|| {
+                        plan_nocap(stats, 1_000_000, 8_000_000, &spec, &PlannerConfig::default())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmark: the OCAP dynamic program with and without the
+//! §3.1.3 pruning techniques.
+//!
+//! The paper claims the divisible-property compression plus the
+//! weakly-ordered bound reduce the DP from `O(n²·m)` to `O(n²·log m / m²)`;
+//! this benchmark measures that gap empirically on Zipf-shaped correlation
+//! tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nocap::{partition_dp, DpOptions};
+use nocap_model::CorrelationTable;
+
+fn zipf_ct(n: usize) -> CorrelationTable {
+    CorrelationTable::from_counts((0..n).map(|i| (n as u64 * 4) / (i as u64 + 1) + 1))
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ocap_dp");
+    group.sample_size(10);
+    for &n in &[2_000usize, 8_000] {
+        let ct = zipf_ct(n);
+        // A memory budget small enough that partitions must hold several
+        // chunks (the regime where the DP actually searches).
+        let c_r = (n / 40).max(1);
+        let m_max = 12;
+        group.bench_with_input(BenchmarkId::new("pruned", n), &ct, |b, ct| {
+            b.iter(|| partition_dp(ct, m_max, c_r, &DpOptions::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("exact", n), &ct, |b, ct| {
+            b.iter(|| partition_dp(ct, m_max, c_r, &DpOptions::exact()))
+        });
+        group.bench_with_input(BenchmarkId::new("weakly_ordered_only", n), &ct, |b, ct| {
+            b.iter(|| {
+                partition_dp(
+                    ct,
+                    m_max,
+                    c_r,
+                    &DpOptions {
+                        divisible_compression: false,
+                        weakly_ordered_pruning: true,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmark: rounded hash vs plain hash routing throughput and
+//! the resulting chunk alignment (the §4.2 ablation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use nocap::RoundedHash;
+use nocap_model::RoundedHashParams;
+
+fn bench_routing(c: &mut Criterion) {
+    let params = RoundedHashParams::default();
+    let rounded = RoundedHash::new(1_000_000, 64, 10_000, &params);
+    let plain = RoundedHash::plain(64);
+
+    let mut group = c.benchmark_group("rounded_hash");
+    group.bench_function("rounded_route_100k_keys", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for k in 0..100_000u64 {
+                acc += rounded.partition_of(k);
+            }
+            acc
+        })
+    });
+    group.bench_function("plain_route_100k_keys", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for k in 0..100_000u64 {
+                acc += plain.partition_of(k);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

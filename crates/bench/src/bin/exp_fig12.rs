@@ -1,0 +1,56 @@
+//! Figure 12: TPC-H Q12-like join (orders ⋈ lineitem) with hot/cold key
+//! skew, two selectivities (0.488 / 0.63) and two scale factors.
+//!
+//! Prints, per panel, the buffer-size sweep with NOCAP's and DHH's total and
+//! I/O-only latency (the paper separates the two because Q12's aggregation
+//! makes the join less I/O-bound).
+
+use nocap_bench::harness::{print_series_table, run_algorithms, AlgorithmSet};
+use nocap_model::JoinSpec;
+use nocap_storage::{DeviceProfile, SimDevice};
+use nocap_workload::tpch::{self, TpchQ12Config};
+
+fn main() {
+    let device_profile = DeviceProfile::aws_i3();
+    let panels = [
+        ("sf10_sel0.488", TpchQ12Config::scaled_sf10(0.488)),
+        ("sf10_sel0.63", TpchQ12Config::scaled_sf10(0.63)),
+        ("sf50_sel0.488", TpchQ12Config::scaled_sf50(0.488)),
+        ("sf50_sel0.63", TpchQ12Config::scaled_sf50(0.63)),
+    ];
+
+    for (name, config) in panels {
+        let device = SimDevice::new_ref();
+        let workload = tpch::generate(device, &config).expect("TPC-H workload");
+        let pages_r = JoinSpec::paper_synthetic(config.record_bytes, 64).pages_r(config.n_orders);
+
+        let mut budgets = Vec::new();
+        let mut b = ((pages_r as f64 * 1.02).sqrt() * 0.6).ceil() as usize;
+        while b < pages_r {
+            budgets.push(b);
+            b *= 2;
+        }
+        budgets.push(pages_r);
+
+        let series = ["NOCAP_total", "NOCAP_io", "DHH_total", "DHH_io"];
+        let mut rows = Vec::new();
+        for &budget in &budgets {
+            let spec = JoinSpec::paper_synthetic(config.record_bytes, budget);
+            let results =
+                run_algorithms(&workload, &spec, &device_profile, &AlgorithmSet::nocap_vs_dhh());
+            let find = |n: &str| results.iter().find(|m| m.algorithm == n);
+            rows.push((
+                budget.to_string(),
+                vec![
+                    find("NOCAP").map(|m| m.total_latency_secs),
+                    find("NOCAP").map(|m| m.io_latency_secs),
+                    find("DHH").map(|m| m.total_latency_secs),
+                    find("DHH").map(|m| m.io_latency_secs),
+                ],
+            ));
+        }
+        println!("# Figure 12 — TPC-H Q12-like, {name}: latency (s) vs buffer size");
+        print_series_table("buffer_pages", &series, &rows);
+        println!();
+    }
+}

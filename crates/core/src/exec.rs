@@ -1,0 +1,566 @@
+//! The NOCAP executor: hybrid partitioning (Algorithms 8 and 9) plus the
+//! partition-wise probe phase.
+//!
+//! Execution follows the plan produced by [`crate::planner::plan_nocap`]:
+//!
+//! 1. **Partition R** — each R record is routed by key: cached keys go into
+//!    the in-memory hash table, designated keys go to their dedicated spill
+//!    partition, and everything else enters the [`RestPartitioner`], a
+//!    DHH-style dynamic partitioner that stages partitions in memory and
+//!    destages the largest one whenever the residual budget is exceeded.
+//!    Residual routing uses the rounded hash of §4.2.
+//! 2. **Partition / probe S** — S records with designated keys are spilled
+//!    to the matching S partition; the rest first probe the in-memory hash
+//!    table (producing output immediately) and, on a miss, are spilled only
+//!    if their residual partition was destaged (the POB bit of DHH).
+//! 3. **Probe phase** — every spilled (R, S) partition pair is joined with
+//!    the chunk-wise NBJ of [`nocap_model::pairwise`].
+//!
+//! All pages are drawn from a [`BufferPool`] capped at the spec's budget, so
+//! the §4.1 memory breakdown is enforced at run time, not just assumed.
+
+use std::time::Instant;
+
+use nocap_model::pairwise::smart_partition_join;
+use nocap_model::{JoinRunReport, JoinSpec, RoundedHashParams};
+use nocap_storage::{
+    BufferPool, IoKind, JoinHashTable, PartitionHandle, PartitionWriter, Record, RecordLayout,
+    Relation,
+};
+
+use crate::plan::NocapPlan;
+use crate::planner::{plan_nocap, PlannerConfig};
+use crate::rounded_hash::RoundedHash;
+
+/// Configuration of the NOCAP executor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NocapConfig {
+    /// Planner configuration (grid resolution, rounded-hash parameters).
+    pub planner: PlannerConfig,
+}
+
+impl Default for NocapConfig {
+    fn default() -> Self {
+        NocapConfig {
+            planner: PlannerConfig::default(),
+        }
+    }
+}
+
+/// The NOCAP join operator.
+#[derive(Debug, Clone, Copy)]
+pub struct NocapJoin {
+    spec: JoinSpec,
+    config: NocapConfig,
+}
+
+impl NocapJoin {
+    /// Creates a NOCAP join operator for the given spec.
+    pub fn new(spec: JoinSpec, config: NocapConfig) -> Self {
+        NocapJoin { spec, config }
+    }
+
+    /// The join spec this operator was built with.
+    pub fn spec(&self) -> &JoinSpec {
+        &self.spec
+    }
+
+    /// Plans and executes the join of `r ⋈ s` given MCV statistics.
+    pub fn run(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        mcvs: &[(u64, u64)],
+    ) -> nocap_storage::Result<JoinRunReport> {
+        let plan = plan_nocap(
+            mcvs,
+            r.num_records(),
+            s.num_records() as u64,
+            &self.spec,
+            &self.config.planner,
+        );
+        self.run_with_plan(r, s, &plan)
+    }
+
+    /// Executes the join with an explicit, pre-computed plan.
+    pub fn run_with_plan(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        plan: &NocapPlan,
+    ) -> nocap_storage::Result<JoinRunReport> {
+        let spec = &self.spec;
+        let device = r.device().clone();
+        let pool = BufferPool::new(spec.buffer_pages);
+        // One page streams the input, one buffers the join output.
+        let _io_pages = pool.reserve(2)?;
+        let _fixed = pool.reserve(plan.fixed_memory_pages(spec).min(pool.available()))?;
+        let rest_budget = pool.available();
+
+        let started = Instant::now();
+        let base_stats = device.stats();
+
+        let mem_set = plan.mem_key_set();
+        let disk_map = plan.disk_map();
+        let m_disk = plan.num_designated();
+
+        // ---- Phase 1: partition R (Algorithm 8) --------------------------
+        let mut ht_mem = JoinHashTable::new(r.layout(), spec.page_size, spec.fudge);
+        let mut r_disk_writers: Vec<PartitionWriter> = (0..m_disk)
+            .map(|_| {
+                PartitionWriter::new(device.clone(), r.layout(), spec.page_size, IoKind::RandWrite)
+            })
+            .collect();
+        let mut rest = RestPartitioner::new(
+            device.clone(),
+            *spec,
+            r.layout(),
+            rest_budget,
+            plan.estimated_rest_keys,
+            self.config.planner.rh_params,
+        );
+        for rec in r.scan() {
+            let rec = rec?;
+            if mem_set.contains(&rec.key()) {
+                ht_mem.insert(rec);
+            } else if let Some(&pid) = disk_map.get(&rec.key()) {
+                r_disk_writers[pid as usize].push(&rec)?;
+            } else {
+                rest.insert(rec)?;
+            }
+        }
+        let rest_build = rest.finish_build()?;
+        for rec in rest_build.staged_records {
+            ht_mem.insert(rec);
+        }
+        let r_disk_handles: Vec<PartitionHandle> = r_disk_writers
+            .into_iter()
+            .map(|w| w.finish())
+            .collect::<nocap_storage::Result<_>>()?;
+
+        // ---- Phase 2: partition / probe S (Algorithm 9) -------------------
+        let mut output = 0u64;
+        let mut s_disk_writers: Vec<PartitionWriter> = (0..m_disk)
+            .map(|_| {
+                PartitionWriter::new(device.clone(), s.layout(), spec.page_size, IoKind::RandWrite)
+            })
+            .collect();
+        let mut s_rest_writers: Vec<Option<PartitionWriter>> = rest_build
+            .pob
+            .iter()
+            .map(|&spilled| {
+                spilled.then(|| {
+                    PartitionWriter::new(
+                        device.clone(),
+                        s.layout(),
+                        spec.page_size,
+                        IoKind::RandWrite,
+                    )
+                })
+            })
+            .collect();
+        for rec in s.scan() {
+            let rec = rec?;
+            if let Some(&pid) = disk_map.get(&rec.key()) {
+                s_disk_writers[pid as usize].push(&rec)?;
+                continue;
+            }
+            let matches = ht_mem.probe(rec.key());
+            if !matches.is_empty() {
+                output += matches.len() as u64;
+                continue;
+            }
+            let part = rest_build.rh.partition_of(rec.key());
+            if rest_build.pob[part] {
+                s_rest_writers[part]
+                    .as_mut()
+                    .expect("writer exists for every destaged partition")
+                    .push(&rec)?;
+            }
+            // else: the partition stayed in memory and the key had no match.
+        }
+        let partition_io = device.stats().since(&base_stats);
+
+        // ---- Phase 3: partition-wise joins of everything spilled ----------
+        let probe_base = device.stats();
+        let s_disk_handles: Vec<PartitionHandle> = s_disk_writers
+            .into_iter()
+            .map(|w| w.finish())
+            .collect::<nocap_storage::Result<_>>()?;
+        for (r_part, s_part) in r_disk_handles.iter().zip(s_disk_handles.iter()) {
+            output += smart_partition_join(r_part, s_part, spec, 1)?;
+        }
+        for (idx, maybe_r) in rest_build.spilled.iter().enumerate() {
+            let Some(r_part) = maybe_r else { continue };
+            let Some(s_writer) = s_rest_writers[idx].take() else {
+                continue;
+            };
+            let s_part = s_writer.finish()?;
+            output += smart_partition_join(r_part, &s_part, spec, 1)?;
+            s_part.delete()?;
+        }
+        let probe_io = device.stats().since(&probe_base);
+
+        // Clean up spill files (not counted as I/O).
+        for h in r_disk_handles.into_iter().chain(s_disk_handles) {
+            h.delete()?;
+        }
+        for h in rest_build.spilled.into_iter().flatten() {
+            h.delete()?;
+        }
+
+        let mut report = JoinRunReport::new("NOCAP");
+        report.output_records = output;
+        report.partition_io = partition_io;
+        report.probe_io = probe_io;
+        report.cpu_seconds = started.elapsed().as_secs_f64();
+        Ok(report)
+    }
+}
+
+/// What the residual partitioner hands back after the R pass.
+pub struct RestBuild {
+    /// Records of partitions that stayed in memory (to be added to the
+    /// in-memory hash table).
+    pub staged_records: Vec<Record>,
+    /// Spilled R partitions, indexed by partition id (`None` if that
+    /// partition stayed in memory).
+    pub spilled: Vec<Option<PartitionHandle>>,
+    /// Page-out bits: `true` if the partition was destaged to disk.
+    pub pob: Vec<bool>,
+    /// The router used for R, reused verbatim for S.
+    pub rh: RoundedHash,
+}
+
+/// DHH-style dynamic partitioner for the residual (non-MCV) keys.
+///
+/// Partitions start staged in memory; whenever the staged pages plus the
+/// output buffers of already-destaged partitions exceed the residual budget,
+/// the largest staged partition is written out (its POB bit is set) and its
+/// memory is reused — exactly the destaging policy of §2.2.
+pub struct RestPartitioner {
+    device: nocap_storage::device::DeviceRef,
+    spec: JoinSpec,
+    layout: RecordLayout,
+    budget_pages: usize,
+    rh: RoundedHash,
+    staged: Vec<Vec<Record>>,
+    staged_pages: Vec<usize>,
+    staged_pages_total: usize,
+    writers: Vec<Option<PartitionWriter>>,
+    pob: Vec<bool>,
+    spilled_count: usize,
+}
+
+impl RestPartitioner {
+    /// Creates a residual partitioner with `budget_pages` pages of memory and
+    /// an estimate of how many distinct residual keys will arrive (used to
+    /// size the rounded hash).
+    pub fn new(
+        device: nocap_storage::device::DeviceRef,
+        spec: JoinSpec,
+        layout: RecordLayout,
+        budget_pages: usize,
+        estimated_keys: usize,
+        rh_params: RoundedHashParams,
+    ) -> Self {
+        let budget_pages = budget_pages.max(1);
+        let c_star = rh_params.effective_chunk(spec.c_r().max(1));
+        let desired_partitions = estimated_keys.div_ceil(c_star.max(1)).max(1);
+        let num_partitions = desired_partitions.min(budget_pages.saturating_sub(1).max(1));
+        let rh = RoundedHash::new(estimated_keys, num_partitions, spec.c_r(), &rh_params);
+        RestPartitioner {
+            device,
+            spec,
+            layout,
+            budget_pages,
+            rh,
+            staged: vec![Vec::new(); num_partitions],
+            staged_pages: vec![0; num_partitions],
+            staged_pages_total: 0,
+            writers: (0..num_partitions).map(|_| None).collect(),
+            pob: vec![false; num_partitions],
+            spilled_count: 0,
+        }
+    }
+
+    /// Number of residual partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Number of partitions destaged to disk so far.
+    pub fn spilled_partitions(&self) -> usize {
+        self.spilled_count
+    }
+
+    /// Current memory use in pages (staged data + spilled output buffers).
+    pub fn pages_in_use(&self) -> usize {
+        self.staged_pages_total + self.spilled_count
+    }
+
+    /// Routes one R record to its residual partition.
+    pub fn insert(&mut self, rec: Record) -> nocap_storage::Result<()> {
+        let p = self.rh.partition_of(rec.key());
+        if self.pob[p] {
+            self.writers[p]
+                .as_mut()
+                .expect("destaged partition has a writer")
+                .push(&rec)?;
+            return Ok(());
+        }
+        self.staged[p].push(rec);
+        let new_pages = self
+            .spec
+            .hash_table_pages(self.staged[p].len())
+            .max(1);
+        self.staged_pages_total += new_pages - self.staged_pages[p];
+        self.staged_pages[p] = new_pages;
+        while self.pages_in_use() > self.budget_pages {
+            if !self.spill_largest()? {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Destages the largest staged partition. Returns `false` if nothing was
+    /// left to spill.
+    fn spill_largest(&mut self) -> nocap_storage::Result<bool> {
+        let victim = self
+            .staged
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .max_by_key(|(_, v)| v.len())
+            .map(|(i, _)| i);
+        let Some(victim) = victim else {
+            return Ok(false);
+        };
+        let mut writer = PartitionWriter::new(
+            self.device.clone(),
+            self.layout,
+            self.spec.page_size,
+            IoKind::RandWrite,
+        );
+        for rec in self.staged[victim].drain(..) {
+            writer.push(&rec)?;
+        }
+        self.staged_pages_total -= self.staged_pages[victim];
+        self.staged_pages[victim] = 0;
+        self.writers[victim] = Some(writer);
+        self.pob[victim] = true;
+        self.spilled_count += 1;
+        Ok(true)
+    }
+
+    /// Finishes the R pass: remaining staged records go to the caller's
+    /// in-memory hash table, spilled partitions become handles.
+    pub fn finish_build(self) -> nocap_storage::Result<RestBuild> {
+        let mut staged_records = Vec::new();
+        for records in self.staged {
+            staged_records.extend(records);
+        }
+        let mut spilled = Vec::with_capacity(self.writers.len());
+        for writer in self.writers {
+            spilled.push(match writer {
+                Some(w) => Some(w.finish()?),
+                None => None,
+            });
+        }
+        Ok(RestBuild {
+            staged_records,
+            spilled,
+            pob: self.pob,
+            rh: self.rh,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocap_storage::SimDevice;
+    use std::collections::HashMap;
+
+    /// Builds R with keys `0..n_r` and S where key `k` appears `ct(k)` times.
+    fn build_workload(
+        device: nocap_storage::device::DeviceRef,
+        spec: &JoinSpec,
+        n_r: u64,
+        counts: impl Fn(u64) -> u64,
+    ) -> (Relation, Relation, Vec<(u64, u64)>) {
+        let payload = spec.r_layout.payload_bytes();
+        let r = Relation::bulk_load(
+            device.clone(),
+            spec.r_layout,
+            spec.page_size,
+            (0..n_r).map(|k| Record::with_fill(k, payload, 1)),
+        )
+        .unwrap();
+        // Interleave S keys so hot keys are not clustered.
+        let mut s_keys: Vec<u64> = Vec::new();
+        for k in 0..n_r {
+            for _ in 0..counts(k) {
+                s_keys.push(k);
+            }
+        }
+        // Deterministic shuffle.
+        let salt = s_keys.len() as u64;
+        s_keys.sort_by_key(|&k| crate::rounded_hash::mix_key(k.wrapping_add(salt)));
+        let s = Relation::bulk_load(
+            device.clone(),
+            spec.s_layout,
+            spec.page_size,
+            s_keys.iter().map(|&k| Record::with_fill(k, payload, 2)),
+        )
+        .unwrap();
+        let mut mcv: Vec<(u64, u64)> = (0..n_r).map(|k| (k, counts(k))).collect();
+        mcv.sort_by(|a, b| b.1.cmp(&a.1));
+        mcv.truncate((n_r as usize / 20).max(10));
+        (r, s, mcv)
+    }
+
+    fn expected_output(n_r: u64, counts: impl Fn(u64) -> u64) -> u64 {
+        (0..n_r).map(counts).sum()
+    }
+
+    #[test]
+    fn rest_partitioner_respects_its_budget() {
+        let device = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(128, 16);
+        let mut rest = RestPartitioner::new(
+            device.clone(),
+            spec,
+            spec.r_layout,
+            8,
+            5_000,
+            RoundedHashParams::default(),
+        );
+        for k in 0..5_000u64 {
+            rest.insert(Record::with_fill(k, 120, 0)).unwrap();
+            assert!(
+                rest.pages_in_use() <= 8,
+                "rest partitioner exceeded its page budget"
+            );
+        }
+        assert!(rest.spilled_partitions() > 0, "a 5K-record build cannot stay in 8 pages");
+        let build = rest.finish_build().unwrap();
+        let spilled_records: usize = build
+            .spilled
+            .iter()
+            .flatten()
+            .map(|h| h.records())
+            .sum();
+        assert_eq!(spilled_records + build.staged_records.len(), 5_000);
+    }
+
+    #[test]
+    fn rest_partitioner_stays_in_memory_when_budget_allows() {
+        let device = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(128, 256);
+        let mut rest = RestPartitioner::new(
+            device.clone(),
+            spec,
+            spec.r_layout,
+            200,
+            1_000,
+            RoundedHashParams::default(),
+        );
+        for k in 0..1_000u64 {
+            rest.insert(Record::with_fill(k, 120, 0)).unwrap();
+        }
+        assert_eq!(rest.spilled_partitions(), 0);
+        let build = rest.finish_build().unwrap();
+        assert_eq!(build.staged_records.len(), 1_000);
+        assert_eq!(device.stats().writes(), 0, "nothing should have been written");
+    }
+
+    #[test]
+    fn nocap_join_is_correct_on_a_skewed_workload() {
+        let device = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(128, 64);
+        let counts = |k: u64| if k < 5 { 200 } else { 2 };
+        let (r, s, mcvs) = build_workload(device.clone(), &spec, 2_000, counts);
+        device.reset_stats();
+        let join = NocapJoin::new(spec, NocapConfig::default());
+        let report = join.run(&r, &s, &mcvs).unwrap();
+        assert_eq!(report.output_records, expected_output(2_000, counts));
+        assert!(report.total_ios() > 0);
+    }
+
+    #[test]
+    fn nocap_join_is_correct_on_a_uniform_workload() {
+        let device = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(128, 48);
+        let counts = |_k: u64| 4u64;
+        let (r, s, mcvs) = build_workload(device.clone(), &spec, 3_000, counts);
+        device.reset_stats();
+        let join = NocapJoin::new(spec, NocapConfig::default());
+        let report = join.run(&r, &s, &mcvs).unwrap();
+        assert_eq!(report.output_records, expected_output(3_000, counts));
+    }
+
+    #[test]
+    fn large_memory_joins_entirely_in_memory() {
+        let device = SimDevice::new_ref();
+        // Budget big enough that R fits into the residual partitioner.
+        let spec = JoinSpec::paper_synthetic(128, 512);
+        let counts = |k: u64| (k % 3) + 1;
+        let (r, s, mcvs) = build_workload(device.clone(), &spec, 2_000, counts);
+        device.reset_stats();
+        let join = NocapJoin::new(spec, NocapConfig::default());
+        let report = join.run(&r, &s, &mcvs).unwrap();
+        assert_eq!(report.output_records, expected_output(2_000, counts));
+        // Only the base scans: no spill writes at all.
+        assert_eq!(report.total_io().writes(), 0);
+        assert_eq!(
+            report.total_io().reads() as usize,
+            r.num_pages() + s.num_pages()
+        );
+    }
+
+    #[test]
+    fn smaller_memory_never_means_fewer_ios() {
+        let device = SimDevice::new_ref();
+        let counts = |k: u64| if k < 20 { 100 } else { 3 };
+        let spec_small = JoinSpec::paper_synthetic(128, 24);
+        let (r, s, mcvs) = build_workload(device.clone(), &spec_small, 4_000, counts);
+        let mut previous = u64::MAX;
+        for budget in [24usize, 48, 96, 192, 2_048] {
+            let spec = spec_small.with_buffer_pages(budget);
+            device.reset_stats();
+            let join = NocapJoin::new(spec, NocapConfig::default());
+            let report = join.run(&r, &s, &mcvs).unwrap();
+            assert_eq!(report.output_records, expected_output(4_000, counts));
+            assert!(
+                report.total_ios() <= previous,
+                "more memory should not increase NOCAP's I/O (budget={budget})"
+            );
+            previous = report.total_ios();
+        }
+    }
+
+    #[test]
+    fn output_counts_match_a_reference_hash_join() {
+        // Cross-check against a straightforward in-memory join.
+        let device = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(128, 32);
+        let counts = |k: u64| (crate::rounded_hash::mix_key(k) % 7).max(1);
+        let (r, s, mcvs) = build_workload(device.clone(), &spec, 1_500, counts);
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        for rec in r.read_all().unwrap() {
+            *reference.entry(rec.key()).or_insert(0) += 0;
+        }
+        let mut expected = 0u64;
+        for rec in s.read_all().unwrap() {
+            if reference.contains_key(&rec.key()) {
+                expected += 1;
+            }
+        }
+        device.reset_stats();
+        let join = NocapJoin::new(spec, NocapConfig::default());
+        let report = join.run(&r, &s, &mcvs).unwrap();
+        assert_eq!(report.output_records, expected);
+    }
+}

@@ -1,0 +1,79 @@
+//! Brute-force optimal partitioning for tiny inputs.
+//!
+//! Enumerates *every* assignment of `n` records to at most `m` partitions
+//! (not only the consecutive ones) and returns the minimum per-partition
+//! join cost. This is exponential (`m^n`) and exists purely as the test
+//! oracle that validates both the dynamic program and Theorem 3.1: the
+//! cheapest arbitrary partitioning must cost exactly as much as the cheapest
+//! canonical (consecutive / weakly-ordered / divisible) one found by the DP.
+
+use nocap_model::{CorrelationTable, Partitioning};
+
+/// Minimum per-partition join cost over all assignments of the CT's records
+/// to at most `m_max` partitions.
+///
+/// # Panics
+/// Panics if `ct.len() > 12` — the enumeration is exponential and only meant
+/// for unit tests.
+pub fn brute_force_optimal(ct: &CorrelationTable, m_max: usize, c_r: usize) -> u128 {
+    let n = ct.len();
+    assert!(n <= 12, "brute force is a test oracle for tiny inputs only");
+    if n == 0 || m_max == 0 {
+        return 0;
+    }
+    let m = m_max.min(n);
+    let mut assignment = vec![0u32; n];
+    let mut best = u128::MAX;
+    loop {
+        let p = Partitioning::from_assignment(assignment.clone(), m);
+        best = best.min(p.join_cost(ct, c_r));
+        // Advance the mixed-radix counter.
+        let mut idx = 0;
+        loop {
+            if idx == n {
+                return best;
+            }
+            assignment[idx] += 1;
+            if (assignment[idx] as usize) < m {
+                break;
+            }
+            assignment[idx] = 0;
+            idx += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_record_single_partition() {
+        let ct = CorrelationTable::from_counts(vec![7]);
+        assert_eq!(brute_force_optimal(&ct, 3, 2), 7);
+    }
+
+    #[test]
+    fn two_hot_records_are_separated_when_possible() {
+        // Two records with huge counts and c_R = 1: putting them in separate
+        // partitions costs 10 + 20 = 30, together costs (10 + 20) · 2 = 60.
+        let ct = CorrelationTable::from_counts(vec![10, 20]);
+        assert_eq!(brute_force_optimal(&ct, 2, 1), 30);
+        assert_eq!(brute_force_optimal(&ct, 1, 1), 60);
+    }
+
+    #[test]
+    fn uniform_records_fill_chunks() {
+        // 4 records of 5 matches, c_R = 2, up to 2 partitions: two chunks of
+        // two records each → every match scanned once.
+        let ct = CorrelationTable::from_counts(vec![5, 5, 5, 5]);
+        assert_eq!(brute_force_optimal(&ct, 2, 2), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "tiny inputs")]
+    fn large_inputs_are_rejected() {
+        let ct = CorrelationTable::from_counts(vec![1; 13]);
+        let _ = brute_force_optimal(&ct, 2, 2);
+    }
+}

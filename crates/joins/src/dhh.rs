@@ -1,0 +1,455 @@
+//! Dynamic Hybrid Hash join (DHH) — the state-of-the-art baseline
+//! (Algorithms 1 and 2 plus the heuristic skew optimization of §2.2).
+//!
+//! DHH hash-partitions R into `m_DHH = max(20, ⌈(‖R‖·F − B)/(B − 1)⌉)`
+//! partitions. Every partition starts *staged* in memory; whenever memory
+//! runs out the largest staged partition is destaged to disk and its
+//! page-out bit (POB) is set. After R is consumed, all still-staged
+//! partitions are folded into one in-memory hash table. While partitioning
+//! S, records whose key hits the in-memory table are joined immediately;
+//! records belonging to destaged partitions are spilled; the remaining
+//! records (staged partition, no match) are dropped. Finally the spilled
+//! partition pairs are joined pairwise.
+//!
+//! **Skew optimization.** Practical systems (PostgreSQL, Histojoin) add a
+//! small dedicated hash table for the most common values: if the tracked
+//! MCVs cover at least `skew_frequency_threshold` of S, the hottest MCV keys
+//! are pinned in memory using at most `skew_memory_fraction · B` pages. Both
+//! thresholds are fixed constants in deployed systems (2 % each); they are
+//! constructor parameters here so that Figure 11's sensitivity sweep can be
+//! reproduced.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use nocap_model::pairwise::smart_partition_join;
+use nocap_model::{JoinRunReport, JoinSpec};
+use nocap_storage::device::DeviceRef;
+use nocap_storage::{
+    BufferPool, IoKind, JoinHashTable, PartitionHandle, PartitionWriter, Record, RecordLayout,
+    Relation,
+};
+
+/// SplitMix64 hash for partition routing.
+fn hash_key(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Tuning knobs of DHH's skew optimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DhhConfig {
+    /// Fraction of the memory budget reserved for the skew-key hash table
+    /// (PostgreSQL and Histojoin use 2 %).
+    pub skew_memory_fraction: f64,
+    /// Minimum fraction of S that the tracked MCVs must cover before the
+    /// skew optimization is triggered (PostgreSQL uses 2 %, Histojoin 0).
+    pub skew_frequency_threshold: f64,
+    /// Enables/disables the skew optimization altogether.
+    pub skew_optimization: bool,
+}
+
+impl Default for DhhConfig {
+    fn default() -> Self {
+        DhhConfig {
+            skew_memory_fraction: 0.02,
+            skew_frequency_threshold: 0.02,
+            skew_optimization: true,
+        }
+    }
+}
+
+impl DhhConfig {
+    /// The Histojoin configuration: always trigger the skew optimization.
+    pub fn histojoin() -> Self {
+        DhhConfig {
+            skew_memory_fraction: 0.02,
+            skew_frequency_threshold: 0.0,
+            skew_optimization: true,
+        }
+    }
+
+    /// Plain DHH without any skew optimization.
+    pub fn no_skew() -> Self {
+        DhhConfig {
+            skew_memory_fraction: 0.0,
+            skew_frequency_threshold: 1.0,
+            skew_optimization: false,
+        }
+    }
+}
+
+/// Dynamic Hybrid Hash join executor.
+#[derive(Debug, Clone, Copy)]
+pub struct DhhJoin {
+    spec: JoinSpec,
+    config: DhhConfig,
+}
+
+impl DhhJoin {
+    /// Creates a DHH operator with the given spec and skew configuration.
+    pub fn new(spec: JoinSpec, config: DhhConfig) -> Self {
+        DhhJoin { spec, config }
+    }
+
+    /// Creates a DHH operator with the default (PostgreSQL-like) thresholds.
+    pub fn with_defaults(spec: JoinSpec) -> Self {
+        DhhJoin::new(spec, DhhConfig::default())
+    }
+
+    /// Executes `r ⋈ s`. `mcvs` are the tracked most-common-value statistics
+    /// (`(key, frequency)` pairs); pass an empty slice to disable the skew
+    /// optimization's inputs.
+    pub fn run(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        mcvs: &[(u64, u64)],
+    ) -> nocap_storage::Result<JoinRunReport> {
+        let spec = &self.spec;
+        let device = r.device().clone();
+        let started = Instant::now();
+        let base = device.stats();
+        let pool = BufferPool::new(spec.buffer_pages);
+        let _io_pages = pool.reserve(2)?;
+
+        // ---- Skew optimization: pick the keys pinned in memory -----------
+        let skew_keys = self.select_skew_keys(mcvs, s.num_records() as u64);
+        let skew_pages = spec.hash_table_pages(skew_keys.len());
+        let _skew_reservation = pool.reserve(skew_pages.min(pool.available()))?;
+
+        // ---- Partition R (Algorithm 1) ------------------------------------
+        let m_dhh = spec.m_dhh(r.num_records()).min(
+            pool.available().saturating_sub(1).max(1),
+        );
+        let mut partitioner = DhhPartitioner::new(
+            device.clone(),
+            *spec,
+            r.layout(),
+            pool.available(),
+            m_dhh,
+        );
+        let mut skew_table = JoinHashTable::new(r.layout(), spec.page_size, spec.fudge);
+        for rec in r.scan() {
+            let rec = rec?;
+            if skew_keys.contains(&rec.key()) {
+                skew_table.insert(rec);
+            } else {
+                partitioner.insert(rec)?;
+            }
+        }
+        let build = partitioner.finish()?;
+        let mut ht_mem = skew_table;
+        for rec in build.staged_records {
+            ht_mem.insert(rec);
+        }
+
+        // ---- Partition / probe S (Algorithm 2) -----------------------------
+        let mut output = 0u64;
+        let mut s_writers: Vec<Option<PartitionWriter>> = build
+            .pob
+            .iter()
+            .map(|&spilled| {
+                spilled.then(|| {
+                    PartitionWriter::new(
+                        device.clone(),
+                        s.layout(),
+                        spec.page_size,
+                        IoKind::RandWrite,
+                    )
+                })
+            })
+            .collect();
+        for rec in s.scan() {
+            let rec = rec?;
+            let matches = ht_mem.probe(rec.key());
+            if !matches.is_empty() {
+                output += matches.len() as u64;
+                continue;
+            }
+            let p = (hash_key(rec.key()) % build.pob.len() as u64) as usize;
+            if build.pob[p] {
+                s_writers[p]
+                    .as_mut()
+                    .expect("spilled partition has an S writer")
+                    .push(&rec)?;
+            }
+        }
+        let partition_io = device.stats().since(&base);
+
+        // ---- Probe the spilled partition pairs -----------------------------
+        let probe_base = device.stats();
+        for (idx, maybe_r) in build.spilled.iter().enumerate() {
+            let Some(r_part) = maybe_r else { continue };
+            let Some(s_writer) = s_writers[idx].take() else {
+                continue;
+            };
+            let s_part = s_writer.finish()?;
+            output += smart_partition_join(r_part, &s_part, spec, 1)?;
+            s_part.delete()?;
+        }
+        let probe_io = device.stats().since(&probe_base);
+
+        for h in build.spilled.into_iter().flatten() {
+            h.delete()?;
+        }
+
+        let mut report = JoinRunReport::new("DHH");
+        report.output_records = output;
+        report.partition_io = partition_io;
+        report.probe_io = probe_io;
+        report.cpu_seconds = started.elapsed().as_secs_f64();
+        Ok(report)
+    }
+
+    /// Chooses which MCV keys are pinned in the skew hash table.
+    fn select_skew_keys(&self, mcvs: &[(u64, u64)], n_s: u64) -> HashSet<u64> {
+        let mut selected = HashSet::new();
+        if !self.config.skew_optimization || mcvs.is_empty() || n_s == 0 {
+            return selected;
+        }
+        let total_mcv_mass: u64 = mcvs.iter().map(|&(_, c)| c).sum();
+        if (total_mcv_mass as f64) < self.config.skew_frequency_threshold * n_s as f64 {
+            return selected;
+        }
+        let budget_pages =
+            (self.spec.buffer_pages as f64 * self.config.skew_memory_fraction).floor() as usize;
+        if budget_pages == 0 {
+            return selected;
+        }
+        let capacity = JoinHashTable::capacity_for_pages(
+            budget_pages,
+            self.spec.r_layout,
+            self.spec.page_size,
+            self.spec.fudge,
+        );
+        let mut ranked: Vec<(u64, u64)> = mcvs.to_vec();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1));
+        for (key, _) in ranked.into_iter().take(capacity) {
+            selected.insert(key);
+        }
+        selected
+    }
+}
+
+/// Outcome of DHH's R-partitioning phase.
+struct DhhBuild {
+    staged_records: Vec<Record>,
+    spilled: Vec<Option<PartitionHandle>>,
+    pob: Vec<bool>,
+}
+
+/// The dynamic destaging partitioner of Algorithm 1.
+struct DhhPartitioner {
+    device: DeviceRef,
+    spec: JoinSpec,
+    layout: RecordLayout,
+    budget_pages: usize,
+    staged: Vec<Vec<Record>>,
+    staged_pages: Vec<usize>,
+    staged_total: usize,
+    writers: Vec<Option<PartitionWriter>>,
+    pob: Vec<bool>,
+    spilled_count: usize,
+}
+
+impl DhhPartitioner {
+    fn new(
+        device: DeviceRef,
+        spec: JoinSpec,
+        layout: RecordLayout,
+        budget_pages: usize,
+        num_partitions: usize,
+    ) -> Self {
+        let num_partitions = num_partitions.max(1);
+        DhhPartitioner {
+            device,
+            spec,
+            layout,
+            budget_pages: budget_pages.max(1),
+            staged: vec![Vec::new(); num_partitions],
+            staged_pages: vec![0; num_partitions],
+            staged_total: 0,
+            writers: (0..num_partitions).map(|_| None).collect(),
+            pob: vec![false; num_partitions],
+            spilled_count: 0,
+        }
+    }
+
+    fn pages_in_use(&self) -> usize {
+        self.staged_total + self.spilled_count
+    }
+
+    fn insert(&mut self, rec: Record) -> nocap_storage::Result<()> {
+        let p = (hash_key(rec.key()) % self.staged.len() as u64) as usize;
+        if self.pob[p] {
+            self.writers[p]
+                .as_mut()
+                .expect("destaged partition has a writer")
+                .push(&rec)?;
+            return Ok(());
+        }
+        self.staged[p].push(rec);
+        let pages = self.spec.hash_table_pages(self.staged[p].len()).max(1);
+        self.staged_total += pages - self.staged_pages[p];
+        self.staged_pages[p] = pages;
+        while self.pages_in_use() > self.budget_pages {
+            if !self.spill_largest()? {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn spill_largest(&mut self) -> nocap_storage::Result<bool> {
+        let victim = self
+            .staged
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .max_by_key(|(_, v)| v.len())
+            .map(|(i, _)| i);
+        let Some(victim) = victim else {
+            return Ok(false);
+        };
+        let mut writer = PartitionWriter::new(
+            self.device.clone(),
+            self.layout,
+            self.spec.page_size,
+            IoKind::RandWrite,
+        );
+        for rec in self.staged[victim].drain(..) {
+            writer.push(&rec)?;
+        }
+        self.staged_total -= self.staged_pages[victim];
+        self.staged_pages[victim] = 0;
+        self.writers[victim] = Some(writer);
+        self.pob[victim] = true;
+        self.spilled_count += 1;
+        Ok(true)
+    }
+
+    fn finish(self) -> nocap_storage::Result<DhhBuild> {
+        let mut staged_records = Vec::new();
+        for records in self.staged {
+            staged_records.extend(records);
+        }
+        let mut spilled = Vec::with_capacity(self.writers.len());
+        for writer in self.writers {
+            spilled.push(match writer {
+                Some(w) => Some(w.finish()?),
+                None => None,
+            });
+        }
+        Ok(DhhBuild {
+            staged_records,
+            spilled,
+            pob: self.pob,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_join_count;
+    use crate::testutil::{build_workload, mcvs};
+    use nocap_storage::SimDevice;
+
+    #[test]
+    fn matches_naive_join_uniform() {
+        let dev = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(128, 32);
+        let counts = |_k: u64| 4u64;
+        let (r, s) = build_workload(dev.clone(), &spec, 2_000, counts);
+        let expected = naive_join_count(&r, &s).unwrap();
+        dev.reset_stats();
+        let report = DhhJoin::with_defaults(spec)
+            .run(&r, &s, &mcvs(2_000, counts, 100))
+            .unwrap();
+        assert_eq!(report.output_records, expected);
+    }
+
+    #[test]
+    fn matches_naive_join_skewed_with_and_without_skew_optimization() {
+        let dev = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(128, 48);
+        let counts = |k: u64| if k < 8 { 300 } else { 1 };
+        let (r, s) = build_workload(dev.clone(), &spec, 2_000, counts);
+        let expected = naive_join_count(&r, &s).unwrap();
+        let stats = mcvs(2_000, counts, 100);
+
+        dev.reset_stats();
+        let with_skew = DhhJoin::with_defaults(spec).run(&r, &s, &stats).unwrap();
+        assert_eq!(with_skew.output_records, expected);
+
+        dev.reset_stats();
+        let without_skew = DhhJoin::new(spec, DhhConfig::no_skew())
+            .run(&r, &s, &stats)
+            .unwrap();
+        assert_eq!(without_skew.output_records, expected);
+
+        // The skew optimization pins the hottest keys, so it cannot do more
+        // I/O than the unoptimized run.
+        assert!(with_skew.total_ios() <= without_skew.total_ios());
+    }
+
+    #[test]
+    fn large_memory_degenerates_to_an_in_memory_join() {
+        let dev = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(128, 1_024);
+        let counts = |k: u64| (k % 4) + 1;
+        let (r, s) = build_workload(dev.clone(), &spec, 2_000, counts);
+        dev.reset_stats();
+        let report = DhhJoin::with_defaults(spec)
+            .run(&r, &s, &mcvs(2_000, counts, 50))
+            .unwrap();
+        assert_eq!(report.total_io().writes(), 0, "nothing should spill");
+        assert_eq!(
+            report.total_io().reads() as usize,
+            r.num_pages() + s.num_pages()
+        );
+    }
+
+    #[test]
+    fn tiny_memory_degenerates_towards_ghj() {
+        let dev = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(128, 24);
+        let counts = |_k: u64| 3u64;
+        let (r, s) = build_workload(dev.clone(), &spec, 4_000, counts);
+        let expected = naive_join_count(&r, &s).unwrap();
+        dev.reset_stats();
+        let report = DhhJoin::with_defaults(spec)
+            .run(&r, &s, &mcvs(4_000, counts, 100))
+            .unwrap();
+        assert_eq!(report.output_records, expected);
+        // With B far below √(‖R‖·F) nearly everything spills: the partition
+        // phase writes most of R and S.
+        assert!(
+            report.partition_io.writes() as usize > (r.num_pages() + s.num_pages()) / 2,
+            "most data must spill under a tiny budget"
+        );
+    }
+
+    #[test]
+    fn skew_keys_only_selected_above_the_frequency_threshold() {
+        let spec = JoinSpec::paper_synthetic(128, 100);
+        let dhh = DhhJoin::new(
+            spec,
+            DhhConfig {
+                skew_memory_fraction: 0.02,
+                skew_frequency_threshold: 0.5,
+                skew_optimization: true,
+            },
+        );
+        // MCV mass of 10 out of n_S = 1000 < 50 % threshold → no skew keys.
+        let low_mass = vec![(1u64, 5u64), (2, 5)];
+        assert!(dhh.select_skew_keys(&low_mass, 1_000).is_empty());
+        // Above the threshold the hottest keys are selected.
+        let high_mass = vec![(1u64, 400u64), (2, 300)];
+        let selected = dhh.select_skew_keys(&high_mass, 1_000);
+        assert!(selected.contains(&1));
+    }
+}

@@ -1,0 +1,257 @@
+//! Grace Hash Join (GHJ).
+//!
+//! The textbook partitioning join: hash both relations into `B − 1`
+//! partitions (one input page, one output-buffer page per partition), then
+//! join each partition pair. If an R partition still does not fit the memory
+//! budget the pair is either re-partitioned recursively or — following the
+//! paper's augmentation — handed to chunk-wise NBJ when that is estimated to
+//! be cheaper.
+
+use std::time::Instant;
+
+use nocap_model::pairwise::nbj_partition_join;
+use nocap_model::classic_cost::nbj_cost_best;
+use nocap_model::{ghj_cost, JoinRunReport, JoinSpec};
+use nocap_storage::device::DeviceRef;
+use nocap_storage::{
+    BufferPool, IoKind, JoinHashTable, PartitionHandle, PartitionWriter, Relation,
+};
+
+/// SplitMix64 with a per-recursion-level salt so nested partitioning uses an
+/// independent hash function.
+fn level_hash(key: u64, level: u32) -> u64 {
+    let mut z = key
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((level as u64) << 56 | (level as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Grace Hash Join executor.
+#[derive(Debug, Clone, Copy)]
+pub struct GraceHashJoin {
+    spec: JoinSpec,
+    /// Maximum recursive partitioning depth before unconditionally falling
+    /// back to NBJ (a safety valve, 3 matches any realistic budget).
+    max_depth: u32,
+}
+
+impl GraceHashJoin {
+    /// Creates a GHJ operator with the given spec.
+    pub fn new(spec: JoinSpec) -> Self {
+        GraceHashJoin { spec, max_depth: 3 }
+    }
+
+    /// Executes `r ⋈ s`.
+    pub fn run(&self, r: &Relation, s: &Relation) -> nocap_storage::Result<JoinRunReport> {
+        let spec = &self.spec;
+        let device = r.device().clone();
+        let started = Instant::now();
+        let base = device.stats();
+
+        // Partition both inputs once.
+        let num_partitions = spec.buffer_pages.saturating_sub(1).max(2);
+        let pool = BufferPool::new(spec.buffer_pages);
+        let _input_page = pool.reserve(1)?;
+        let _output_buffers = pool.reserve(num_partitions.min(pool.available()))?;
+
+        let r_parts = partition_relation_scan(&device, r, spec, num_partitions, 0)?;
+        let s_parts = partition_relation_scan(&device, s, spec, num_partitions, 0)?;
+        let partition_io = device.stats().since(&base);
+
+        // Join each pair.
+        let probe_base = device.stats();
+        let mut output = 0u64;
+        for (r_part, s_part) in r_parts.iter().zip(s_parts.iter()) {
+            output += self.join_pair(&device, r_part, s_part, 1)?;
+        }
+        let probe_io = device.stats().since(&probe_base);
+
+        for h in r_parts.into_iter().chain(s_parts) {
+            h.delete()?;
+        }
+
+        let mut report = JoinRunReport::new("GHJ");
+        report.output_records = output;
+        report.partition_io = partition_io;
+        report.probe_io = probe_io;
+        report.cpu_seconds = started.elapsed().as_secs_f64();
+        Ok(report)
+    }
+
+    /// Joins one partition pair, re-partitioning recursively when that is
+    /// estimated to be cheaper than chunk-wise NBJ.
+    fn join_pair(
+        &self,
+        device: &DeviceRef,
+        r_part: &PartitionHandle,
+        s_part: &PartitionHandle,
+        depth: u32,
+    ) -> nocap_storage::Result<u64> {
+        let spec = &self.spec;
+        if r_part.is_empty() || s_part.is_empty() {
+            return Ok(0);
+        }
+        let fits = JoinHashTable::pages_for(
+            r_part.records(),
+            spec.r_layout,
+            spec.page_size,
+            spec.fudge,
+        ) + 2
+            <= spec.buffer_pages;
+        if fits || depth > self.max_depth {
+            return nbj_partition_join(r_part, s_part, spec, |_, _| {});
+        }
+        // The partition is still too large: recurse only if another
+        // partitioning pass is estimated to be cheaper than NBJ.
+        let nbj = nbj_cost_best(r_part.pages(), s_part.pages(), spec);
+        let ghj = ghj_cost(r_part.pages(), s_part.pages(), spec);
+        if nbj <= ghj {
+            return nbj_partition_join(r_part, s_part, spec, |_, _| {});
+        }
+        let num_partitions = spec.buffer_pages.saturating_sub(1).max(2);
+        let r_sub = partition_handle(device, r_part, spec, num_partitions, depth)?;
+        let s_sub = partition_handle(device, s_part, spec, num_partitions, depth)?;
+        let mut output = 0u64;
+        for (rp, sp) in r_sub.iter().zip(s_sub.iter()) {
+            output += self.join_pair(device, rp, sp, depth + 1)?;
+        }
+        for h in r_sub.into_iter().chain(s_sub) {
+            h.delete()?;
+        }
+        Ok(output)
+    }
+}
+
+/// Hash-partitions a stored relation into `m` spill partitions.
+fn partition_relation_scan(
+    device: &DeviceRef,
+    relation: &Relation,
+    spec: &JoinSpec,
+    m: usize,
+    level: u32,
+) -> nocap_storage::Result<Vec<PartitionHandle>> {
+    let mut writers: Vec<PartitionWriter> = (0..m)
+        .map(|_| {
+            PartitionWriter::new(
+                device.clone(),
+                relation.layout(),
+                spec.page_size,
+                IoKind::RandWrite,
+            )
+        })
+        .collect();
+    for rec in relation.scan() {
+        let rec = rec?;
+        let p = (level_hash(rec.key(), level) % m as u64) as usize;
+        writers[p].push(&rec)?;
+    }
+    writers.into_iter().map(|w| w.finish()).collect()
+}
+
+/// Hash-partitions an existing spill partition into `m` sub-partitions
+/// (used by recursive re-partitioning).
+fn partition_handle(
+    device: &DeviceRef,
+    handle: &PartitionHandle,
+    spec: &JoinSpec,
+    m: usize,
+    level: u32,
+) -> nocap_storage::Result<Vec<PartitionHandle>> {
+    let mut writers: Vec<Option<PartitionWriter>> = (0..m).map(|_| None).collect();
+    let mut layout = None;
+    for rec in handle.read(IoKind::SeqRead) {
+        let rec = rec?;
+        layout.get_or_insert(rec.layout());
+        let p = (level_hash(rec.key(), level) % m as u64) as usize;
+        let writer = writers[p].get_or_insert_with(|| {
+            PartitionWriter::new(
+                device.clone(),
+                rec.layout(),
+                spec.page_size,
+                IoKind::RandWrite,
+            )
+        });
+        writer.push(&rec)?;
+    }
+    let layout = layout.unwrap_or(spec.r_layout);
+    writers
+        .into_iter()
+        .map(|w| match w {
+            Some(w) => w.finish(),
+            None => PartitionWriter::new(device.clone(), layout, spec.page_size, IoKind::RandWrite)
+                .finish(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_join_count;
+    use crate::testutil::build_workload;
+    use nocap_storage::SimDevice;
+
+    #[test]
+    fn matches_naive_join_uniform() {
+        let dev = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(128, 24);
+        let counts = |_k: u64| 3u64;
+        let (r, s) = build_workload(dev.clone(), &spec, 2_000, counts);
+        let expected = naive_join_count(&r, &s).unwrap();
+        dev.reset_stats();
+        let report = GraceHashJoin::new(spec).run(&r, &s).unwrap();
+        assert_eq!(report.output_records, expected);
+    }
+
+    #[test]
+    fn matches_naive_join_skewed() {
+        let dev = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(128, 32);
+        let counts = |k: u64| if k < 10 { 150 } else { 1 };
+        let (r, s) = build_workload(dev.clone(), &spec, 1_500, counts);
+        let expected = naive_join_count(&r, &s).unwrap();
+        dev.reset_stats();
+        let report = GraceHashJoin::new(spec).run(&r, &s).unwrap();
+        assert_eq!(report.output_records, expected);
+    }
+
+    #[test]
+    fn partition_phase_writes_both_relations_once() {
+        let dev = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(256, 32);
+        let counts = |_k: u64| 2u64;
+        let (r, s) = build_workload(dev.clone(), &spec, 3_000, counts);
+        dev.reset_stats();
+        let report = GraceHashJoin::new(spec).run(&r, &s).unwrap();
+        // Every record of R and S is written to some partition exactly once
+        // (partition page counts may add a page of slack per partition).
+        let writes = report.partition_io.writes() as usize;
+        let min_expected = r.num_pages() + s.num_pages();
+        assert!(writes >= min_expected);
+        assert!(
+            writes <= min_expected + 2 * (spec.buffer_pages - 1),
+            "writes {writes} exceed one page of slack per partition"
+        );
+        // And those writes are random writes (μ-weighted in the cost model).
+        assert_eq!(report.partition_io.seq_writes, 0);
+    }
+
+    #[test]
+    fn ghj_costs_more_io_than_nbj_when_r_fits_in_memory() {
+        let dev = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(128, 512);
+        let counts = |_k: u64| 2u64;
+        let (r, s) = build_workload(dev.clone(), &spec, 1_000, counts);
+        dev.reset_stats();
+        let ghj = GraceHashJoin::new(spec).run(&r, &s).unwrap();
+        dev.reset_stats();
+        let nbj = crate::nbj::NestedBlockJoin::new(spec).run(&r, &s).unwrap();
+        assert_eq!(ghj.output_records, nbj.output_records);
+        assert!(
+            ghj.total_ios() > nbj.total_ios(),
+            "partitioning is wasted work when R fits in memory"
+        );
+    }
+}

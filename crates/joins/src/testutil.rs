@@ -1,0 +1,61 @@
+//! Shared helpers for the baseline-join unit tests.
+
+use nocap_model::JoinSpec;
+use nocap_storage::device::DeviceRef;
+use nocap_storage::{Record, Relation};
+
+/// SplitMix64, used for deterministic shuffling in tests.
+pub(crate) fn mix(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds an (R, S) pair where R has keys `0..n_r` and key `k` appears
+/// `counts(k)` times in S, with S shuffled deterministically.
+pub(crate) fn build_workload(
+    device: DeviceRef,
+    spec: &JoinSpec,
+    n_r: u64,
+    counts: impl Fn(u64) -> u64,
+) -> (Relation, Relation) {
+    let payload = spec.r_layout.payload_bytes();
+    let r = Relation::bulk_load(
+        device.clone(),
+        spec.r_layout,
+        spec.page_size,
+        (0..n_r).map(|k| Record::with_fill(k, payload, 1)),
+    )
+    .unwrap();
+    let mut s_keys: Vec<u64> = Vec::new();
+    for k in 0..n_r {
+        for rep in 0..counts(k) {
+            s_keys.push(k.wrapping_add(rep << 32)); // temporary tag for shuffling
+        }
+    }
+    s_keys.sort_by_key(|&tagged| mix(tagged));
+    let s = Relation::bulk_load(
+        device,
+        spec.s_layout,
+        spec.page_size,
+        s_keys
+            .iter()
+            .map(|&tagged| Record::with_fill(tagged & 0xFFFF_FFFF, payload, 2)),
+    )
+    .unwrap();
+    (r, s)
+}
+
+/// Expected output cardinality of the workload built by [`build_workload`].
+pub(crate) fn expected_output(n_r: u64, counts: impl Fn(u64) -> u64) -> u64 {
+    (0..n_r).map(counts).sum()
+}
+
+/// MCV statistics (exact top-k counts) for the workload.
+pub(crate) fn mcvs(n_r: u64, counts: impl Fn(u64) -> u64, k: usize) -> Vec<(u64, u64)> {
+    let mut all: Vec<(u64, u64)> = (0..n_r).map(|key| (key, counts(key))).collect();
+    all.sort_by(|a, b| b.1.cmp(&a.1));
+    all.truncate(k);
+    all
+}

@@ -1,0 +1,246 @@
+//! Table 1 cost estimators for the classical storage-based joins and the
+//! "light optimizer" that picks the cheapest method per partition pair.
+//!
+//! All costs are *normalized page I/Os*: one sequential page read counts 1,
+//! writes are weighted by the device asymmetry (μ for random writes as in
+//! GHJ's partition spills, τ for sequential writes as in SMJ's run files).
+//!
+//! | method | normalized #I/O |
+//! |---|---|
+//! | NBJ  | `‖R‖ + #chunks · ‖S‖` |
+//! | GHJ  | `(1 + #pa-runs · (1 + μ)) · (‖R‖ + ‖S‖)` |
+//! | SMJ  | `(1 + #s-passes · (1 + τ)) · (‖R‖ + ‖S‖)` |
+
+use crate::spec::JoinSpec;
+
+/// Which classical method the light optimizer selected for one partition
+/// pair (§5 "we apply a light optimizer that picks the most efficient
+/// algorithm according to Table 1 in the partition-wise join").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionJoinMethod {
+    /// Nested Block Join.
+    Nbj,
+    /// Grace Hash Join.
+    Ghj,
+    /// Sort-Merge Join.
+    Smj,
+}
+
+impl std::fmt::Display for PartitionJoinMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionJoinMethod::Nbj => write!(f, "NBJ"),
+            PartitionJoinMethod::Ghj => write!(f, "GHJ"),
+            PartitionJoinMethod::Smj => write!(f, "SMJ"),
+        }
+    }
+}
+
+/// Number of chunks NBJ needs to stream the inner relation through memory:
+/// `⌈ ‖inner‖ / ((B − 2) / F) ⌉`.
+pub fn nbj_chunks(inner_pages: usize, spec: &JoinSpec) -> usize {
+    if inner_pages == 0 {
+        return 0;
+    }
+    let usable = (spec.buffer_pages.saturating_sub(2)) as f64 / spec.fudge;
+    if usable < 1.0 {
+        // Degenerate budget: one chunk per page.
+        return inner_pages;
+    }
+    (inner_pages as f64 / usable).ceil() as usize
+}
+
+/// Normalized I/O cost of NBJ with `inner` loaded chunk-wise and `outer`
+/// scanned once per chunk (Table 1, row 1).
+pub fn nbj_cost(inner_pages: usize, outer_pages: usize, spec: &JoinSpec) -> f64 {
+    if inner_pages == 0 || outer_pages == 0 {
+        // At least one input must still be read to discover it joins nothing.
+        return (inner_pages + outer_pages) as f64;
+    }
+    inner_pages as f64 + nbj_chunks(inner_pages, spec) as f64 * outer_pages as f64
+}
+
+/// NBJ cost with the cheaper of the two orientations (the executor also
+/// chooses the smaller relation as the chunked one).
+pub fn nbj_cost_best(pages_r: usize, pages_s: usize, spec: &JoinSpec) -> f64 {
+    nbj_cost(pages_r, pages_s, spec).min(nbj_cost(pages_s, pages_r, spec))
+}
+
+/// Number of recursive partitioning passes GHJ needs before the expected
+/// partition of the smaller relation fits in memory (`#pa-runs`).
+pub fn ghj_partition_passes(smaller_pages: usize, spec: &JoinSpec) -> usize {
+    let fan_out = (spec.buffer_pages.saturating_sub(1)).max(2) as f64;
+    let memory_capacity = (spec.buffer_pages.saturating_sub(2)) as f64 / spec.fudge;
+    let mut size = smaller_pages as f64;
+    let mut passes = 0usize;
+    while size > memory_capacity && passes < 64 {
+        size /= fan_out;
+        passes += 1;
+    }
+    passes
+}
+
+/// Normalized I/O cost of GHJ (Table 1, row 2).
+pub fn ghj_cost(pages_r: usize, pages_s: usize, spec: &JoinSpec) -> f64 {
+    let smaller = pages_r.min(pages_s);
+    let passes = ghj_partition_passes(smaller, spec) as f64;
+    (1.0 + passes * (1.0 + spec.mu())) * (pages_r + pages_s) as f64
+}
+
+/// Number of partially-sorted passes SMJ needs until the total run count fits
+/// a `B − 1`-way merge (`#s-passes`).
+pub fn smj_sort_passes(pages_r: usize, pages_s: usize, spec: &JoinSpec) -> usize {
+    let b = spec.buffer_pages.max(3);
+    // If both relations fit in memory together no external pass is needed.
+    if pages_r + pages_s <= b {
+        return 0;
+    }
+    let runs_r = pages_r.div_ceil(b).max(1);
+    let runs_s = pages_s.div_ceil(b).max(1);
+    let mut runs = runs_r + runs_s;
+    // Run generation is the first pass that writes data out.
+    let mut passes = 1usize;
+    let fan_in = (b - 1).max(2);
+    while runs > fan_in && passes < 64 {
+        runs = runs.div_ceil(fan_in);
+        passes += 1;
+    }
+    passes
+}
+
+/// Normalized I/O cost of SMJ (Table 1, row 3).
+pub fn smj_cost(pages_r: usize, pages_s: usize, spec: &JoinSpec) -> f64 {
+    let passes = smj_sort_passes(pages_r, pages_s, spec) as f64;
+    (1.0 + passes * (1.0 + spec.tau())) * (pages_r + pages_s) as f64
+}
+
+/// The light optimizer: returns the cheapest classical method for joining a
+/// pair of (sub-)relations of the given page counts, together with its
+/// estimated cost.
+pub fn best_partition_join(
+    pages_r: usize,
+    pages_s: usize,
+    spec: &JoinSpec,
+) -> (PartitionJoinMethod, f64) {
+    let candidates = [
+        (PartitionJoinMethod::Nbj, nbj_cost_best(pages_r, pages_s, spec)),
+        (PartitionJoinMethod::Ghj, ghj_cost(pages_r, pages_s, spec)),
+        (PartitionJoinMethod::Smj, smj_cost(pages_r, pages_s, spec)),
+    ];
+    candidates
+        .into_iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("three candidates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(buffer_pages: usize) -> JoinSpec {
+        JoinSpec::paper_synthetic(1024, buffer_pages)
+    }
+
+    #[test]
+    fn nbj_single_chunk_when_inner_fits() {
+        let s = spec(1000);
+        // inner of 500 pages fits in (1000-2)/1.02 ≈ 978 pages → one chunk.
+        assert_eq!(nbj_chunks(500, &s), 1);
+        assert!((nbj_cost(500, 2000, &s) - 2500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nbj_chunks_grow_as_memory_shrinks() {
+        let big = spec(1000);
+        let small = spec(100);
+        assert!(nbj_chunks(5000, &small) > nbj_chunks(5000, &big));
+        // #chunks ≈ ⌈5000 / (98 / 1.02)⌉ = ⌈52.04⌉ = 53
+        assert_eq!(nbj_chunks(5000, &small), 53);
+    }
+
+    #[test]
+    fn nbj_best_picks_cheaper_orientation() {
+        let s = spec(100);
+        let a = nbj_cost(5000, 100, &s);
+        let b = nbj_cost(100, 5000, &s);
+        assert!((nbj_cost_best(5000, 100, &s) - a.min(b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ghj_needs_no_pass_when_r_fits_in_memory() {
+        let s = spec(1000);
+        assert_eq!(ghj_partition_passes(900, &s), 0);
+        assert!((ghj_cost(900, 3000, &s) - 3900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ghj_single_pass_for_moderate_r() {
+        let s = spec(320);
+        // 250K pages of R: one partitioning pass gives partitions of
+        // ~250000/319 ≈ 784 pages — still > memory, so two passes.
+        assert_eq!(ghj_partition_passes(250_000, &s), 2);
+        // 50K pages → partitions of ~157 pages < 311 memory pages: one pass.
+        assert_eq!(ghj_partition_passes(50_000, &s), 1);
+    }
+
+    #[test]
+    fn smj_zero_passes_when_everything_fits() {
+        let s = spec(1000);
+        assert_eq!(smj_sort_passes(300, 600, &s), 0);
+        assert!((smj_cost(300, 600, &s) - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smj_one_pass_for_moderate_inputs() {
+        let s = spec(320);
+        // runs: ⌈250000/320⌉ + ⌈2000000/320⌉ = 782 + 6250 = 7032 > 319
+        // → needs a second (merge) pass.
+        assert_eq!(smj_sort_passes(250_000, 2_000_000, &s), 2);
+        // Small inputs: runs fit the fan-in after generation.
+        assert_eq!(smj_sort_passes(10_000, 20_000, &s), 1);
+    }
+
+    #[test]
+    fn ghj_and_smj_have_similar_io_but_differ_by_asymmetry() {
+        let s = spec(320);
+        let (r, sp) = (250_000, 2_000_000);
+        let ghj = ghj_cost(r, sp, &s);
+        let smj = smj_cost(r, sp, &s);
+        // Same number of passes over both relations; GHJ pays μ per written
+        // page while SMJ pays τ < μ, so SMJ's normalized I/O is slightly lower
+        // (the paper observes their #I/Os are nearly the same, with latency
+        // separating them through random reads).
+        assert_eq!(ghj_partition_passes(r, &s), smj_sort_passes(r, sp, &s));
+        assert!((ghj - smj).abs() / ghj < 0.05);
+        assert!(ghj > smj);
+    }
+
+    #[test]
+    fn light_optimizer_prefers_nbj_for_small_inner() {
+        let s = spec(320);
+        // Inner fits in memory: NBJ reads each input exactly once, beating
+        // any partitioning method.
+        let (method, cost) = best_partition_join(200, 5000, &s);
+        assert_eq!(method, PartitionJoinMethod::Nbj);
+        assert!((cost - 5200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn light_optimizer_never_picks_a_costlier_method() {
+        let s = spec(128);
+        for &(r, sp) in &[(50usize, 100usize), (5_000, 40_000), (100_000, 800_000)] {
+            let (_, best) = best_partition_join(r, sp, &s);
+            assert!(best <= nbj_cost_best(r, sp, &s) + 1e-9);
+            assert!(best <= ghj_cost(r, sp, &s) + 1e-9);
+            assert!(best <= smj_cost(r, sp, &s) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_cost_only_their_scan() {
+        let s = spec(64);
+        assert_eq!(nbj_cost(0, 100, &s), 100.0);
+        assert_eq!(nbj_cost(100, 0, &s), 100.0);
+        assert_eq!(ghj_cost(0, 0, &s), 0.0);
+    }
+}

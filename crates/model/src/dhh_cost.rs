@@ -1,0 +1,133 @@
+//! `g_DHH`: estimated extra I/O of joining the residual keys with a
+//! DHH/GHJ-style partitioner under a given memory budget.
+//!
+//! The NOCAP planner (Algorithm 10) splits the keys into three groups:
+//! cached in memory (`K_mem`), designated disk partitions (`K_disk`) and the
+//! rest (`K_rest`), which is handed to an ordinary dynamic-hybrid-hash
+//! partitioner with whatever pages are left (`m_rest`). To choose the split,
+//! the planner needs an estimate of how much that residual join will cost —
+//! this module provides it.
+//!
+//! The estimate counts only I/Os *beyond* the unavoidable single scan of both
+//! inputs (the same convention the planner uses for its other terms):
+//!
+//! * spilled R pages are written (μ) and read back once (1),
+//! * spilled S pages are written (μ) and read back once per probe pass,
+//! * the fraction of data that can stay staged in memory pays nothing.
+
+use crate::spec::JoinSpec;
+
+/// Estimated extra normalized I/O of joining `n_rest` residual R records
+/// (matching `s_rest` S records in total) with a DHH-style partitioner that
+/// may use `m_rest` buffer pages.
+///
+/// Returns 0 when the residual build side fits in memory entirely.
+pub fn g_dhh(n_rest: usize, s_rest: u64, spec: &JoinSpec, m_rest: usize) -> f64 {
+    if n_rest == 0 {
+        return 0.0;
+    }
+    let r_pages = spec.pages_r(n_rest) as f64;
+    let s_pages = (s_rest as usize).div_ceil(spec.b_s().max(1)) as f64;
+
+    // Whole residual build side fits in an in-memory hash table → the join
+    // happens on the fly while scanning, no extra I/O.
+    let ht_pages = spec.hash_table_pages(n_rest);
+    if m_rest >= ht_pages + 2 {
+        return 0.0;
+    }
+    if m_rest < 4 {
+        // Not even enough memory to partition: degenerate to block nested
+        // loops over the residual data.
+        let chunks = (r_pages * spec.fudge / (m_rest.max(3) - 2) as f64).ceil();
+        return chunks * s_pages;
+    }
+
+    // DHH partition-count heuristic applied to the residual keys with the
+    // residual budget.
+    let m_part_formula = ((r_pages * spec.fudge - m_rest as f64) / (m_rest as f64 - 1.0)).ceil();
+    let m_part = (m_part_formula.max(1.0) as usize)
+        .max(20)
+        .min(m_rest.saturating_sub(3).max(1));
+
+    // Pages that can stay staged in memory while partitioning.
+    let staged_pages = m_rest.saturating_sub(2 + m_part) as f64;
+    let spill_frac = (1.0 - staged_pages / (r_pages * spec.fudge)).clamp(0.0, 1.0);
+
+    let spilled_r = spill_frac * r_pages;
+    let spilled_s = spill_frac * s_pages;
+
+    // Probe passes per spilled partition. After partitioning the full budget
+    // is available again for the per-partition hash table.
+    let part_r_pages = spilled_r / m_part as f64;
+    let probe_capacity = (spec.buffer_pages.saturating_sub(2)) as f64 / spec.fudge;
+    let passes = if probe_capacity < 1.0 {
+        part_r_pages.max(1.0)
+    } else {
+        (part_r_pages / probe_capacity).ceil().max(1.0)
+    };
+
+    let mu = spec.mu();
+    (1.0 + mu) * spilled_r + mu * spilled_s + passes * spilled_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::JoinSpec;
+
+    fn spec(buffer_pages: usize) -> JoinSpec {
+        JoinSpec::paper_synthetic(1024, buffer_pages)
+    }
+
+    #[test]
+    fn zero_rest_keys_cost_nothing() {
+        assert_eq!(g_dhh(0, 0, &spec(128), 64), 0.0);
+    }
+
+    #[test]
+    fn in_memory_rest_costs_nothing() {
+        let s = spec(1024);
+        // 1000 records ≈ 334 pages; hash table ≈ 341 pages < 1000-page rest
+        // budget.
+        assert_eq!(g_dhh(1000, 8000, &s, 400), 0.0);
+    }
+
+    #[test]
+    fn cost_grows_as_rest_budget_shrinks() {
+        let s = spec(512);
+        let n_rest = 100_000;
+        let s_rest = 800_000u64;
+        let large = g_dhh(n_rest, s_rest, &s, 400);
+        let medium = g_dhh(n_rest, s_rest, &s, 128);
+        let small = g_dhh(n_rest, s_rest, &s, 32);
+        assert!(large <= medium);
+        assert!(medium <= small);
+        assert!(small > 0.0);
+    }
+
+    #[test]
+    fn cost_grows_with_data_size() {
+        let s = spec(256);
+        let a = g_dhh(50_000, 400_000, &s, 128);
+        let b = g_dhh(200_000, 1_600_000, &s, 128);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn spill_cost_reflects_write_asymmetry() {
+        let cheap_writes = spec(256);
+        let expensive_writes =
+            spec(256).with_device(nocap_storage::DeviceProfile::ssd_sync());
+        let a = g_dhh(100_000, 800_000, &cheap_writes, 64);
+        let b = g_dhh(100_000, 800_000, &expensive_writes, 64);
+        assert!(b > a, "higher μ must increase the estimated spill cost");
+    }
+
+    #[test]
+    fn degenerate_budget_still_returns_finite_cost() {
+        let s = spec(64);
+        let cost = g_dhh(10_000, 80_000, &s, 3);
+        assert!(cost.is_finite());
+        assert!(cost > 0.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # nocap-model
+//!
+//! Analytic machinery shared by the OCAP/NOCAP algorithms and the baseline
+//! joins:
+//!
+//! * [`spec`] — [`JoinSpec`]: the join's geometry (page size, record sizes,
+//!   memory budget *B*, fudge factor *F*, device asymmetry μ/τ) and the
+//!   derived quantities the paper reasons in (`b_R`, `b_S`, `c_R`, `‖R‖`,
+//!   `‖S‖`).
+//! * [`ct`] — [`CorrelationTable`]: the per-primary-key match counts
+//!   (`CT[i]` = number of S records matching the i-th R record), kept sorted
+//!   with prefix sums for O(1) range queries.
+//! * [`partitioning`] — [`Partitioning`]: an explicit assignment of
+//!   CT-sorted records to partitions, the per-partition join cost `CalCost`
+//!   of §3.1.3, and checkers for the three properties of Theorem 3.1
+//!   (consecutive, weakly-ordered, divisible).
+//! * [`classic_cost`] — the Table 1 estimators for NBJ, GHJ and SMJ, plus
+//!   the "light optimizer" that picks the cheapest method for each
+//!   partition-wise join.
+//! * [`hash_cost`] — `g_PH` (plain hash) and `g_RH` (rounded hash, §4.2)
+//!   including the Chernoff-bound overflow correction.
+//! * [`dhh_cost`] — `g_DHH`: the estimated extra I/O of handing the residual
+//!   (non-MCV) keys to a DHH/GHJ-style partitioner with a given budget.
+//!
+//! Costs in this crate are *estimates* expressed in normalized page I/Os
+//! (one sequential page read = 1). The executors in `nocap` and
+//! `nocap-joins` produce measured [`IoStats`](nocap_storage::IoStats) that
+//! the experiments compare against these estimates.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod classic_cost;
+pub mod ct;
+pub mod dhh_cost;
+pub mod hash_cost;
+pub mod pairwise;
+pub mod partitioning;
+pub mod report;
+pub mod spec;
+
+pub use classic_cost::{best_partition_join, ghj_cost, nbj_cost, smj_cost, PartitionJoinMethod};
+pub use ct::CorrelationTable;
+pub use dhh_cost::g_dhh;
+pub use hash_cost::{g_ph, g_rh, rounded_passes, RoundedHashParams};
+pub use partitioning::{cal_cost, Partitioning};
+pub use report::JoinRunReport;
+pub use spec::JoinSpec;

@@ -1,0 +1,285 @@
+//! Partition-wise join execution shared by every partitioning algorithm.
+//!
+//! After the partitioning phase, GHJ, DHH, Histojoin and NOCAP all face the
+//! same sub-problem: join one spilled R partition with the corresponding S
+//! partition. Following the paper (§3.1.1), the partition-wise join is
+//! executed as a Nested Block Join — the light optimizer of Table 1 almost
+//! always selects NBJ for these sub-joins because writing anything back to
+//! disk (as GHJ/SMJ would) costs μ/τ-weighted I/Os.
+//!
+//! [`nbj_partition_join`] loads the R partition chunk-by-chunk into an
+//! in-memory hash table sized to the full buffer budget and scans the S
+//! partition once per chunk, which reproduces the
+//! `⌈‖R_j‖·F/(B−2)⌉ · ‖S_j‖` term of the cost model exactly.
+
+use nocap_storage::{IoKind, JoinHashTable, PartitionHandle, Record};
+
+use crate::report::JoinRunReport;
+use crate::spec::JoinSpec;
+
+/// Joins one spilled partition pair with chunk-wise NBJ.
+///
+/// Returns the number of output tuples produced. Page reads are charged to
+/// `report.probe_io` through the device the handles live on; the caller is
+/// responsible for snapshotting device stats into the report.
+pub fn nbj_partition_join(
+    r_partition: &PartitionHandle,
+    s_partition: &PartitionHandle,
+    spec: &JoinSpec,
+    mut on_output: impl FnMut(&Record, &Record),
+) -> nocap_storage::Result<u64> {
+    if r_partition.is_empty() || s_partition.is_empty() {
+        return Ok(0);
+    }
+    // Chunk capacity: all pages except one input page and one output page,
+    // deflated by the fudge factor.
+    let chunk_records = JoinHashTable::capacity_for_pages(
+        spec.buffer_pages.saturating_sub(2).max(1),
+        spec.r_layout,
+        spec.page_size,
+        spec.fudge,
+    )
+    .max(1);
+
+    let mut output = 0u64;
+    let mut reader = r_partition.read(IoKind::SeqRead);
+    loop {
+        // Load the next chunk of R into a hash table.
+        let mut table = JoinHashTable::new(spec.r_layout, spec.page_size, spec.fudge);
+        let mut loaded = 0usize;
+        for rec in reader.by_ref() {
+            table.insert(rec?);
+            loaded += 1;
+            if loaded == chunk_records {
+                break;
+            }
+        }
+        if table.is_empty() {
+            break;
+        }
+        // Scan S once for this chunk.
+        for s_rec in s_partition.read(IoKind::SeqRead) {
+            let s_rec = s_rec?;
+            for r_rec in table.probe(s_rec.key()) {
+                on_output(r_rec, &s_rec);
+                output += 1;
+            }
+        }
+        if loaded < chunk_records {
+            break;
+        }
+    }
+    Ok(output)
+}
+
+/// Convenience wrapper: joins a list of partition pairs, accumulating output
+/// counts into `report.output_records`.
+pub fn join_partition_pairs(
+    pairs: &[(PartitionHandle, PartitionHandle)],
+    spec: &JoinSpec,
+    report: &mut JoinRunReport,
+) -> nocap_storage::Result<()> {
+    for (r_part, s_part) in pairs {
+        report.output_records += nbj_partition_join(r_part, s_part, spec, |_, _| {})?;
+    }
+    Ok(())
+}
+
+/// SplitMix64 with a per-recursion-level salt so nested re-partitioning uses
+/// an independent hash function from the one that produced the partition.
+fn level_hash(key: u64, level: u32) -> u64 {
+    let mut z = key
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((level as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The paper's light optimizer applied to one spilled partition pair:
+/// join with chunk-wise NBJ, or — when the estimated Table 1 cost says
+/// another partitioning pass is cheaper (the regime below `√(F·‖R‖)`) —
+/// re-partition the pair recursively first, exactly as GHJ/DHH downgrade to
+/// Grace-style recursion.
+pub fn smart_partition_join(
+    r_partition: &PartitionHandle,
+    s_partition: &PartitionHandle,
+    spec: &JoinSpec,
+    depth: u32,
+) -> nocap_storage::Result<u64> {
+    const MAX_DEPTH: u32 = 4;
+    if r_partition.is_empty() || s_partition.is_empty() {
+        return Ok(0);
+    }
+    let fits = JoinHashTable::pages_for(
+        r_partition.records(),
+        spec.r_layout,
+        spec.page_size,
+        spec.fudge,
+    ) + 2
+        <= spec.buffer_pages;
+    if fits || depth >= MAX_DEPTH {
+        return nbj_partition_join(r_partition, s_partition, spec, |_, _| {});
+    }
+    let nbj = crate::classic_cost::nbj_cost_best(r_partition.pages(), s_partition.pages(), spec);
+    let ghj = crate::classic_cost::ghj_cost(r_partition.pages(), s_partition.pages(), spec);
+    if nbj <= ghj {
+        return nbj_partition_join(r_partition, s_partition, spec, |_, _| {});
+    }
+    // Re-partition both sides and recurse.
+    let device = r_partition.device().clone();
+    let m = spec.buffer_pages.saturating_sub(1).max(2);
+    let repartition = |handle: &PartitionHandle| -> nocap_storage::Result<Vec<PartitionHandle>> {
+        let mut writers: Vec<Option<nocap_storage::PartitionWriter>> = (0..m).map(|_| None).collect();
+        let mut layout = None;
+        for rec in handle.read(IoKind::SeqRead) {
+            let rec = rec?;
+            layout.get_or_insert(rec.layout());
+            let p = (level_hash(rec.key(), depth) % m as u64) as usize;
+            let writer = writers[p].get_or_insert_with(|| {
+                nocap_storage::PartitionWriter::new(
+                    device.clone(),
+                    rec.layout(),
+                    spec.page_size,
+                    IoKind::RandWrite,
+                )
+            });
+            writer.push(&rec)?;
+        }
+        let layout = layout.unwrap_or(spec.r_layout);
+        writers
+            .into_iter()
+            .map(|w| match w {
+                Some(w) => w.finish(),
+                None => nocap_storage::PartitionWriter::new(
+                    device.clone(),
+                    layout,
+                    spec.page_size,
+                    IoKind::RandWrite,
+                )
+                .finish(),
+            })
+            .collect()
+    };
+    let r_sub = repartition(r_partition)?;
+    let s_sub = repartition(s_partition)?;
+    let mut output = 0u64;
+    for (rp, sp) in r_sub.iter().zip(s_sub.iter()) {
+        output += smart_partition_join(rp, sp, spec, depth + 1)?;
+    }
+    for h in r_sub.into_iter().chain(s_sub) {
+        h.delete()?;
+    }
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocap_storage::{PartitionWriter, RecordLayout, SimDevice};
+
+    fn make_partition(
+        device: nocap_storage::device::DeviceRef,
+        keys: &[u64],
+        payload: usize,
+    ) -> PartitionHandle {
+        let mut w = PartitionWriter::new(device, RecordLayout::new(payload), 4096, IoKind::RandWrite);
+        for &k in keys {
+            w.push(&Record::with_fill(k, payload, 0)).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn joins_matching_keys() {
+        let dev = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(64, 64);
+        let r = make_partition(dev.clone(), &[1, 2, 3, 4], 56);
+        let s = make_partition(dev.clone(), &[2, 2, 3, 9, 9], 56);
+        let out = nbj_partition_join(&r, &s, &spec, |_, _| {}).unwrap();
+        assert_eq!(out, 3); // key 2 twice + key 3 once
+    }
+
+    #[test]
+    fn multiple_chunks_scan_s_repeatedly() {
+        let dev = SimDevice::new_ref();
+        // Tiny budget: 4 pages → chunk of ~2 pages of R.
+        let spec = JoinSpec::paper_synthetic(512, 4);
+        let r_keys: Vec<u64> = (0..200).collect();
+        let s_keys: Vec<u64> = (0..200).collect();
+        let r = make_partition(dev.clone(), &r_keys, 504);
+        let s = make_partition(dev.clone(), &s_keys, 504);
+        dev.reset_stats();
+        let out = nbj_partition_join(&r, &s, &spec, |_, _| {}).unwrap();
+        assert_eq!(out, 200);
+        // S must have been read more than once.
+        let s_pages = s.pages() as u64;
+        assert!(dev.stats().seq_reads > r.pages() as u64 + s_pages);
+    }
+
+    #[test]
+    fn empty_partitions_produce_no_output_and_no_io() {
+        let dev = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(64, 16);
+        let r = make_partition(dev.clone(), &[], 56);
+        let s = make_partition(dev.clone(), &[1, 2], 56);
+        dev.reset_stats();
+        assert_eq!(nbj_partition_join(&r, &s, &spec, |_, _| {}).unwrap(), 0);
+        assert_eq!(dev.stats().total(), 0);
+    }
+
+    #[test]
+    fn smart_join_recursively_repartitions_when_cheaper() {
+        // A partition pair far larger than the memory budget: chunk-wise NBJ
+        // would need many passes over S, so the smart join should
+        // re-partition and end up cheaper.
+        let dev = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(64, 16);
+        let keys: Vec<u64> = (0..20_000).collect();
+        let r = make_partition(dev.clone(), &keys, 56);
+        let s = make_partition(dev.clone(), &keys, 56);
+
+        dev.reset_stats();
+        let nbj_out = nbj_partition_join(&r, &s, &spec, |_, _| {}).unwrap();
+        let nbj_ios = dev.stats().total();
+
+        dev.reset_stats();
+        let smart_out = smart_partition_join(&r, &s, &spec, 1).unwrap();
+        let smart_ios = dev.stats().total();
+
+        assert_eq!(nbj_out, 20_000);
+        assert_eq!(smart_out, 20_000);
+        assert!(
+            smart_ios < nbj_ios,
+            "recursive re-partitioning should beat multi-pass NBJ ({smart_ios} vs {nbj_ios})"
+        );
+    }
+
+    #[test]
+    fn smart_join_equals_nbj_when_the_partition_fits() {
+        let dev = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(64, 64);
+        let r = make_partition(dev.clone(), &[1, 2, 3], 56);
+        let s = make_partition(dev.clone(), &[1, 3, 3, 7], 56);
+        assert_eq!(smart_partition_join(&r, &s, &spec, 1).unwrap(), 3);
+    }
+
+    #[test]
+    fn join_partition_pairs_accumulates_output() {
+        let dev = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(64, 32);
+        let pairs = vec![
+            (
+                make_partition(dev.clone(), &[1, 2], 56),
+                make_partition(dev.clone(), &[1, 1], 56),
+            ),
+            (
+                make_partition(dev.clone(), &[5], 56),
+                make_partition(dev.clone(), &[5, 5, 5], 56),
+            ),
+        ];
+        let mut report = JoinRunReport::new("pairwise-test");
+        join_partition_pairs(&pairs, &spec, &mut report).unwrap();
+        assert_eq!(report.output_records, 5);
+    }
+}

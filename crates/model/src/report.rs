@@ -1,0 +1,85 @@
+//! Shared run report produced by every join executor.
+//!
+//! Both the baseline joins (`nocap-joins`) and NOCAP itself (`nocap`) return
+//! a [`JoinRunReport`] so the experiment harness can tabulate #I/Os, derived
+//! latency and output cardinality uniformly — the three columns every figure
+//! of the paper is built from.
+
+use nocap_storage::{DeviceProfile, IoStats};
+
+/// Result of executing one join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinRunReport {
+    /// Human-readable algorithm name ("NOCAP", "DHH", "GHJ", …).
+    pub algorithm: String,
+    /// Number of joined output tuples produced.
+    pub output_records: u64,
+    /// I/Os performed during the partitioning (build-side) phase.
+    pub partition_io: IoStats,
+    /// I/Os performed during the probe / partition-wise join phase.
+    pub probe_io: IoStats,
+    /// Wall-clock seconds spent in CPU work as measured by the executor
+    /// (hashing, sorting, probing). Reported separately because the paper's
+    /// TPC-H discussion distinguishes I/O time from total time.
+    pub cpu_seconds: f64,
+}
+
+impl JoinRunReport {
+    /// Creates an empty report for the given algorithm.
+    pub fn new(algorithm: impl Into<String>) -> Self {
+        JoinRunReport {
+            algorithm: algorithm.into(),
+            output_records: 0,
+            partition_io: IoStats::new(),
+            probe_io: IoStats::new(),
+            cpu_seconds: 0.0,
+        }
+    }
+
+    /// Total I/O trace of the run.
+    pub fn total_io(&self) -> IoStats {
+        self.partition_io.plus(&self.probe_io)
+    }
+
+    /// Total number of page I/Os (the paper's "#I/Os" metric).
+    pub fn total_ios(&self) -> u64 {
+        self.total_io().total()
+    }
+
+    /// Estimated I/O latency in seconds under the given device profile.
+    pub fn io_latency_secs(&self, device: &DeviceProfile) -> f64 {
+        device.trace_latency_secs(&self.total_io())
+    }
+
+    /// Estimated total latency (I/O + measured CPU time) in seconds.
+    pub fn total_latency_secs(&self, device: &DeviceProfile) -> f64 {
+        self.io_latency_secs(device) + self.cpu_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocap_storage::IoKind;
+
+    #[test]
+    fn totals_combine_both_phases() {
+        let mut report = JoinRunReport::new("TEST");
+        report.partition_io.record_many(IoKind::RandWrite, 10);
+        report.probe_io.record_many(IoKind::SeqRead, 30);
+        assert_eq!(report.total_ios(), 40);
+        assert_eq!(report.total_io().rand_writes, 10);
+        assert_eq!(report.total_io().seq_reads, 30);
+    }
+
+    #[test]
+    fn latency_adds_cpu_time() {
+        let mut report = JoinRunReport::new("TEST");
+        report.probe_io.record_many(IoKind::SeqRead, 1000);
+        report.cpu_seconds = 0.5;
+        let dev = DeviceProfile::ssd_no_sync();
+        let io_only = report.io_latency_secs(&dev);
+        assert!(io_only > 0.0);
+        assert!((report.total_latency_secs(&dev) - (io_only + 0.5)).abs() < 1e-12);
+    }
+}

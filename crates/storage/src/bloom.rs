@@ -1,0 +1,162 @@
+//! A blocked Bloom filter over join keys.
+//!
+//! §6 of the paper discusses sideways information passing (SIP): while
+//! partitioning R, build a Bloom filter over its join keys and consult it
+//! while partitioning S, so that S records without a partner are dropped
+//! immediately instead of being spilled and re-read. The filter itself is a
+//! classic k-hash-function bit array; its memory footprint is reported in
+//! pages so the executor can charge it against the buffer budget.
+
+use crate::page::DEFAULT_PAGE_SIZE;
+
+/// A Bloom filter keyed by `u64` join keys.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    num_hashes: u32,
+    inserted: usize,
+}
+
+impl BloomFilter {
+    /// Creates a filter sized for `expected_keys` keys at the given
+    /// false-positive rate (clamped to `[1e-6, 0.5]`).
+    pub fn with_rate(expected_keys: usize, false_positive_rate: f64) -> Self {
+        let rate = false_positive_rate.clamp(1e-6, 0.5);
+        let n = expected_keys.max(1) as f64;
+        let num_bits = (-(n * rate.ln()) / (std::f64::consts::LN_2.powi(2))).ceil() as u64;
+        let num_bits = num_bits.max(64);
+        let num_hashes = ((num_bits as f64 / n) * std::f64::consts::LN_2).round().max(1.0) as u32;
+        BloomFilter {
+            bits: vec![0u64; (num_bits as usize).div_ceil(64)],
+            num_bits,
+            num_hashes: num_hashes.min(16),
+            inserted: 0,
+        }
+    }
+
+    /// Creates a filter that fits in `pages` pages of the given size,
+    /// choosing the number of hash functions for `expected_keys` keys.
+    pub fn with_page_budget(expected_keys: usize, pages: usize, page_size: usize) -> Self {
+        let num_bits = ((pages.max(1) * page_size.max(64)) * 8) as u64;
+        let n = expected_keys.max(1) as f64;
+        let num_hashes = ((num_bits as f64 / n) * std::f64::consts::LN_2)
+            .round()
+            .clamp(1.0, 16.0) as u32;
+        BloomFilter {
+            bits: vec![0u64; (num_bits as usize).div_ceil(64)],
+            num_bits,
+            num_hashes,
+            inserted: 0,
+        }
+    }
+
+    /// Number of keys inserted so far.
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Size of the filter in bits.
+    pub fn num_bits(&self) -> u64 {
+        self.num_bits
+    }
+
+    /// Number of buffer-pool pages the filter occupies (rounded up).
+    pub fn pages(&self) -> usize {
+        (self.bits.len() * 8).div_ceil(DEFAULT_PAGE_SIZE).max(1)
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: u64) {
+        let (h1, h2) = Self::hashes(key);
+        for i in 0..self.num_hashes {
+            let bit = h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.num_bits;
+            self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Returns `false` if the key was definitely never inserted; `true` means
+    /// "probably present".
+    pub fn may_contain(&self, key: u64) -> bool {
+        let (h1, h2) = Self::hashes(key);
+        (0..self.num_hashes).all(|i| {
+            let bit = h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.num_bits;
+            self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    /// Measured fill ratio of the bit array (diagnostic).
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u64 = self.bits.iter().map(|w| w.count_ones() as u64).sum();
+        set as f64 / self.num_bits as f64
+    }
+
+    fn hashes(key: u64) -> (u64, u64) {
+        // Two independent SplitMix64 streams.
+        let mut a = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        a = (a ^ (a >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        a = (a ^ (a >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        a ^= a >> 31;
+        let mut b = key.wrapping_add(0xD1B5_4A32_D192_ED03);
+        b = (b ^ (b >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        b = (b ^ (b >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        b ^= b >> 33;
+        (a, b | 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::with_rate(10_000, 0.01);
+        for k in 0..10_000u64 {
+            bf.insert(k * 7 + 3);
+        }
+        for k in 0..10_000u64 {
+            assert!(bf.may_contain(k * 7 + 3), "inserted key must always hit");
+        }
+        assert_eq!(bf.inserted(), 10_000);
+    }
+
+    #[test]
+    fn false_positive_rate_is_roughly_as_configured() {
+        let mut bf = BloomFilter::with_rate(20_000, 0.01);
+        for k in 0..20_000u64 {
+            bf.insert(k);
+        }
+        let false_positives = (1_000_000u64..1_050_000)
+            .filter(|&k| bf.may_contain(k))
+            .count();
+        let rate = false_positives as f64 / 50_000.0;
+        assert!(rate < 0.05, "observed false-positive rate {rate} far above target");
+    }
+
+    #[test]
+    fn page_budget_constructor_respects_the_budget() {
+        let bf = BloomFilter::with_page_budget(100_000, 4, 4096);
+        assert!(bf.pages() <= 4);
+        assert_eq!(bf.num_bits(), 4 * 4096 * 8);
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let bf = BloomFilter::with_rate(100, 0.01);
+        assert!(!bf.may_contain(42));
+        assert_eq!(bf.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn fill_ratio_grows_with_insertions() {
+        let mut bf = BloomFilter::with_rate(1_000, 0.05);
+        let before = bf.fill_ratio();
+        for k in 0..1_000u64 {
+            bf.insert(k);
+        }
+        assert!(bf.fill_ratio() > before);
+        assert!(bf.fill_ratio() < 0.9, "a correctly sized filter is not saturated");
+    }
+}

@@ -1,0 +1,459 @@
+//! Block devices: where pages live and where I/Os are counted.
+//!
+//! All join algorithms in this reproduction access storage exclusively
+//! through the [`BlockDevice`] trait, so the I/O trace they generate is
+//! observable regardless of where the bytes actually go. Two implementations
+//! are provided:
+//!
+//! * [`SimDevice`] — keeps pages in memory and only counts I/Os. This is the
+//!   device used by every experiment: it makes the full parameter sweeps of
+//!   the paper feasible on a laptop while producing exactly the I/O counts
+//!   the paper's cost model reasons about.
+//! * [`FileDevice`] — writes pages to real files under a temporary
+//!   directory. Used by examples that want to demonstrate the algorithms on
+//!   an actual filesystem.
+//!
+//! Devices are shared by value as [`DeviceRef`] (an `Rc`), with interior
+//! mutability inside each implementation; the join code is single-threaded,
+//! mirroring the single join operator of the paper.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use crate::iostats::{IoKind, IoStats};
+use crate::page::Page;
+use crate::{Result, StorageError};
+
+/// Identifier of a file (a growable sequence of pages) on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u64);
+
+/// Shared handle to a block device.
+pub type DeviceRef = Rc<dyn BlockDevice>;
+
+/// A device that stores files made of fixed-size pages and counts every I/O.
+pub trait BlockDevice {
+    /// Creates a new, empty file and returns its id.
+    fn create_file(&self) -> FileId;
+
+    /// Number of pages currently stored in `file`.
+    fn file_pages(&self, file: FileId) -> Result<usize>;
+
+    /// Appends a page to `file`, counting one I/O of the given kind.
+    /// Returns the index of the newly written page.
+    fn append_page(&self, file: FileId, page: &Page, kind: IoKind) -> Result<usize>;
+
+    /// Reads the page at `index` from `file`, counting one I/O of the given
+    /// kind.
+    fn read_page(&self, file: FileId, index: usize, kind: IoKind) -> Result<Page>;
+
+    /// Deletes `file` and releases its pages. Deleting an unknown file is an
+    /// error; deletion itself is not counted as I/O (the paper's cost model
+    /// ignores deallocation).
+    fn delete_file(&self, file: FileId) -> Result<()>;
+
+    /// Snapshot of the I/O counters.
+    fn stats(&self) -> IoStats;
+
+    /// Resets the I/O counters to zero (files are kept).
+    fn reset_stats(&self);
+}
+
+// ---------------------------------------------------------------------------
+// SimDevice
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct SimState {
+    files: HashMap<FileId, Vec<Page>>,
+    next_id: u64,
+    stats: IoStats,
+}
+
+/// In-memory block device with exact I/O accounting.
+///
+/// This is the storage substitute for the paper's SSD: algorithms perform
+/// the same page-granular reads and writes they would against a disk, and
+/// the device records how many of each kind happened. Latency is derived
+/// from the trace via [`DeviceProfile`](crate::DeviceProfile).
+#[derive(Default)]
+pub struct SimDevice {
+    state: RefCell<SimState>,
+}
+
+impl SimDevice {
+    /// Creates an empty simulated device.
+    pub fn new() -> Self {
+        SimDevice::default()
+    }
+
+    /// Creates an empty simulated device already wrapped in a [`DeviceRef`].
+    pub fn new_ref() -> DeviceRef {
+        Rc::new(SimDevice::new())
+    }
+
+    /// Total number of pages currently stored across all files (useful for
+    /// asserting that temporary files were cleaned up).
+    pub fn resident_pages(&self) -> usize {
+        self.state
+            .borrow()
+            .files
+            .values()
+            .map(|pages| pages.len())
+            .sum()
+    }
+
+    /// Number of live (not yet deleted) files.
+    pub fn live_files(&self) -> usize {
+        self.state.borrow().files.len()
+    }
+}
+
+impl BlockDevice for SimDevice {
+    fn create_file(&self) -> FileId {
+        let mut st = self.state.borrow_mut();
+        let id = FileId(st.next_id);
+        st.next_id += 1;
+        st.files.insert(id, Vec::new());
+        id
+    }
+
+    fn file_pages(&self, file: FileId) -> Result<usize> {
+        self.state
+            .borrow()
+            .files
+            .get(&file)
+            .map(|pages| pages.len())
+            .ok_or(StorageError::UnknownFile(file))
+    }
+
+    fn append_page(&self, file: FileId, page: &Page, kind: IoKind) -> Result<usize> {
+        let mut st = self.state.borrow_mut();
+        st.stats.record(kind);
+        let pages = st
+            .files
+            .get_mut(&file)
+            .ok_or(StorageError::UnknownFile(file))?;
+        pages.push(page.clone());
+        Ok(pages.len() - 1)
+    }
+
+    fn read_page(&self, file: FileId, index: usize, kind: IoKind) -> Result<Page> {
+        let mut st = self.state.borrow_mut();
+        st.stats.record(kind);
+        let pages = st.files.get(&file).ok_or(StorageError::UnknownFile(file))?;
+        pages
+            .get(index)
+            .cloned()
+            .ok_or(StorageError::PageOutOfBounds {
+                index,
+                len: pages.len(),
+            })
+    }
+
+    fn delete_file(&self, file: FileId) -> Result<()> {
+        let mut st = self.state.borrow_mut();
+        st.files
+            .remove(&file)
+            .map(|_| ())
+            .ok_or(StorageError::UnknownFile(file))
+    }
+
+    fn stats(&self) -> IoStats {
+        self.state.borrow().stats
+    }
+
+    fn reset_stats(&self) {
+        self.state.borrow_mut().stats = IoStats::new();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FileDevice
+// ---------------------------------------------------------------------------
+
+struct FileMeta {
+    path: PathBuf,
+    page_size: usize,
+    pages: usize,
+}
+
+struct FileState {
+    files: HashMap<FileId, FileMeta>,
+    next_id: u64,
+    stats: IoStats,
+}
+
+/// A block device backed by real files in a temporary directory.
+///
+/// The I/O accounting is identical to [`SimDevice`]; in addition every page
+/// append/read is materialized with actual `write`/`read` system calls so
+/// the examples can be pointed at a real disk.
+pub struct FileDevice {
+    dir: PathBuf,
+    state: RefCell<FileState>,
+    remove_dir_on_drop: bool,
+}
+
+impl FileDevice {
+    /// Creates a device rooted at a fresh directory under the system
+    /// temporary directory.
+    pub fn new_temp() -> Result<Self> {
+        let mut dir = std::env::temp_dir();
+        let unique = format!(
+            "nocap-device-{}-{:?}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        );
+        dir.push(unique);
+        fs::create_dir_all(&dir).map_err(|e| StorageError::Io(e.to_string()))?;
+        Ok(FileDevice {
+            dir,
+            state: RefCell::new(FileState {
+                files: HashMap::new(),
+                next_id: 0,
+                stats: IoStats::new(),
+            }),
+            remove_dir_on_drop: true,
+        })
+    }
+
+    /// Creates a device rooted at `dir` (which must exist). Files are still
+    /// deleted individually through [`BlockDevice::delete_file`], but the
+    /// directory itself is left alone on drop.
+    pub fn at_dir(dir: PathBuf) -> Result<Self> {
+        if !dir.is_dir() {
+            return Err(StorageError::Io(format!(
+                "{} is not a directory",
+                dir.display()
+            )));
+        }
+        Ok(FileDevice {
+            dir,
+            state: RefCell::new(FileState {
+                files: HashMap::new(),
+                next_id: 0,
+                stats: IoStats::new(),
+            }),
+            remove_dir_on_drop: false,
+        })
+    }
+
+    /// Directory the device stores its files in.
+    pub fn dir(&self) -> &PathBuf {
+        &self.dir
+    }
+
+    fn file_path(&self, id: FileId) -> PathBuf {
+        self.dir.join(format!("file-{}.pages", id.0))
+    }
+}
+
+impl Drop for FileDevice {
+    fn drop(&mut self) {
+        if self.remove_dir_on_drop {
+            let _ = fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+impl BlockDevice for FileDevice {
+    fn create_file(&self) -> FileId {
+        let mut st = self.state.borrow_mut();
+        let id = FileId(st.next_id);
+        st.next_id += 1;
+        st.files.insert(
+            id,
+            FileMeta {
+                path: self.file_path(id),
+                page_size: 0,
+                pages: 0,
+            },
+        );
+        id
+    }
+
+    fn file_pages(&self, file: FileId) -> Result<usize> {
+        self.state
+            .borrow()
+            .files
+            .get(&file)
+            .map(|m| m.pages)
+            .ok_or(StorageError::UnknownFile(file))
+    }
+
+    fn append_page(&self, file: FileId, page: &Page, kind: IoKind) -> Result<usize> {
+        let mut st = self.state.borrow_mut();
+        st.stats.record(kind);
+        let meta = st
+            .files
+            .get_mut(&file)
+            .ok_or(StorageError::UnknownFile(file))?;
+        if meta.pages == 0 {
+            meta.page_size = page.size();
+        } else if meta.page_size != page.size() {
+            return Err(StorageError::Io(format!(
+                "file {file:?} stores {}-byte pages, got a {}-byte page",
+                meta.page_size,
+                page.size()
+            )));
+        }
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&meta.path)
+            .map_err(|e| StorageError::Io(e.to_string()))?;
+        f.write_all(page.as_bytes())
+            .map_err(|e| StorageError::Io(e.to_string()))?;
+        meta.pages += 1;
+        Ok(meta.pages - 1)
+    }
+
+    fn read_page(&self, file: FileId, index: usize, kind: IoKind) -> Result<Page> {
+        let mut st = self.state.borrow_mut();
+        st.stats.record(kind);
+        let meta = st.files.get(&file).ok_or(StorageError::UnknownFile(file))?;
+        if index >= meta.pages {
+            return Err(StorageError::PageOutOfBounds {
+                index,
+                len: meta.pages,
+            });
+        }
+        let mut f =
+            fs::File::open(&meta.path).map_err(|e| StorageError::Io(e.to_string()))?;
+        f.seek(SeekFrom::Start((index * meta.page_size) as u64))
+            .map_err(|e| StorageError::Io(e.to_string()))?;
+        let mut buf = vec![0u8; meta.page_size];
+        f.read_exact(&mut buf)
+            .map_err(|e| StorageError::Io(e.to_string()))?;
+        Page::from_bytes(buf)
+    }
+
+    fn delete_file(&self, file: FileId) -> Result<()> {
+        let mut st = self.state.borrow_mut();
+        let meta = st
+            .files
+            .remove(&file)
+            .ok_or(StorageError::UnknownFile(file))?;
+        if meta.path.exists() {
+            fs::remove_file(&meta.path).map_err(|e| StorageError::Io(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    fn stats(&self) -> IoStats {
+        self.state.borrow().stats
+    }
+
+    fn reset_stats(&self) {
+        self.state.borrow_mut().stats = IoStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Record, RecordLayout};
+
+    fn page_with(keys: &[u64]) -> Page {
+        let mut p = Page::empty(256, RecordLayout::new(8));
+        for &k in keys {
+            assert!(p.push(&Record::with_fill(k, 8, 0)).unwrap());
+        }
+        p
+    }
+
+    #[test]
+    fn sim_device_append_read_roundtrip() {
+        let dev = SimDevice::new();
+        let f = dev.create_file();
+        let idx = dev.append_page(f, &page_with(&[1, 2, 3]), IoKind::RandWrite).unwrap();
+        assert_eq!(idx, 0);
+        let p = dev.read_page(f, 0, IoKind::SeqRead).unwrap();
+        let keys: Vec<u64> = p.records().map(|r| r.key()).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+        assert_eq!(dev.file_pages(f).unwrap(), 1);
+    }
+
+    #[test]
+    fn sim_device_counts_every_io() {
+        let dev = SimDevice::new();
+        let f = dev.create_file();
+        for _ in 0..4 {
+            dev.append_page(f, &page_with(&[7]), IoKind::RandWrite).unwrap();
+        }
+        for i in 0..4 {
+            dev.read_page(f, i, IoKind::SeqRead).unwrap();
+        }
+        let s = dev.stats();
+        assert_eq!(s.rand_writes, 4);
+        assert_eq!(s.seq_reads, 4);
+        assert_eq!(s.total(), 8);
+        dev.reset_stats();
+        assert_eq!(dev.stats().total(), 0);
+    }
+
+    #[test]
+    fn sim_device_unknown_file_errors() {
+        let dev = SimDevice::new();
+        assert!(matches!(
+            dev.file_pages(FileId(99)),
+            Err(StorageError::UnknownFile(_))
+        ));
+        assert!(dev.delete_file(FileId(99)).is_err());
+    }
+
+    #[test]
+    fn sim_device_out_of_bounds_read_errors() {
+        let dev = SimDevice::new();
+        let f = dev.create_file();
+        assert!(matches!(
+            dev.read_page(f, 0, IoKind::SeqRead),
+            Err(StorageError::PageOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn sim_device_delete_releases_pages() {
+        let dev = SimDevice::new();
+        let f = dev.create_file();
+        dev.append_page(f, &page_with(&[1]), IoKind::RandWrite).unwrap();
+        assert_eq!(dev.resident_pages(), 1);
+        dev.delete_file(f).unwrap();
+        assert_eq!(dev.resident_pages(), 0);
+        assert_eq!(dev.live_files(), 0);
+    }
+
+    #[test]
+    fn file_device_roundtrip_and_cleanup() {
+        let dev = FileDevice::new_temp().unwrap();
+        let dir = dev.dir().clone();
+        let f = dev.create_file();
+        dev.append_page(f, &page_with(&[10, 20]), IoKind::SeqWrite).unwrap();
+        dev.append_page(f, &page_with(&[30]), IoKind::SeqWrite).unwrap();
+        assert_eq!(dev.file_pages(f).unwrap(), 2);
+        let p = dev.read_page(f, 1, IoKind::SeqRead).unwrap();
+        assert_eq!(p.records().map(|r| r.key()).collect::<Vec<_>>(), vec![30]);
+        assert_eq!(dev.stats().seq_writes, 2);
+        assert_eq!(dev.stats().seq_reads, 1);
+        dev.delete_file(f).unwrap();
+        drop(dev);
+        assert!(!dir.exists(), "temporary directory should be removed on drop");
+    }
+
+    #[test]
+    fn file_device_rejects_mixed_page_sizes() {
+        let dev = FileDevice::new_temp().unwrap();
+        let f = dev.create_file();
+        dev.append_page(f, &page_with(&[1]), IoKind::SeqWrite).unwrap();
+        let other = Page::empty(512, RecordLayout::new(8));
+        assert!(dev.append_page(f, &other, IoKind::SeqWrite).is_err());
+    }
+}

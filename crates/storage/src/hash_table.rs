@@ -1,0 +1,187 @@
+//! In-memory build/probe hash table with fudge-factor space accounting.
+//!
+//! The paper's memory model charges an in-memory hash table `F` times the
+//! raw size of the records it stores (`F` is the *fudge factor*, 1.02 in all
+//! experiments). [`JoinHashTable`] keeps that accounting explicit: callers
+//! ask [`pages_required`](JoinHashTable::pages_required) how many buffer-pool
+//! pages the table occupies and reserve them from the
+//! [`BufferPool`](crate::BufferPool) before inserting.
+
+use std::collections::HashMap;
+
+use crate::page::records_per_page;
+use crate::record::{Record, RecordLayout};
+
+/// An in-memory hash table mapping join keys to the (possibly multiple)
+/// records carrying that key.
+#[derive(Debug, Clone)]
+pub struct JoinHashTable {
+    map: HashMap<u64, Vec<Record>>,
+    layout: RecordLayout,
+    page_size: usize,
+    fudge: f64,
+    records: usize,
+}
+
+impl JoinHashTable {
+    /// Creates an empty hash table for records of the given layout.
+    ///
+    /// `fudge` is the paper's `F` (≥ 1): the in-memory footprint of the table
+    /// is charged as `F ×` the raw record bytes.
+    pub fn new(layout: RecordLayout, page_size: usize, fudge: f64) -> Self {
+        assert!(fudge >= 1.0, "the fudge factor is a space amplification, F >= 1");
+        JoinHashTable {
+            map: HashMap::new(),
+            layout,
+            page_size,
+            fudge,
+            records: 0,
+        }
+    }
+
+    /// Inserts a record.
+    pub fn insert(&mut self, record: Record) {
+        self.map.entry(record.key()).or_default().push(record);
+        self.records += 1;
+    }
+
+    /// All records whose key equals `key` (empty slice if none).
+    pub fn probe(&self, key: u64) -> &[Record] {
+        self.map.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Returns `true` if at least one record with `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Number of records stored.
+    pub fn num_records(&self) -> usize {
+        self.records
+    }
+
+    /// Number of distinct keys stored.
+    pub fn num_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Buffer-pool pages charged for the current contents:
+    /// `⌈ records × record_bytes × F / page_size ⌉`.
+    pub fn pages_required(&self) -> usize {
+        Self::pages_for(self.records, self.layout, self.page_size, self.fudge)
+    }
+
+    /// Pages a table of `records` records would require (static helper used
+    /// by planners before any record is actually inserted).
+    pub fn pages_for(
+        records: usize,
+        layout: RecordLayout,
+        page_size: usize,
+        fudge: f64,
+    ) -> usize {
+        if records == 0 {
+            return 0;
+        }
+        let raw_bytes = records as f64 * layout.record_bytes() as f64;
+        ((raw_bytes * fudge) / page_size as f64).ceil() as usize
+    }
+
+    /// Maximum number of records that fit in `pages` pages under the fudge
+    /// factor, i.e. the paper's `c_R = ⌊ b_R · pages / F ⌋` when
+    /// `pages = B − 2`.
+    pub fn capacity_for_pages(
+        pages: usize,
+        layout: RecordLayout,
+        page_size: usize,
+        fudge: f64,
+    ) -> usize {
+        let b = records_per_page(page_size, layout.record_bytes());
+        ((b * pages) as f64 / fudge).floor() as usize
+    }
+
+    /// Drains the table, returning every stored record grouped by key in an
+    /// unspecified order.
+    pub fn into_records(self) -> Vec<Record> {
+        self.map.into_values().flatten().collect()
+    }
+
+    /// Iterates over all stored records.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.map.values().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> RecordLayout {
+        RecordLayout::new(24) // 32-byte records
+    }
+
+    #[test]
+    fn insert_and_probe() {
+        let mut ht = JoinHashTable::new(layout(), 4096, 1.02);
+        ht.insert(Record::with_fill(1, 24, 0xA));
+        ht.insert(Record::with_fill(1, 24, 0xB));
+        ht.insert(Record::with_fill(2, 24, 0xC));
+        assert_eq!(ht.probe(1).len(), 2);
+        assert_eq!(ht.probe(2).len(), 1);
+        assert!(ht.probe(3).is_empty());
+        assert!(ht.contains(2));
+        assert!(!ht.contains(99));
+        assert_eq!(ht.num_records(), 3);
+        assert_eq!(ht.num_keys(), 2);
+    }
+
+    #[test]
+    fn pages_required_includes_fudge_factor() {
+        let mut ht = JoinHashTable::new(layout(), 4096, 1.5);
+        // 4096 / 32 = 128 records fit raw in one page, but with F = 1.5 only
+        // ~85 do.
+        for k in 0..128u64 {
+            ht.insert(Record::with_fill(k, 24, 0));
+        }
+        assert_eq!(ht.pages_required(), 2);
+        assert_eq!(JoinHashTable::pages_for(128, layout(), 4096, 1.0), 1);
+    }
+
+    #[test]
+    fn capacity_for_pages_is_inverse_of_pages_for() {
+        let l = layout();
+        for pages in [1usize, 2, 7, 31] {
+            let cap = JoinHashTable::capacity_for_pages(pages, l, 4096, 1.02);
+            assert!(JoinHashTable::pages_for(cap, l, 4096, 1.02) <= pages);
+            assert!(JoinHashTable::pages_for(cap + 8, l, 4096, 1.02) >= pages);
+        }
+    }
+
+    #[test]
+    fn empty_table_needs_no_pages() {
+        let ht = JoinHashTable::new(layout(), 4096, 1.02);
+        assert!(ht.is_empty());
+        assert_eq!(ht.pages_required(), 0);
+    }
+
+    #[test]
+    fn into_records_returns_everything() {
+        let mut ht = JoinHashTable::new(layout(), 4096, 1.02);
+        for k in 0..10u64 {
+            ht.insert(Record::with_fill(k, 24, 0));
+        }
+        let mut keys: Vec<u64> = ht.into_records().iter().map(|r| r.key()).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "fudge factor")]
+    fn fudge_below_one_is_rejected() {
+        let _ = JoinHashTable::new(layout(), 4096, 0.5);
+    }
+}

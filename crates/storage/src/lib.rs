@@ -1,0 +1,127 @@
+//! # nocap-storage
+//!
+//! Storage substrate for the NOCAP reproduction.
+//!
+//! The NOCAP paper evaluates storage-based joins on a server with a PCIe SSD
+//! and reports **number of I/Os** (4 KB page reads and writes, split into
+//! sequential and random accesses) as its primary metric, deriving latency
+//! from the same I/O trace through the device's read/write asymmetry
+//! (μ = random-write / sequential-read, τ = sequential-write /
+//! sequential-read).
+//!
+//! This crate provides everything the join algorithms need from a storage
+//! engine, built from scratch:
+//!
+//! * [`page`] — fixed-size slotted pages holding fixed-width records.
+//! * [`record`] — the record format shared by both relations of a join.
+//! * [`iostats`] — I/O counters and the parametric latency model
+//!   ([`DeviceProfile`]) used to convert an I/O trace into estimated latency.
+//! * [`device`] — the [`BlockDevice`] trait with two implementations:
+//!   [`SimDevice`] (in-memory, exact I/O accounting — the default used by all
+//!   experiments) and [`FileDevice`] (a real temporary file, for examples
+//!   that want bytes to actually hit the filesystem).
+//! * [`buffer`] — a strict page-budget [`BufferPool`]; every join draws its
+//!   working memory from one of these so the *B*-page budget of the paper is
+//!   enforced rather than assumed.
+//! * [`relation`] — a stored table: a sequence of pages on a device plus
+//!   sequential scan support.
+//! * [`spill`] — partition spill files with one-page output buffers
+//!   (random-write accounting), used by every partitioning join.
+//! * [`hash_table`] — an in-memory build/probe hash table with fudge-factor
+//!   (F) space accounting.
+//! * [`sort`] — external sort (run generation + multiway merge) used by the
+//!   sort-merge join baseline.
+//!
+//! The crate has no dependencies and is deliberately self-contained so that
+//! the algorithm crates (`nocap` and `nocap-joins`) only talk to storage
+//! through these interfaces.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bloom;
+pub mod buffer;
+pub mod device;
+pub mod hash_table;
+pub mod iostats;
+pub mod page;
+pub mod record;
+pub mod relation;
+pub mod sort;
+pub mod spill;
+
+pub use bloom::BloomFilter;
+pub use buffer::{BufferPool, Reservation};
+pub use device::{BlockDevice, FileDevice, FileId, SimDevice};
+pub use hash_table::JoinHashTable;
+pub use iostats::{DeviceProfile, IoKind, IoStats};
+pub use page::{Page, DEFAULT_PAGE_SIZE};
+pub use record::{Record, RecordLayout};
+pub use relation::{Relation, RelationBuilder, RelationScan};
+pub use sort::ExternalSorter;
+pub use spill::{PartitionHandle, PartitionReader, PartitionWriter};
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A record was larger than the page it was supposed to fit into.
+    RecordTooLarge {
+        /// Size of the record in bytes (including key).
+        record_bytes: usize,
+        /// Usable bytes per page.
+        page_capacity: usize,
+    },
+    /// A page index was out of bounds for the given file.
+    PageOutOfBounds {
+        /// Requested page index.
+        index: usize,
+        /// Number of pages in the file.
+        len: usize,
+    },
+    /// A file id was not known to the device.
+    UnknownFile(FileId),
+    /// The buffer pool could not satisfy a reservation.
+    OutOfMemory {
+        /// Pages requested.
+        requested: usize,
+        /// Pages still available.
+        available: usize,
+    },
+    /// An I/O error from the underlying operating system (only produced by
+    /// [`FileDevice`]).
+    Io(String),
+    /// A page failed to deserialize (corrupt header or truncated body).
+    CorruptPage(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::RecordTooLarge {
+                record_bytes,
+                page_capacity,
+            } => write!(
+                f,
+                "record of {record_bytes} bytes does not fit in a page with {page_capacity} usable bytes"
+            ),
+            StorageError::PageOutOfBounds { index, len } => {
+                write!(f, "page index {index} out of bounds for file of {len} pages")
+            }
+            StorageError::UnknownFile(id) => write!(f, "unknown file id {id:?}"),
+            StorageError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "buffer pool exhausted: requested {requested} pages, {available} available"
+            ),
+            StorageError::Io(msg) => write!(f, "I/O error: {msg}"),
+            StorageError::CorruptPage(msg) => write!(f, "corrupt page: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,149 @@
+//! Fixed-width records: an 8-byte join key followed by an opaque payload.
+//!
+//! The paper's experiments use fixed-size records (1 KB in the synthetic
+//! workload). A [`RecordLayout`] captures the payload size once per relation
+//! and is used by the page, relation and hash-table code to compute the exact
+//! per-page record counts (`b_R`, `b_S`) and the fudge-factor-inflated
+//! in-memory footprint.
+
+use crate::{Result, StorageError};
+
+/// Describes the fixed serialized layout of records in one relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecordLayout {
+    payload_bytes: usize,
+}
+
+impl RecordLayout {
+    /// Number of bytes used by the join key.
+    pub const KEY_BYTES: usize = 8;
+
+    /// Creates a layout with the given payload size in bytes.
+    pub fn new(payload_bytes: usize) -> Self {
+        RecordLayout { payload_bytes }
+    }
+
+    /// Size of the payload in bytes.
+    pub fn payload_bytes(&self) -> usize {
+        self.payload_bytes
+    }
+
+    /// Total serialized size of a record (key + payload).
+    pub fn record_bytes(&self) -> usize {
+        Self::KEY_BYTES + self.payload_bytes
+    }
+}
+
+/// A single record: a `u64` join key plus an opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Record {
+    key: u64,
+    payload: Box<[u8]>,
+}
+
+impl Record {
+    /// Creates a record from a key and payload bytes.
+    pub fn new(key: u64, payload: Vec<u8>) -> Self {
+        Record {
+            key,
+            payload: payload.into_boxed_slice(),
+        }
+    }
+
+    /// Creates a record whose payload is `payload_bytes` copies of `fill`.
+    ///
+    /// Handy for workload generators and tests where the payload content is
+    /// irrelevant but its size matters for the I/O accounting.
+    pub fn with_fill(key: u64, payload_bytes: usize, fill: u8) -> Self {
+        Record::new(key, vec![fill; payload_bytes])
+    }
+
+    /// The join key.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Serialized size of this record in bytes.
+    pub fn serialized_len(&self) -> usize {
+        RecordLayout::KEY_BYTES + self.payload.len()
+    }
+
+    /// The layout this record conforms to.
+    pub fn layout(&self) -> RecordLayout {
+        RecordLayout::new(self.payload.len())
+    }
+
+    /// Writes the record into `dst`, which must be exactly
+    /// [`serialized_len`](Self::serialized_len) bytes long.
+    pub fn write_to(&self, dst: &mut [u8]) {
+        debug_assert_eq!(dst.len(), self.serialized_len());
+        dst[..8].copy_from_slice(&self.key.to_le_bytes());
+        dst[8..].copy_from_slice(&self.payload);
+    }
+
+    /// Reads a record back from `src` (the full fixed-width slot).
+    pub fn read_from(src: &[u8]) -> Result<Self> {
+        if src.len() < RecordLayout::KEY_BYTES {
+            return Err(StorageError::CorruptPage(format!(
+                "record slot of {} bytes is smaller than the 8-byte key",
+                src.len()
+            )));
+        }
+        let mut key_bytes = [0u8; 8];
+        key_bytes.copy_from_slice(&src[..8]);
+        Ok(Record {
+            key: u64::from_le_bytes(key_bytes),
+            payload: src[8..].to_vec().into_boxed_slice(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_sizes() {
+        let l = RecordLayout::new(56);
+        assert_eq!(l.payload_bytes(), 56);
+        assert_eq!(l.record_bytes(), 64);
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let r = Record::new(0xDEADBEEF, vec![1, 2, 3, 4]);
+        let mut buf = vec![0u8; r.serialized_len()];
+        r.write_to(&mut buf);
+        let back = Record::read_from(&buf).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.key(), 0xDEADBEEF);
+        assert_eq!(back.payload(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn with_fill_payload_size() {
+        let r = Record::with_fill(1, 120, 0x7F);
+        assert_eq!(r.serialized_len(), 128);
+        assert!(r.payload().iter().all(|&b| b == 0x7F));
+        assert_eq!(r.layout(), RecordLayout::new(120));
+    }
+
+    #[test]
+    fn read_from_too_short_is_error() {
+        assert!(Record::read_from(&[0u8; 4]).is_err());
+    }
+
+    #[test]
+    fn empty_payload_is_allowed() {
+        let r = Record::new(5, vec![]);
+        assert_eq!(r.serialized_len(), 8);
+        let mut buf = vec![0u8; 8];
+        r.write_to(&mut buf);
+        assert_eq!(Record::read_from(&buf).unwrap(), r);
+    }
+}

@@ -1,0 +1,38 @@
+//! # nocap-workload
+//!
+//! Workload generators reproducing the data sets of the paper's evaluation
+//! (§5):
+//!
+//! * [`synthetic`] — the §5.1 sensitivity-analysis workload: a PK relation R
+//!   and an FK relation S whose join correlation is uniform or Zipfian
+//!   (α ∈ {0.7, 1.0, 1.3} in the paper), with configurable record sizes and
+//!   cardinalities.
+//! * [`zipf`] — the Zipf(α) sampler used to shape correlations.
+//! * [`tpch`] — a TPC-H-Q12-like orders ⋈ lineitem workload with the
+//!   hot/cold key skew the authors patched into dbgen (0.5 % hot orderkeys
+//!   matching ~500 lineitems, the rest ~1.5) and a selectivity filter.
+//! * [`jcch`] — a JCC-H-like workload with the original (extreme) skew and
+//!   the paper's "tuned" medium skew.
+//! * [`job`] — a JOB-like workload modelling the `cast_info ⋈ title`
+//!   (medium skew) and `cast_info ⋈ name` (high skew) joins.
+//! * [`mcv`] — most-common-value statistics: exact top-k extraction from a
+//!   generated correlation and Gaussian-noise injection for the Figure 10
+//!   robustness experiment.
+//!
+//! Every generator returns a [`GeneratedWorkload`]: the two stored relations
+//! plus the exact correlation table and the derived MCVs, so experiments can
+//! feed the same statistics to DHH, Histojoin, NOCAP and OCAP.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod jcch;
+pub mod job;
+pub mod mcv;
+pub mod synthetic;
+pub mod tpch;
+pub mod zipf;
+
+pub use mcv::{extract_mcvs, noisy_mcvs};
+pub use synthetic::{Correlation, GeneratedWorkload, SyntheticConfig};
+pub use zipf::ZipfSampler;

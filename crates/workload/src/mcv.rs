@@ -1,0 +1,103 @@
+//! Most-common-value statistics: exact extraction and noisy variants.
+//!
+//! NOCAP, DHH and Histojoin consume the same statistics a real system keeps:
+//! the top-k most frequent join keys with their (estimated) frequencies.
+//! [`extract_mcvs`] produces the exact statistics from a generated
+//! correlation table; [`noisy_mcvs`] perturbs the frequencies with Gaussian
+//! noise of standard deviation `σ = n_S / n_R` — the Figure 10 robustness
+//! experiment.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use nocap_model::CorrelationTable;
+
+/// The exact top-k `(key, frequency)` statistics, most frequent first.
+pub fn extract_mcvs(ct: &CorrelationTable, k: usize) -> Vec<(u64, u64)> {
+    ct.top_k(k)
+}
+
+/// Top-k statistics with Gaussian noise added to every frequency
+/// (`CT_noise[i] ~ N(CT[i], sigma²)`, truncated at zero). The keys are
+/// re-ranked by their noisy frequency, so a sufficiently large `sigma` can
+/// change which keys are reported as most common — exactly the failure mode
+/// the robustness experiment probes.
+pub fn noisy_mcvs(ct: &CorrelationTable, k: usize, sigma: f64, seed: u64) -> Vec<(u64, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut noisy: Vec<(u64, f64)> = (0..ct.len())
+        .map(|i| {
+            let noise = gaussian(&mut rng) * sigma;
+            (ct.key_at(i), (ct.count_at(i) as f64 + noise).max(0.0))
+        })
+        .collect();
+    noisy.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    noisy
+        .into_iter()
+        .take(k)
+        .map(|(key, value)| (key, value.round() as u64))
+        .collect()
+}
+
+/// One standard-normal draw (Box–Muller).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed_ct() -> CorrelationTable {
+        let mut counts = vec![2u64; 1_000];
+        for (i, c) in counts.iter_mut().enumerate().take(20) {
+            *c = 1_000 - 10 * i as u64;
+        }
+        CorrelationTable::from_pairs(counts.into_iter().enumerate().map(|(k, c)| (k as u64, c)))
+    }
+
+    #[test]
+    fn exact_mcvs_are_the_true_top_k() {
+        let ct = skewed_ct();
+        let mcvs = extract_mcvs(&ct, 5);
+        assert_eq!(mcvs.len(), 5);
+        assert_eq!(mcvs[0], (0, 1_000));
+        assert!(mcvs.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn zero_noise_reproduces_the_exact_statistics() {
+        let ct = skewed_ct();
+        let exact = extract_mcvs(&ct, 10);
+        let noisy = noisy_mcvs(&ct, 10, 0.0, 42);
+        assert_eq!(exact, noisy);
+    }
+
+    #[test]
+    fn small_noise_keeps_the_hot_keys_on_top() {
+        let ct = skewed_ct();
+        let noisy = noisy_mcvs(&ct, 10, 8.0, 7);
+        // The truly hottest key still ranks in the top 10 because its margin
+        // (hundreds of matches) dwarfs σ = 8.
+        assert!(noisy.iter().any(|&(k, _)| k == 0));
+        // Reported frequencies stay within a few σ of the truth.
+        let reported = noisy.iter().find(|&&(k, _)| k == 0).unwrap().1;
+        assert!((reported as i64 - 1_000).unsigned_abs() < 50);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let ct = skewed_ct();
+        assert_eq!(noisy_mcvs(&ct, 20, 8.0, 1), noisy_mcvs(&ct, 20, 8.0, 1));
+        assert_ne!(noisy_mcvs(&ct, 20, 8.0, 1), noisy_mcvs(&ct, 20, 8.0, 2));
+    }
+
+    #[test]
+    fn noisy_counts_are_never_negative() {
+        let ct = CorrelationTable::from_counts(vec![1u64; 200]);
+        let noisy = noisy_mcvs(&ct, 200, 50.0, 3);
+        assert!(noisy.iter().all(|&(_, c)| c < u64::MAX / 2));
+    }
+}

@@ -1,0 +1,169 @@
+//! TPC-H-Q12-like workload (§5.2).
+//!
+//! The paper runs a modified Q12: `lineitem ⋈ orders` on
+//! `l_orderkey = o_orderkey`, with the shipmode/receiptdate filters removed
+//! and one of the two remaining date predicates used to vary the selectivity
+//! of `lineitem` (σ ∈ {0.488, 0.63}). To create join skew the authors patch
+//! `dbgen` so that keys are split into hot and cold classes: roughly 0.5 %
+//! of the order keys match ~500 lineitems on average while the remaining
+//! keys match ~1.5 on average.
+//!
+//! This module generates a correlation with exactly that hot/cold structure
+//! (each class's multiplicity drawn from its own uniform distribution, as in
+//! the paper's modified generator), applies the selectivity filter as an
+//! independent Bernoulli thinning of each lineitem, and materializes the
+//! relations at a laptop scale factor.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use nocap_storage::device::DeviceRef;
+
+use crate::synthetic::{materialize, GeneratedWorkload};
+
+/// Configuration of the TPC-H-like generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpchQ12Config {
+    /// Number of orders (R records). The paper's SF=10 has 15 M orders; the
+    /// scaled default uses tens of thousands.
+    pub n_orders: usize,
+    /// Fraction of order keys that are "hot" (the paper uses 0.5 %).
+    pub hot_fraction: f64,
+    /// Average number of lineitems matching a hot order key (paper: 500).
+    pub hot_matches_avg: f64,
+    /// Average number of lineitems matching a cold order key (paper: 1.5).
+    pub cold_matches_avg: f64,
+    /// Selectivity of the remaining lineitem predicate (0.488 or 0.63).
+    pub selectivity: f64,
+    /// Record size in bytes for both relations.
+    pub record_bytes: usize,
+    /// Number of MCVs tracked.
+    pub mcv_count: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl TpchQ12Config {
+    /// A scaled-down analogue of the paper's SF = 10 experiment with the
+    /// given selectivity.
+    pub fn scaled_sf10(selectivity: f64) -> Self {
+        TpchQ12Config {
+            n_orders: 20_000,
+            hot_fraction: 0.005,
+            hot_matches_avg: 100.0,
+            cold_matches_avg: 1.5,
+            selectivity,
+            record_bytes: 256,
+            mcv_count: 1_000,
+            seed: 0x7C12,
+        }
+    }
+
+    /// A scaled-down analogue of the paper's SF = 50 experiment (5× the
+    /// orders of [`scaled_sf10`](Self::scaled_sf10)).
+    pub fn scaled_sf50(selectivity: f64) -> Self {
+        TpchQ12Config {
+            n_orders: 60_000,
+            ..TpchQ12Config::scaled_sf10(selectivity)
+        }
+    }
+}
+
+/// Generates the per-order lineitem counts (hot/cold classes + selectivity).
+pub fn q12_counts(config: &TpchQ12Config) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let hot_keys = ((config.n_orders as f64) * config.hot_fraction).round() as usize;
+    let mut counts = Vec::with_capacity(config.n_orders);
+    for i in 0..config.n_orders {
+        let avg = if i < hot_keys {
+            config.hot_matches_avg
+        } else {
+            config.cold_matches_avg
+        };
+        // Multiplicity ~ Uniform[0, 2·avg] (the paper's modified dbgen draws
+        // each class from its own uniform distribution).
+        let raw = rng.gen_range(0.0..=2.0 * avg).round() as u64;
+        // Independent Bernoulli thinning models the date predicate.
+        let mut kept = 0u64;
+        for _ in 0..raw {
+            if rng.gen::<f64>() < config.selectivity {
+                kept += 1;
+            }
+        }
+        counts.push(kept);
+    }
+    counts
+}
+
+/// Generates the TPC-H-Q12-like workload.
+pub fn generate(
+    device: DeviceRef,
+    config: &TpchQ12Config,
+) -> nocap_storage::Result<GeneratedWorkload> {
+    let counts = q12_counts(config);
+    materialize(
+        device,
+        &counts,
+        config.record_bytes,
+        config.mcv_count,
+        config.seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocap_storage::SimDevice;
+
+    fn small_config(selectivity: f64) -> TpchQ12Config {
+        TpchQ12Config {
+            n_orders: 4_000,
+            hot_fraction: 0.005,
+            hot_matches_avg: 100.0,
+            cold_matches_avg: 1.5,
+            selectivity,
+            record_bytes: 64,
+            mcv_count: 200,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn hot_keys_dominate_the_correlation() {
+        let counts = q12_counts(&small_config(1.0));
+        let hot: u64 = counts[..20].iter().sum();
+        let cold: u64 = counts[20..].iter().sum();
+        // 20 hot keys at ~100 matches ≈ 2000; 3980 cold keys at ~1.5 ≈ 6000.
+        assert!(hot > 1_000, "hot keys should carry a large share (hot={hot})");
+        let hot_avg = hot as f64 / 20.0;
+        let cold_avg = cold as f64 / 3_980.0;
+        assert!(hot_avg > 20.0 * cold_avg);
+    }
+
+    #[test]
+    fn selectivity_thins_the_fact_side_proportionally() {
+        let full: u64 = q12_counts(&small_config(1.0)).iter().sum();
+        let half: u64 = q12_counts(&small_config(0.488)).iter().sum();
+        let ratio = half as f64 / full as f64;
+        assert!((ratio - 0.488).abs() < 0.05, "observed selectivity {ratio}");
+    }
+
+    #[test]
+    fn workload_materializes_consistently() {
+        let device = SimDevice::new_ref();
+        let wl = generate(device, &small_config(0.63)).unwrap();
+        assert_eq!(wl.r.num_records(), 4_000);
+        assert_eq!(wl.s.num_records() as u64, wl.ct.total_matches());
+        assert!(!wl.mcvs.is_empty());
+    }
+
+    #[test]
+    fn scaled_presets_have_the_papers_structure() {
+        let sf10 = TpchQ12Config::scaled_sf10(0.488);
+        let sf50 = TpchQ12Config::scaled_sf50(0.488);
+        assert_eq!(sf50.n_orders, 3 * sf10.n_orders);
+        assert!((sf10.hot_fraction - 0.005).abs() < 1e-12);
+        assert!(sf10.hot_matches_avg / sf10.cold_matches_avg > 50.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Zipf(α) sampling over a fixed key domain.
+//!
+//! The §5.1 sensitivity analysis shapes the join correlation by drawing the
+//! foreign keys of S from a Zipfian distribution over R's primary keys with
+//! exponent α ∈ {0.7, 1.0, 1.3}. [`ZipfSampler`] implements exact inverse-CDF
+//! sampling (the domain sizes used here are small enough that the O(n) CDF
+//! construction and O(log n) sampling are negligible).
+
+use rand::Rng;
+
+/// Exact Zipf(α) sampler over the domain `0..n`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `alpha ≥ 0`.
+    ///
+    /// Rank 0 is the most probable key (probability ∝ 1), rank `i` has
+    /// probability ∝ `1 / (i + 1)^alpha`. `alpha = 0` degenerates to the
+    /// uniform distribution.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the domain is empty (never true — kept for API
+    /// symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability of rank `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Tallies `samples` draws into per-rank counts (a direct way to build a
+    /// correlation table).
+    pub fn tally<R: Rng + ?Sized>(&self, samples: usize, rng: &mut R) -> Vec<u64> {
+        let mut counts = vec![0u64; self.len()];
+        for _ in 0..samples {
+            counts[self.sample(rng)] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = ZipfSampler::new(1_000, 1.0);
+        let total: f64 = (0..z.len()).map(|i| z.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = ZipfSampler::new(100, 0.0);
+        for i in 0..100 {
+            assert!((z.probability(i) - 0.01).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn higher_alpha_concentrates_mass_on_the_head() {
+        let low = ZipfSampler::new(10_000, 0.7);
+        let high = ZipfSampler::new(10_000, 1.3);
+        let head_low: f64 = (0..10).map(|i| low.probability(i)).sum();
+        let head_high: f64 = (0..10).map(|i| high.probability(i)).sum();
+        assert!(head_high > 3.0 * head_low);
+    }
+
+    #[test]
+    fn tally_matches_expected_shape() {
+        let z = ZipfSampler::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let counts = z.tally(100_000, &mut rng);
+        assert_eq!(counts.iter().sum::<u64>(), 100_000);
+        // Rank 0 must be clearly hotter than rank 25.
+        assert!(counts[0] > 4 * counts[25]);
+    }
+
+    #[test]
+    fn sampling_is_reproducible_with_a_seed() {
+        let z = ZipfSampler::new(500, 1.1);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,56 @@
+//! Plan inspection: show how NOCAP's planner (Algorithm 10) splits the keys
+//! between the in-memory hash table, designated disk partitions and the
+//! residual partitioner as the memory budget grows.
+//!
+//! ```bash
+//! cargo run --release --example plan_inspect
+//! ```
+
+use nocap_suite::model::JoinSpec;
+use nocap_suite::nocap::{plan_nocap, PlannerConfig};
+use nocap_suite::workload::{synthetic, Correlation, SyntheticConfig};
+
+fn main() {
+    let config = SyntheticConfig {
+        n_r: 20_000,
+        n_s: 160_000,
+        record_bytes: 256,
+        correlation: Correlation::Zipf { alpha: 1.0 },
+        mcv_count: 1_000,
+        seed: 13,
+    };
+    let counts = synthetic::correlation_counts(&config);
+    let ct = nocap_suite::model::CorrelationTable::from_counts(counts);
+    let mcvs = ct.top_k(config.mcv_count);
+
+    println!("Zipf(1.0) correlation, n_R = {}, n_S = {}", config.n_r, config.n_s);
+    println!("top-10 MCV mass = {:.1}% of S", 100.0 * ct.top_k_mass(10));
+    println!();
+    println!(
+        "{:>12} | {:>7} | {:>7} | {:>7} | {:>7} | {:>12}",
+        "buffer_pages", "K_mem", "K_disk", "m_disk", "m_rest", "est_extra_io"
+    );
+    for budget in [32usize, 64, 128, 256, 512, 1024, 2048] {
+        let spec = JoinSpec::paper_synthetic(config.record_bytes, budget);
+        let plan = plan_nocap(
+            &mcvs,
+            config.n_r,
+            config.n_s as u64,
+            &spec,
+            &PlannerConfig::default(),
+        );
+        assert!(plan.fits_budget(&spec));
+        println!(
+            "{:>12} | {:>7} | {:>7} | {:>7} | {:>7} | {:>12.0}",
+            budget,
+            plan.k_mem(),
+            plan.k_disk(),
+            plan.num_designated(),
+            plan.m_rest,
+            plan.estimated_extra_io
+        );
+    }
+    println!();
+    println!("Reading the table: as memory grows the planner caches more hot keys");
+    println!("(K_mem) before giving the remainder to the residual partitioner (m_rest).");
+}

@@ -1,0 +1,17 @@
+//! # nocap-suite
+//!
+//! Facade crate for the NOCAP reproduction workspace. It re-exports the
+//! individual crates under stable module names so that examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`storage`] — pages, simulated block devices, buffer pool, spill files.
+//! * [`model`] — correlation tables, join specifications, analytic cost models.
+//! * [`nocap`] — the OCAP and NOCAP algorithms (the paper's contribution).
+//! * [`joins`] — baseline joins: NBJ, GHJ, SMJ, DHH, Histojoin.
+//! * [`workload`] — synthetic, TPC-H-like, JCC-H-like and JOB-like generators.
+
+pub use nocap;
+pub use nocap_joins as joins;
+pub use nocap_model as model;
+pub use nocap_storage as storage;
+pub use nocap_workload as workload;

@@ -1,0 +1,129 @@
+//! Property-based tests over the core data structures and invariants.
+//!
+//! * the OCAP dynamic program never loses to any consecutive partitioning we
+//!   can construct, and its canonical solution verifies Theorem 3.1;
+//! * the NOCAP planner always respects the §4.1 memory breakdown;
+//! * pages and records round-trip byte-exactly;
+//! * the correlation table's prefix sums agree with direct summation;
+//! * rounded hash always routes into the configured partition range.
+
+use proptest::prelude::*;
+
+use nocap_suite::model::{CorrelationTable, JoinSpec, Partitioning, RoundedHashParams};
+use nocap_suite::nocap::{partition_dp, plan_nocap, DpOptions, PlannerConfig, RoundedHash};
+use nocap_suite::storage::page::PAGE_HEADER_BYTES;
+use nocap_suite::storage::{Page, Record, RecordLayout};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn record_roundtrip_is_lossless(key in any::<u64>(), payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let record = Record::new(key, payload.clone());
+        let mut buf = vec![0u8; record.serialized_len()];
+        record.write_to(&mut buf);
+        let back = Record::read_from(&buf).unwrap();
+        prop_assert_eq!(back.key(), key);
+        prop_assert_eq!(back.payload(), payload.as_slice());
+    }
+
+    #[test]
+    fn page_roundtrip_preserves_all_records(
+        payload_len in 1usize..32,
+        keys in proptest::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let layout = RecordLayout::new(payload_len);
+        let page_size = PAGE_HEADER_BYTES + 64 * layout.record_bytes();
+        let mut page = Page::empty(page_size, layout);
+        for &k in &keys {
+            prop_assert!(page.push(&Record::with_fill(k, payload_len, (k % 251) as u8)).unwrap());
+        }
+        let restored = Page::from_bytes(page.as_bytes().to_vec()).unwrap();
+        let restored_keys: Vec<u64> = restored.records().map(|r| r.key()).collect();
+        prop_assert_eq!(restored_keys, keys);
+    }
+
+    #[test]
+    fn prefix_sums_agree_with_direct_summation(
+        counts in proptest::collection::vec(0u64..1_000, 1..200),
+        range in any::<(usize, usize)>(),
+    ) {
+        let ct = CorrelationTable::from_counts(counts.clone());
+        let n = ct.len();
+        let (a, b) = range;
+        let start = a % (n + 1);
+        let end = start + (b % (n + 1 - start));
+        let direct: u64 = ct.counts()[start..end].iter().sum();
+        prop_assert_eq!(ct.range_sum(start, end), direct);
+    }
+
+    #[test]
+    fn dp_solution_is_no_worse_than_any_even_split(
+        counts in proptest::collection::vec(0u64..500, 4..120),
+        m in 1usize..8,
+        c_r in 1usize..20,
+    ) {
+        let ct = CorrelationTable::from_counts(counts);
+        let n = ct.len();
+        let dp = partition_dp(&ct, m, c_r, &DpOptions::default());
+        // Compare against an even consecutive split into m partitions.
+        let m_eff = m.min(n);
+        let boundaries: Vec<usize> = (1..=m_eff).map(|j| j * n / m_eff).collect();
+        let even = Partitioning::from_boundaries(&boundaries, n);
+        prop_assert!(dp.cost <= even.join_cost(&ct, c_r));
+        // And the DP's own boundaries reproduce its reported cost.
+        let own = Partitioning::from_boundaries(&dp.boundaries, n);
+        prop_assert_eq!(own.join_cost(&ct, c_r), dp.cost);
+        prop_assert!(own.is_consecutive());
+    }
+
+    #[test]
+    fn dp_canonical_form_satisfies_theorem_3_1(
+        counts in proptest::collection::vec(0u64..500, 10..150),
+        c_r in 2usize..16,
+    ) {
+        let ct = CorrelationTable::from_counts(counts);
+        let m = 6usize;
+        let dp = partition_dp(&ct, m, c_r, &DpOptions::default());
+        let p = Partitioning::from_boundaries(&dp.boundaries, ct.len());
+        prop_assert!(p.is_consecutive());
+        prop_assert!(p.is_divisible(c_r));
+    }
+
+    #[test]
+    fn planner_always_fits_the_memory_budget(
+        hot in proptest::collection::vec(1u64..10_000, 1..200),
+        buffer_pages in 16usize..2_048,
+    ) {
+        let mcvs: Vec<(u64, u64)> = hot.iter().enumerate().map(|(i, &c)| (i as u64, c)).collect();
+        let n_s: u64 = hot.iter().sum::<u64>() + 10_000;
+        let spec = JoinSpec::paper_synthetic(256, buffer_pages);
+        let plan = plan_nocap(&mcvs, 50_000, n_s, &spec, &PlannerConfig::default());
+        prop_assert!(plan.fits_budget(&spec));
+        prop_assert!(plan.estimated_extra_io.is_finite() || plan.k_mem() + plan.k_disk() == 0);
+    }
+
+    #[test]
+    fn rounded_hash_routes_within_bounds(
+        n in 1usize..100_000,
+        m in 1usize..64,
+        c_r in 1usize..5_000,
+        keys in proptest::collection::vec(any::<u64>(), 1..100),
+    ) {
+        let rh = RoundedHash::new(n, m, c_r, &RoundedHashParams::default());
+        prop_assert_eq!(rh.num_partitions(), m.max(1));
+        for k in keys {
+            prop_assert!(rh.partition_of(k) < m.max(1));
+        }
+    }
+
+    #[test]
+    fn join_spec_chunk_never_exceeds_raw_capacity(
+        record_bytes in 16usize..2_048,
+        buffer_pages in 3usize..10_000,
+    ) {
+        let spec = JoinSpec::paper_synthetic(record_bytes, buffer_pages);
+        // c_R with the fudge factor can never exceed the raw page capacity.
+        prop_assert!(spec.c_r() <= spec.b_r() * (buffer_pages - 2));
+    }
+}
