@@ -53,13 +53,19 @@ fn bench_executors(c: &mut Criterion) {
     group.bench_function("ghj", |b| {
         b.iter(|| {
             wl.r.device().reset_stats();
-            GraceHashJoin::new(spec).run(&wl.r, &wl.s).unwrap().output_records
+            GraceHashJoin::new(spec)
+                .run(&wl.r, &wl.s)
+                .unwrap()
+                .output_records
         })
     });
     group.bench_function("smj", |b| {
         b.iter(|| {
             wl.r.device().reset_stats();
-            SortMergeJoin::new(spec).run(&wl.r, &wl.s).unwrap().output_records
+            SortMergeJoin::new(spec)
+                .run(&wl.r, &wl.s)
+                .unwrap()
+                .output_records
         })
     });
     group.finish();

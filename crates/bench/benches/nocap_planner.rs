@@ -27,7 +27,13 @@ fn bench_planner(c: &mut Criterion) {
                 &stats,
                 |b, stats| {
                     b.iter(|| {
-                        plan_nocap(stats, 1_000_000, 8_000_000, &spec, &PlannerConfig::default())
+                        plan_nocap(
+                            stats,
+                            1_000_000,
+                            8_000_000,
+                            &spec,
+                            &PlannerConfig::default(),
+                        )
                     })
                 },
             );

@@ -59,7 +59,9 @@ fn main() {
             workload.mcvs = noisy.clone();
             let noisy_results = run_algorithms(&workload, &spec, &device_profile, &set);
             let find = |rs: &[nocap_bench::harness::Measurement], n: &str| {
-                rs.iter().find(|m| m.algorithm == n).map(|m| m.total_latency_secs)
+                rs.iter()
+                    .find(|m| m.algorithm == n)
+                    .map(|m| m.total_latency_secs)
             };
             exact_rows.push((
                 budget.to_string(),

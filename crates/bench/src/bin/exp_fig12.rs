@@ -36,8 +36,12 @@ fn main() {
         let mut rows = Vec::new();
         for &budget in &budgets {
             let spec = JoinSpec::paper_synthetic(config.record_bytes, budget);
-            let results =
-                run_algorithms(&workload, &spec, &device_profile, &AlgorithmSet::nocap_vs_dhh());
+            let results = run_algorithms(
+                &workload,
+                &spec,
+                &device_profile,
+                &AlgorithmSet::nocap_vs_dhh(),
+            );
             let find = |n: &str| results.iter().find(|m| m.algorithm == n);
             rows.push((
                 budget.to_string(),

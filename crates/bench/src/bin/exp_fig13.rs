@@ -28,8 +28,12 @@ fn sweep(name: &str, workload: &GeneratedWorkload, record_bytes: usize, n_r: usi
     let mut rows = Vec::new();
     for &budget in &budgets {
         let spec = JoinSpec::paper_synthetic(record_bytes, budget);
-        let results =
-            run_algorithms(workload, &spec, &device_profile, &AlgorithmSet::nocap_vs_dhh());
+        let results = run_algorithms(
+            workload,
+            &spec,
+            &device_profile,
+            &AlgorithmSet::nocap_vs_dhh(),
+        );
         let find = |n: &str| results.iter().find(|m| m.algorithm == n);
         rows.push((
             budget.to_string(),

@@ -42,16 +42,14 @@ fn main() {
         let optimal = Partitioning::from_boundaries(&dp.boundaries, ct.len());
         let opt_passes = optimal.passes_per_record(c_r);
 
-        println!("# Figure 4 — correlation = {name} (B = {} pages, c_R = {c_r})", spec.buffer_pages);
+        println!(
+            "# Figure 4 — correlation = {name} (B = {} pages, c_R = {c_r})",
+            spec.buffer_pages
+        );
         println!("ct_sorted_index,ct_value,ghj_passes,optimal_passes");
         let step = (ct.len() / 40).max(1);
         for i in (0..ct.len()).step_by(step) {
-            println!(
-                "{i},{},{},{}",
-                ct.count_at(i),
-                ghj_passes[i],
-                opt_passes[i]
-            );
+            println!("{i},{},{},{}", ct.count_at(i), ghj_passes[i], opt_passes[i]);
         }
         let ghj_cost: u128 = ghj.join_cost(&ct, c_r);
         let opt_cost: u128 = optimal.join_cost(&ct, c_r);

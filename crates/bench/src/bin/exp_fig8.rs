@@ -16,7 +16,11 @@ use nocap_workload::{synthetic, Correlation, SyntheticConfig};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (n_r, n_s) = if quick { (5_000, 40_000) } else { (20_000, 160_000) };
+    let (n_r, n_s) = if quick {
+        (5_000, 40_000)
+    } else {
+        (20_000, 160_000)
+    };
     let record_bytes = 256;
     let correlations = [
         ("zipf_1.3", Correlation::Zipf { alpha: 1.3 }),

@@ -49,7 +49,10 @@ fn main() {
             let lookup = |n: &str| results.iter().find(|m| m.algorithm == n);
             io_rows.push((
                 budget.to_string(),
-                series.iter().map(|&s| lookup(s).map(|m| m.ios as f64)).collect(),
+                series
+                    .iter()
+                    .map(|&s| lookup(s).map(|m| m.ios as f64))
+                    .collect(),
             ));
             lat_rows.push((
                 budget.to_string(),

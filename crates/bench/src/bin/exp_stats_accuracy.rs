@@ -1,0 +1,127 @@
+//! Sketch budget vs. plan quality: how much statistics memory does NOCAP
+//! actually need?
+//!
+//! For each correlation (Zipf α ∈ {0.7, 1.0, 1.3} and uniform) this
+//! experiment sweeps the `StatsCollector` page budget from 0.25 % to 8 % of
+//! `‖R‖` and reports, per budget:
+//!
+//! * the I/O of the **sketch-planned** NOCAP join (planned purely from the
+//!   one-pass summary, no oracle),
+//! * the I/O of the **oracle-planned** NOCAP join (exact top-k MCVs from the
+//!   full correlation table),
+//! * their ratio (1.0 = sketch plans as well as the oracle), and
+//! * MCV accuracy: how many of the oracle's top-100 keys the sketch found,
+//!   and the mean relative frequency error over those hits.
+//!
+//! The paper's robustness claim (Figure 10) is that NOCAP degrades
+//! gracefully under inaccurate statistics; this experiment quantifies the
+//! same property when the inaccuracy comes from bounded-memory sketches
+//! rather than injected Gaussian noise. Pass `--quick` for a smaller sweep.
+
+use nocap::{NocapConfig, NocapJoin};
+use nocap_model::JoinSpec;
+use nocap_stats::{StatsCollector, StatsSummary};
+use nocap_storage::{BufferPool, SimDevice};
+use nocap_workload::{synthetic, Correlation, GeneratedWorkload, SyntheticConfig};
+
+/// Collects within the *operator's* budget: the sketch pages are reserved
+/// from a pool capped at `spec.buffer_pages`, exactly as a deployment would.
+fn collect(wl: &GeneratedWorkload, spec: &JoinSpec, pages: usize) -> StatsSummary {
+    let pool = BufferPool::new(spec.buffer_pages);
+    let mut collector =
+        StatsCollector::with_budget(&pool, pages, spec.page_size).expect("stats budget");
+    collector
+        .consume_keys(wl.stream_keys())
+        .expect("stats scan");
+    collector.finish()
+}
+
+/// (hits, mean relative error over hits) of the sketch's MCVs against the
+/// oracle's top-`probe`.
+fn mcv_accuracy(summary: &StatsSummary, oracle: &[(u64, u64)], probe: usize) -> (usize, f64) {
+    let mut hits = 0usize;
+    let mut rel_err_sum = 0.0;
+    for &(key, truth) in oracle.iter().take(probe) {
+        if let Some(est) = summary.mcvs().iter().find(|e| e.key == key) {
+            hits += 1;
+            rel_err_sum += (est.count as f64 - truth as f64).abs() / truth.max(1) as f64;
+        }
+    }
+    let mean_err = if hits > 0 {
+        rel_err_sum / hits as f64
+    } else {
+        f64::NAN
+    };
+    (hits, mean_err)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n_r, n_s) = if quick {
+        (5_000, 40_000)
+    } else {
+        (20_000, 160_000)
+    };
+    let record_bytes = 256;
+    let buffer_pages = if quick { 48 } else { 96 };
+    let correlations = [
+        ("zipf_1.3", Correlation::Zipf { alpha: 1.3 }),
+        ("zipf_1.0", Correlation::Zipf { alpha: 1.0 }),
+        ("zipf_0.7", Correlation::Zipf { alpha: 0.7 }),
+        ("uniform", Correlation::Uniform),
+    ];
+    // Sketch budget as a fraction of ||R||, in basis points.
+    let budget_bps = [25usize, 50, 100, 200, 400, 800];
+
+    println!(
+        "# exp_stats_accuracy: n_R = {n_r}, n_S = {n_s}, {record_bytes}-byte records, \
+         B = {buffer_pages} pages"
+    );
+    println!(
+        "correlation,budget_pct,budget_pages,sketch_ios,oracle_ios,ratio,\
+         mcv_hits_top100,mcv_mean_rel_err"
+    );
+
+    for (name, correlation) in correlations {
+        let device = SimDevice::new_ref();
+        let config = SyntheticConfig {
+            n_r,
+            n_s,
+            record_bytes,
+            correlation,
+            mcv_count: n_r / 20,
+            seed: 0x0CA9,
+        };
+        let wl = synthetic::generate(device.clone(), &config).expect("workload generation");
+        let spec = JoinSpec::paper_synthetic(record_bytes, buffer_pages);
+        let join = NocapJoin::new(spec, NocapConfig::default());
+        let pages_r = spec.pages_r(n_r);
+
+        device.reset_stats();
+        let oracle_report = join.run(&wl.r, &wl.s, &wl.mcvs).expect("oracle run");
+        let oracle_ios = oracle_report.total_ios();
+
+        for &bps in &budget_bps {
+            // Never request more statistics memory than the operator's own
+            // budget can spare (2 pages stay for streaming input/output).
+            let budget = (pages_r * bps / 10_000).clamp(1, buffer_pages - 2);
+            let summary = collect(&wl, &spec, budget);
+            device.reset_stats();
+            let report = join
+                .run_with_collected_stats(&wl.r, &wl.s, &summary)
+                .expect("sketch run");
+            assert_eq!(
+                report.output_records, oracle_report.output_records,
+                "sketch-planned output must match"
+            );
+            let (hits, mean_err) = mcv_accuracy(&summary, &wl.mcvs, 100);
+            println!(
+                "{name},{:.2},{budget},{},{oracle_ios},{:.3},{hits},{:.4}",
+                bps as f64 / 100.0,
+                report.total_ios(),
+                report.total_ios() as f64 / oracle_ios.max(1) as f64,
+                mean_err
+            );
+        }
+    }
+}

@@ -101,7 +101,9 @@ pub fn run_algorithms(
     }
     if set.histojoin {
         reset(r);
-        let report = HistoJoin::new(*spec).run(r, s, mcvs).expect("Histojoin run");
+        let report = HistoJoin::new(*spec)
+            .run(r, s, mcvs)
+            .expect("Histojoin run");
         push("Histojoin", report);
     }
     if set.ghj {

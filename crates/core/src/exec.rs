@@ -23,6 +23,7 @@ use std::time::Instant;
 
 use nocap_model::pairwise::smart_partition_join;
 use nocap_model::{JoinRunReport, JoinSpec, RoundedHashParams};
+use nocap_stats::{StatsCollector, StatsSummary};
 use nocap_storage::{
     BufferPool, IoKind, JoinHashTable, PartitionHandle, PartitionWriter, Record, RecordLayout,
     Relation,
@@ -33,18 +34,10 @@ use crate::planner::{plan_nocap, PlannerConfig};
 use crate::rounded_hash::RoundedHash;
 
 /// Configuration of the NOCAP executor.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct NocapConfig {
     /// Planner configuration (grid resolution, rounded-hash parameters).
     pub planner: PlannerConfig,
-}
-
-impl Default for NocapConfig {
-    fn default() -> Self {
-        NocapConfig {
-            planner: PlannerConfig::default(),
-        }
-    }
 }
 
 /// The NOCAP join operator.
@@ -82,6 +75,55 @@ impl NocapJoin {
         self.run_with_plan(r, s, &plan)
     }
 
+    /// Plans and executes the join purely from a one-pass sketch summary —
+    /// no `CorrelationTable` oracle anywhere on this path.
+    ///
+    /// The summary's MCV estimates (with their error bounds collapsed to the
+    /// conservative upper counts) stand in for the exact top-k statistics,
+    /// and its exact stream length stands in for `n_S`. This is the
+    /// deployable configuration: everything the planner consumes was
+    /// produced by `nocap-stats` sketches within a bounded page budget.
+    pub fn run_with_collected_stats(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        stats: &StatsSummary,
+    ) -> nocap_storage::Result<JoinRunReport> {
+        let mcvs = stats.mcv_pairs(stats.mcvs().len());
+        let plan = plan_nocap(
+            &mcvs,
+            r.num_records(),
+            stats.stream_len(),
+            &self.spec,
+            &self.config.planner,
+        );
+        self.run_with_plan(r, s, &plan)
+    }
+
+    /// The fully self-contained path: scans S once to collect sketch
+    /// statistics under `stats_pages` pages (charged against the spec's
+    /// buffer budget), then plans and executes from that summary alone.
+    ///
+    /// The extra sequential scan of S shows up in the device's I/O trace —
+    /// statistics are not free, and experiments that account for them should
+    /// use this entry point. Requesting more statistics memory than the
+    /// spec's buffer budget fails with
+    /// [`OutOfMemory`](nocap_storage::StorageError::OutOfMemory) rather than
+    /// being silently clamped.
+    pub fn collect_and_run(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        stats_pages: usize,
+    ) -> nocap_storage::Result<JoinRunReport> {
+        let pool = BufferPool::new(self.spec.buffer_pages);
+        let mut collector = StatsCollector::with_budget(&pool, stats_pages, self.spec.page_size)?;
+        collector.consume(s.scan())?;
+        let summary = collector.finish();
+        drop(pool);
+        self.run_with_collected_stats(r, s, &summary)
+    }
+
     /// Executes the join with an explicit, pre-computed plan.
     pub fn run_with_plan(
         &self,
@@ -108,7 +150,12 @@ impl NocapJoin {
         let mut ht_mem = JoinHashTable::new(r.layout(), spec.page_size, spec.fudge);
         let mut r_disk_writers: Vec<PartitionWriter> = (0..m_disk)
             .map(|_| {
-                PartitionWriter::new(device.clone(), r.layout(), spec.page_size, IoKind::RandWrite)
+                PartitionWriter::new(
+                    device.clone(),
+                    r.layout(),
+                    spec.page_size,
+                    IoKind::RandWrite,
+                )
             })
             .collect();
         let mut rest = RestPartitioner::new(
@@ -142,7 +189,12 @@ impl NocapJoin {
         let mut output = 0u64;
         let mut s_disk_writers: Vec<PartitionWriter> = (0..m_disk)
             .map(|_| {
-                PartitionWriter::new(device.clone(), s.layout(), spec.page_size, IoKind::RandWrite)
+                PartitionWriter::new(
+                    device.clone(),
+                    s.layout(),
+                    spec.page_size,
+                    IoKind::RandWrite,
+                )
             })
             .collect();
         let mut s_rest_writers: Vec<Option<PartitionWriter>> = rest_build
@@ -310,10 +362,7 @@ impl RestPartitioner {
             return Ok(());
         }
         self.staged[p].push(rec);
-        let new_pages = self
-            .spec
-            .hash_table_pages(self.staged[p].len())
-            .max(1);
+        let new_pages = self.spec.hash_table_pages(self.staged[p].len()).max(1);
         self.staged_pages_total += new_pages - self.staged_pages[p];
         self.staged_pages[p] = new_pages;
         while self.pages_in_use() > self.budget_pages {
@@ -416,7 +465,7 @@ mod tests {
         )
         .unwrap();
         let mut mcv: Vec<(u64, u64)> = (0..n_r).map(|k| (k, counts(k))).collect();
-        mcv.sort_by(|a, b| b.1.cmp(&a.1));
+        mcv.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
         mcv.truncate((n_r as usize / 20).max(10));
         (r, s, mcv)
     }
@@ -444,14 +493,12 @@ mod tests {
                 "rest partitioner exceeded its page budget"
             );
         }
-        assert!(rest.spilled_partitions() > 0, "a 5K-record build cannot stay in 8 pages");
+        assert!(
+            rest.spilled_partitions() > 0,
+            "a 5K-record build cannot stay in 8 pages"
+        );
         let build = rest.finish_build().unwrap();
-        let spilled_records: usize = build
-            .spilled
-            .iter()
-            .flatten()
-            .map(|h| h.records())
-            .sum();
+        let spilled_records: usize = build.spilled.iter().flatten().map(|h| h.records()).sum();
         assert_eq!(spilled_records + build.staged_records.len(), 5_000);
     }
 
@@ -473,7 +520,11 @@ mod tests {
         assert_eq!(rest.spilled_partitions(), 0);
         let build = rest.finish_build().unwrap();
         assert_eq!(build.staged_records.len(), 1_000);
-        assert_eq!(device.stats().writes(), 0, "nothing should have been written");
+        assert_eq!(
+            device.stats().writes(),
+            0,
+            "nothing should have been written"
+        );
     }
 
     #[test]

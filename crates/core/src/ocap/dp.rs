@@ -249,7 +249,10 @@ mod tests {
     #[test]
     fn empty_and_degenerate_inputs() {
         let empty = ct(vec![]);
-        assert_eq!(partition_dp(&empty, 4, 3, &DpOptions::default()), DpSolution::empty());
+        assert_eq!(
+            partition_dp(&empty, 4, 3, &DpOptions::default()),
+            DpSolution::empty()
+        );
         let one = ct(vec![7]);
         let sol = partition_dp(&one, 0, 3, &DpOptions::default());
         assert_eq!(sol, DpSolution::empty());
@@ -307,7 +310,10 @@ mod tests {
                     weakly_ordered_pruning: true,
                 },
             );
-            assert_eq!(exact.cost, pruned.cost, "weakly-ordered pruning changed the optimum");
+            assert_eq!(
+                exact.cost, pruned.cost,
+                "weakly-ordered pruning changed the optimum"
+            );
             // Divisible compression restricts the search space per Theorem
             // 3.1; by the theorem its optimum is the same.
             let compressed = partition_dp(&table, m, c_r, &DpOptions::default());
@@ -331,7 +337,10 @@ mod tests {
         // properties from Theorem 3.1.
         let p = Partitioning::from_boundaries(&sol.boundaries, table.len());
         assert!(p.is_consecutive());
-        assert!(p.is_divisible(c_r), "all but the first partition divisible by c_R");
+        assert!(
+            p.is_divisible(c_r),
+            "all but the first partition divisible by c_R"
+        );
         // Cost recomputed from the partitioning matches the DP's cost.
         assert_eq!(p.join_cost(&table, c_r), sol.cost);
     }
@@ -371,7 +380,10 @@ mod tests {
         let mut prev = u128::MAX;
         for m in 1..=8 {
             let sol = partition_dp(&table, m, c_r, &DpOptions::default());
-            assert!(sol.cost <= prev, "allowing more partitions must not increase cost");
+            assert!(
+                sol.cost <= prev,
+                "allowing more partitions must not increase cost"
+            );
             prev = sol.cost;
         }
     }

@@ -20,7 +20,7 @@ use nocap_model::{CorrelationTable, JoinSpec};
 use dp::{partition_dp, DpOptions, DpSolution};
 
 /// Configuration of the OCAP sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OcapConfig {
     /// Evaluate cached-record counts `k = 0, stride, 2·stride, …, c_R`.
     /// `0` selects an automatic stride of about `c_R / 64` (the sweep is an
@@ -28,15 +28,6 @@ pub struct OcapConfig {
     pub cache_stride: usize,
     /// Dynamic-program options (pruning / compression).
     pub dp: DpOptions,
-}
-
-impl Default for OcapConfig {
-    fn default() -> Self {
-        OcapConfig {
-            cache_stride: 0,
-            dp: DpOptions::default(),
-        }
-    }
 }
 
 /// The optimal hybrid partitioning found by OCAP.
@@ -188,9 +179,19 @@ mod tests {
         let ct = uniform_ct(1_000, 4);
         // Budget large enough that c_R > n: every record can be cached.
         let s = spec(4_096);
-        let sol = ocap(&ct, &s, &OcapConfig { cache_stride: 1, dp: DpOptions::default() });
+        let sol = ocap(
+            &ct,
+            &s,
+            &OcapConfig {
+                cache_stride: 1,
+                dp: DpOptions::default(),
+            },
+        );
         assert_eq!(sol.cached_records, 1_000);
-        assert!(sol.extra_io_pages < 1.0, "nothing should spill when R fits in memory");
+        assert!(
+            sol.extra_io_pages < 1.0,
+            "nothing should spill when R fits in memory"
+        );
     }
 
     #[test]

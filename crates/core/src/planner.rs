@@ -112,7 +112,11 @@ pub fn plan_nocap(
             }
             let designated_mass = top_mass(i1 + i2) - top_mass(i1);
             let max_j = if i2 == 0 { 0 } else { i2.div_ceil(c_r).max(1) };
-            let j_candidates: Vec<usize> = if i2 == 0 { vec![0] } else { (1..=max_j).collect() };
+            let j_candidates: Vec<usize> = if i2 == 0 {
+                vec![0]
+            } else {
+                (1..=max_j).collect()
+            };
             for j in j_candidates {
                 let fixed = fixed_mem + spec.hash_map_pages(i2) + j;
                 if fixed + 2 > budget {
@@ -133,8 +137,7 @@ pub fn plan_nocap(
                 };
                 let designated_r_pages = (i2 as f64 / b_r).ceil();
                 let c_probe = designated_r_pages + dp_cost as f64 / b_s;
-                let c_part =
-                    mu * (designated_r_pages + (designated_mass as f64 / b_s).ceil());
+                let c_part = mu * (designated_r_pages + (designated_mass as f64 / b_s).ceil());
 
                 // Residual keys handled by DHH/rounded hash with m_rest pages.
                 let rest_keys = n_r.saturating_sub(i1 + i2);
@@ -153,13 +156,8 @@ pub fn plan_nocap(
         }
     }
 
-    let (cost, i1, i2, m_rest, boundaries) = best.unwrap_or((
-        f64::INFINITY,
-        0,
-        0,
-        budget.saturating_sub(2),
-        Vec::new(),
-    ));
+    let (cost, i1, i2, m_rest, boundaries) =
+        best.unwrap_or((f64::INFINITY, 0, 0, budget.saturating_sub(2), Vec::new()));
 
     // Materialize the plan: K_mem = top-i1 keys, K_disk = next i2 keys split
     // at the DP boundaries (which are expressed over the *ascending* view of
@@ -167,8 +165,7 @@ pub fn plan_nocap(
     let mem_keys: Vec<u64> = ranked[..i1].iter().map(|&(k, _)| k).collect();
     let mut disk_partitions: Vec<Vec<u64>> = Vec::new();
     if i2 > 0 {
-        let ascending_keys: Vec<u64> =
-            ranked[i1..i1 + i2].iter().rev().map(|&(k, _)| k).collect();
+        let ascending_keys: Vec<u64> = ranked[i1..i1 + i2].iter().rev().map(|&(k, _)| k).collect();
         let bounds = if boundaries.is_empty() {
             vec![i2]
         } else {
@@ -230,7 +227,13 @@ mod tests {
     #[test]
     fn plan_respects_the_memory_budget() {
         let s = spec(96);
-        let plan = plan_nocap(&skewed_mcvs(500, 160_000), 20_000, 160_000, &s, &PlannerConfig::default());
+        let plan = plan_nocap(
+            &skewed_mcvs(500, 160_000),
+            20_000,
+            160_000,
+            &s,
+            &PlannerConfig::default(),
+        );
         assert!(plan.fits_budget(&s), "planner must respect B");
         assert!(plan.m_rest > 0);
     }
@@ -265,7 +268,10 @@ mod tests {
         );
         // Under a uniform correlation there is nothing special to cache; the
         // plan should give (almost) all memory to the residual partitioner.
-        assert!(plan.k_mem() * 8 <= 160, "uniform MCVs should not be worth much caching");
+        assert!(
+            plan.k_mem() * 8 <= 160,
+            "uniform MCVs should not be worth much caching"
+        );
         assert!(plan.m_rest >= s.buffer_pages / 2);
         assert!(plan.fits_budget(&s));
     }

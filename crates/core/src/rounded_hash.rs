@@ -105,7 +105,7 @@ mod tests {
     fn plain_hash_spreads_uniformly() {
         let rh = RoundedHash::plain(8);
         assert!(!rh.is_rounded());
-        let mut counts = vec![0usize; 8];
+        let mut counts = [0usize; 8];
         for k in 0..80_000u64 {
             counts[rh.partition_of(k)] += 1;
         }
@@ -157,7 +157,10 @@ mod tests {
         for k in 0..100_000u64 {
             seen[rh.partition_of(k)] = true;
         }
-        assert!(seen.into_iter().all(|s| s), "every partition should receive keys");
+        assert!(
+            seen.into_iter().all(|s| s),
+            "every partition should receive keys"
+        );
     }
 
     #[test]

@@ -121,16 +121,11 @@ impl DhhJoin {
         let _skew_reservation = pool.reserve(skew_pages.min(pool.available()))?;
 
         // ---- Partition R (Algorithm 1) ------------------------------------
-        let m_dhh = spec.m_dhh(r.num_records()).min(
-            pool.available().saturating_sub(1).max(1),
-        );
-        let mut partitioner = DhhPartitioner::new(
-            device.clone(),
-            *spec,
-            r.layout(),
-            pool.available(),
-            m_dhh,
-        );
+        let m_dhh = spec
+            .m_dhh(r.num_records())
+            .min(pool.available().saturating_sub(1).max(1));
+        let mut partitioner =
+            DhhPartitioner::new(device.clone(), *spec, r.layout(), pool.available(), m_dhh);
         let mut skew_table = JoinHashTable::new(r.layout(), spec.page_size, spec.fudge);
         for rec in r.scan() {
             let rec = rec?;
@@ -226,7 +221,7 @@ impl DhhJoin {
             self.spec.fudge,
         );
         let mut ranked: Vec<(u64, u64)> = mcvs.to_vec();
-        ranked.sort_by(|a, b| b.1.cmp(&a.1));
+        ranked.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
         for (key, _) in ranked.into_iter().take(capacity) {
             selected.insert(key);
         }

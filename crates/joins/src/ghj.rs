@@ -9,8 +9,8 @@
 
 use std::time::Instant;
 
-use nocap_model::pairwise::nbj_partition_join;
 use nocap_model::classic_cost::nbj_cost_best;
+use nocap_model::pairwise::nbj_partition_join;
 use nocap_model::{ghj_cost, JoinRunReport, JoinSpec};
 use nocap_storage::device::DeviceRef;
 use nocap_storage::{
@@ -93,13 +93,10 @@ impl GraceHashJoin {
         if r_part.is_empty() || s_part.is_empty() {
             return Ok(0);
         }
-        let fits = JoinHashTable::pages_for(
-            r_part.records(),
-            spec.r_layout,
-            spec.page_size,
-            spec.fudge,
-        ) + 2
-            <= spec.buffer_pages;
+        let fits =
+            JoinHashTable::pages_for(r_part.records(), spec.r_layout, spec.page_size, spec.fudge)
+                + 2
+                <= spec.buffer_pages;
         if fits || depth > self.max_depth {
             return nbj_partition_join(r_part, s_part, spec, |_, _| {});
         }

@@ -133,7 +133,7 @@ mod tests {
     fn matches_naive_join_skewed() {
         let dev = SimDevice::new_ref();
         let spec = JoinSpec::paper_synthetic(128, 16);
-        let counts = |k: u64| if k % 100 == 0 { 80 } else { 1 };
+        let counts = |k: u64| if k.is_multiple_of(100) { 80 } else { 1 };
         let (r, s) = build_workload(dev.clone(), &spec, 2_000, counts);
         let expected = naive_join_count(&r, &s).unwrap();
         dev.reset_stats();
@@ -149,9 +149,15 @@ mod tests {
         let (r, s) = build_workload(dev.clone(), &spec, 3_000, counts);
         dev.reset_stats();
         let report = SortMergeJoin::new(spec).run(&r, &s).unwrap();
-        assert!(report.partition_io.seq_writes > 0, "runs are written sequentially");
+        assert!(
+            report.partition_io.seq_writes > 0,
+            "runs are written sequentially"
+        );
         assert_eq!(report.partition_io.rand_writes, 0);
-        assert!(report.probe_io.rand_reads > 0, "the fused merge reads runs randomly");
+        assert!(
+            report.probe_io.rand_reads > 0,
+            "the fused merge reads runs randomly"
+        );
         assert_eq!(report.probe_io.writes(), 0, "the fused merge never writes");
     }
 

@@ -55,7 +55,7 @@ pub(crate) fn expected_output(n_r: u64, counts: impl Fn(u64) -> u64) -> u64 {
 /// MCV statistics (exact top-k counts) for the workload.
 pub(crate) fn mcvs(n_r: u64, counts: impl Fn(u64) -> u64, k: usize) -> Vec<(u64, u64)> {
     let mut all: Vec<(u64, u64)> = (0..n_r).map(|key| (key, counts(key))).collect();
-    all.sort_by(|a, b| b.1.cmp(&a.1));
+    all.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
     all.truncate(k);
     all
 }

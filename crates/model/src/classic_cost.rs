@@ -123,7 +123,10 @@ pub fn best_partition_join(
     spec: &JoinSpec,
 ) -> (PartitionJoinMethod, f64) {
     let candidates = [
-        (PartitionJoinMethod::Nbj, nbj_cost_best(pages_r, pages_s, spec)),
+        (
+            PartitionJoinMethod::Nbj,
+            nbj_cost_best(pages_r, pages_s, spec),
+        ),
         (PartitionJoinMethod::Ghj, ghj_cost(pages_r, pages_s, spec)),
         (PartitionJoinMethod::Smj, smj_cost(pages_r, pages_s, spec)),
     ];

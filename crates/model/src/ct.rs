@@ -10,6 +10,8 @@
 //! that planners can translate "the i-th smallest CT entry" into an actual
 //! join key.
 
+use crate::estimate::McvEstimate;
+
 /// Per-key match counts, sorted ascending, with prefix sums.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CorrelationTable {
@@ -114,6 +116,18 @@ impl CorrelationTable {
             .collect()
     }
 
+    /// The same top-k view as [`top_k`](Self::top_k), expressed as
+    /// [`McvEstimate`]s. Statistics from the full correlation table are exact,
+    /// so every estimate carries a zero error bound; sketch-derived MCVs (the
+    /// `nocap-stats` crate) produce the same type with non-zero bounds, so
+    /// planners can consume either source uniformly.
+    pub fn top_k_estimates(&self, k: usize) -> Vec<McvEstimate> {
+        self.top_k(k)
+            .into_iter()
+            .map(|(key, count)| McvEstimate::exact(key, count))
+            .collect()
+    }
+
     /// Number of entries with a zero count (R records with no match in S);
     /// the optimal partitioning excludes these entirely (§3.1.1).
     pub fn zero_entries(&self) -> usize {
@@ -199,6 +213,16 @@ mod tests {
         let top2 = ct.top_k(2);
         assert_eq!(top2, vec![(1, 100), (3, 50)]);
         assert_eq!(ct.top_k(10).len(), 4);
+    }
+
+    #[test]
+    fn top_k_estimates_are_exact() {
+        let ct = CorrelationTable::from_pairs(vec![(1, 100), (2, 5), (3, 50)]);
+        let estimates = ct.top_k_estimates(2);
+        assert_eq!(estimates.len(), 2);
+        assert_eq!(estimates[0], McvEstimate::exact(1, 100));
+        assert!(estimates.iter().all(|e| e.is_exact()));
+        assert_eq!(crate::estimate::to_pairs(&estimates), ct.top_k(2));
     }
 
     #[test]

@@ -116,8 +116,7 @@ mod tests {
     #[test]
     fn spill_cost_reflects_write_asymmetry() {
         let cheap_writes = spec(256);
-        let expensive_writes =
-            spec(256).with_device(nocap_storage::DeviceProfile::ssd_sync());
+        let expensive_writes = spec(256).with_device(nocap_storage::DeviceProfile::ssd_sync());
         let a = g_dhh(100_000, 800_000, &cheap_writes, 64);
         let b = g_dhh(100_000, 800_000, &expensive_writes, 64);
         assert!(b > a, "higher μ must increase the estimated spill cost");

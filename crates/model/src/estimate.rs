@@ -1,0 +1,81 @@
+//! Most-common-value estimates with explicit error bounds.
+//!
+//! The NOCAP planner consumes top-k MCV statistics. When those statistics
+//! come from the full [`CorrelationTable`](crate::CorrelationTable) they are
+//! exact; when they come from a bounded-memory sketch (the `nocap-stats`
+//! crate) every frequency is an *overestimate* with a known per-key error
+//! bound. [`McvEstimate`] carries both numbers so consumers can reason about
+//! the uncertainty instead of silently treating estimates as truth — the
+//! Figure 10 robustness experiment shows why that matters.
+
+/// One most-common-value statistic: a key, its estimated frequency and a
+/// bound on how far the estimate can exceed the true frequency.
+///
+/// Invariant (guaranteed by both producers):
+/// `count - error_bound <= true frequency <= count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McvEstimate {
+    /// The join key.
+    pub key: u64,
+    /// Estimated number of matching S records (never an underestimate).
+    pub count: u64,
+    /// Maximum overestimation: the true frequency is at least
+    /// `count - error_bound`.
+    pub error_bound: u64,
+}
+
+impl McvEstimate {
+    /// An exact statistic (zero error).
+    pub fn exact(key: u64, count: u64) -> Self {
+        McvEstimate {
+            key,
+            count,
+            error_bound: 0,
+        }
+    }
+
+    /// Lower bound on the true frequency: `count - error_bound`, saturating.
+    pub fn guaranteed_count(&self) -> u64 {
+        self.count.saturating_sub(self.error_bound)
+    }
+
+    /// Whether the estimate is exact.
+    pub fn is_exact(&self) -> bool {
+        self.error_bound == 0
+    }
+}
+
+/// Converts estimates into the `(key, count)` pairs the planner consumes,
+/// preserving order.
+pub fn to_pairs(estimates: &[McvEstimate]) -> Vec<(u64, u64)> {
+    estimates.iter().map(|e| (e.key, e.count)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_estimates_have_zero_error() {
+        let e = McvEstimate::exact(42, 100);
+        assert!(e.is_exact());
+        assert_eq!(e.guaranteed_count(), 100);
+    }
+
+    #[test]
+    fn guaranteed_count_saturates() {
+        let e = McvEstimate {
+            key: 1,
+            count: 5,
+            error_bound: 9,
+        };
+        assert_eq!(e.guaranteed_count(), 0);
+        assert!(!e.is_exact());
+    }
+
+    #[test]
+    fn to_pairs_preserves_order() {
+        let es = vec![McvEstimate::exact(3, 30), McvEstimate::exact(1, 10)];
+        assert_eq!(to_pairs(&es), vec![(3, 30), (1, 10)]);
+    }
+}

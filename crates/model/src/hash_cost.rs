@@ -153,7 +153,10 @@ mod tests {
             let lo = (len / (m * c_star)).max(1) as f64;
             let hi = len.div_ceil(m * c_star) as f64;
             let p = rounded_passes(len, m, c_r, &params);
-            assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "passes {p} not in [{lo},{hi}]");
+            assert!(
+                p >= lo - 1e-9 && p <= hi + 1e-9,
+                "passes {p} not in [{lo},{hi}]"
+            );
         }
     }
 
@@ -214,7 +217,10 @@ mod tests {
         let m = 4;
         let c_r = 30;
         if !params.rh_enabled(400, m, c_r) {
-            assert_eq!(g_rh(&ct, 0, 400, m, c_r, &params), g_ph(&ct, 0, 400, m, c_r));
+            assert_eq!(
+                g_rh(&ct, 0, 400, m, c_r, &params),
+                g_ph(&ct, 0, 400, m, c_r)
+            );
         }
     }
 

@@ -33,6 +33,7 @@
 pub mod classic_cost;
 pub mod ct;
 pub mod dhh_cost;
+pub mod estimate;
 pub mod hash_cost;
 pub mod pairwise;
 pub mod partitioning;
@@ -42,6 +43,7 @@ pub mod spec;
 pub use classic_cost::{best_partition_join, ghj_cost, nbj_cost, smj_cost, PartitionJoinMethod};
 pub use ct::CorrelationTable;
 pub use dhh_cost::g_dhh;
+pub use estimate::McvEstimate;
 pub use hash_cost::{g_ph, g_rh, rounded_passes, RoundedHashParams};
 pub use partitioning::{cal_cost, Partitioning};
 pub use report::JoinRunReport;

@@ -130,7 +130,8 @@ pub fn smart_partition_join(
     let device = r_partition.device().clone();
     let m = spec.buffer_pages.saturating_sub(1).max(2);
     let repartition = |handle: &PartitionHandle| -> nocap_storage::Result<Vec<PartitionHandle>> {
-        let mut writers: Vec<Option<nocap_storage::PartitionWriter>> = (0..m).map(|_| None).collect();
+        let mut writers: Vec<Option<nocap_storage::PartitionWriter>> =
+            (0..m).map(|_| None).collect();
         let mut layout = None;
         for rec in handle.read(IoKind::SeqRead) {
             let rec = rec?;
@@ -183,7 +184,8 @@ mod tests {
         keys: &[u64],
         payload: usize,
     ) -> PartitionHandle {
-        let mut w = PartitionWriter::new(device, RecordLayout::new(payload), 4096, IoKind::RandWrite);
+        let mut w =
+            PartitionWriter::new(device, RecordLayout::new(payload), 4096, IoKind::RandWrite);
         for &k in keys {
             w.push(&Record::with_fill(k, payload, 0)).unwrap();
         }

@@ -230,7 +230,7 @@ impl Partitioning {
         order
             .iter()
             .skip(1)
-            .all(|&p| sizes[p] == 0 || sizes[p] % c_r == 0)
+            .all(|&p| sizes[p] == 0 || sizes[p].is_multiple_of(c_r))
     }
 }
 
@@ -245,7 +245,7 @@ mod tests {
     #[test]
     fn cal_cost_matches_hand_computation() {
         let table = ct(vec![1, 2, 3, 4, 5, 6]); // sorted ascending already
-        // Records [0,4) hold counts 1+2+3+4 = 10; with c_R = 2 that is 2 passes.
+                                                // Records [0,4) hold counts 1+2+3+4 = 10; with c_R = 2 that is 2 passes.
         assert_eq!(cal_cost(&table, 0, 4, 2), 20);
         // Single chunk: 1 pass.
         assert_eq!(cal_cost(&table, 0, 2, 10), 3);

@@ -218,7 +218,7 @@ mod tests {
         let spec = JoinSpec::paper_synthetic(1024, 320);
         // 50K keys × 8 bytes ≈ 400 KB ≈ 100 pages.
         let hs = spec.hash_set_pages(50_000);
-        assert!(hs >= 100 && hs <= 105, "hash set pages = {hs}");
+        assert!((100..=105).contains(&hs), "hash set pages = {hs}");
         let hm = spec.hash_map_pages(50_000);
         assert!(hm > hs, "the map stores a partition id per key");
     }

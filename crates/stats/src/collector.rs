@@ -1,0 +1,463 @@
+//! One-pass statistics collection under a page budget.
+//!
+//! [`StatsCollector`] owns one of each sketch — SpaceSaving, Count-Min, KMV
+//! and the fallback histogram — and feeds every observed join key to all
+//! four. Its memory is sized from a **page budget** and, when constructed
+//! through [`StatsCollector::with_budget`], reserved from the same
+//! [`BufferPool`] the join draws from, so collecting statistics is charged
+//! against the operator's memory like any other phase instead of being
+//! assumed free (the oracle `CorrelationTable` path this subsystem
+//! replaces).
+//!
+//! The produced [`StatsSummary`] is the planner-facing artifact: top-k
+//! [`McvEstimate`]s with error bounds, the exact stream length, a distinct
+//! count estimate and the retained sketches for point queries.
+
+use nocap_model::McvEstimate;
+use nocap_storage::{BufferPool, Record, RelationScan, Reservation, Result};
+
+use crate::countmin::CountMinSketch;
+use crate::distinct::KmvSketch;
+use crate::histogram::EquiWidthHistogram;
+use crate::spacesaving::SpaceSaving;
+
+/// Sketch sizing for one collection pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsConfig {
+    /// SpaceSaving counters (the top-k capacity; error ≤ N / counters).
+    pub mcv_counters: usize,
+    /// Count-Min width (rounded up to a power of two).
+    pub cm_width: usize,
+    /// Count-Min depth (number of hash rows).
+    pub cm_depth: usize,
+    /// KMV minimum-hash count (distinct-count error ≈ 1/√k).
+    pub kmv_k: usize,
+    /// Fallback histogram bucket count.
+    pub hist_buckets: usize,
+    /// Key domain `[lo, hi)` of the fallback histogram when it is known
+    /// upfront (catalog knowledge); keys outside clamp to the edge buckets.
+    /// `None` (the default) builds an *adaptive* histogram anchored at 0
+    /// whose bucket width doubles to cover whatever key range the stream
+    /// actually contains.
+    pub key_domain: Option<(u64, u64)>,
+}
+
+impl Default for StatsConfig {
+    fn default() -> Self {
+        StatsConfig {
+            mcv_counters: 1_024,
+            cm_width: 2_048,
+            cm_depth: 4,
+            kmv_k: 256,
+            hist_buckets: 64,
+            key_domain: None,
+        }
+    }
+}
+
+impl StatsConfig {
+    /// Sizes the sketches to fit `bytes` bytes, split 60 % SpaceSaving
+    /// (the planner-critical sketch), 20 % Count-Min, 10 % KMV, 10 %
+    /// histogram. Every component scales down with the budget (no fixed
+    /// floors), so the result fits any `bytes ≥ 256`; below that the
+    /// structural minimum of one-of-each-sketch applies.
+    pub fn for_budget_bytes(bytes: usize) -> Self {
+        let bytes = bytes.max(256);
+        let mcv_counters = (bytes * 6 / 10 / 64).max(1);
+        let cm_depth = if bytes >= 2_048 { 4 } else { 2 };
+        // Round the width *down* to a power of two so the sketch never
+        // exceeds its share of the budget (CountMinSketch rounds up).
+        let cm_width = prev_power_of_two((bytes * 2 / 10 / 8 / cm_depth).max(1));
+        let kmv_k = (bytes / 10 / 24).clamp(2, 4_096);
+        let hist_buckets = (bytes / 10 / 8).clamp(1, 65_536);
+        StatsConfig {
+            mcv_counters,
+            cm_width,
+            cm_depth,
+            kmv_k,
+            hist_buckets,
+            key_domain: None,
+        }
+    }
+
+    /// Sizes the sketches to fit `pages` pages of `page_size` bytes.
+    pub fn for_budget_pages(pages: usize, page_size: usize) -> Self {
+        Self::for_budget_bytes(pages.max(1) * page_size.max(64))
+    }
+
+    /// Returns a copy with a fixed histogram key domain (instead of the
+    /// default adaptive bucketing).
+    pub fn with_key_domain(mut self, lo: u64, hi: u64) -> Self {
+        self.key_domain = Some((lo, hi));
+        self
+    }
+
+    /// Bytes the configured sketches occupy (the accounting the page budget
+    /// is charged by).
+    pub fn memory_bytes(&self) -> usize {
+        self.mcv_counters * 64
+            + self.cm_width.next_power_of_two() * self.cm_depth * 8
+            + self.kmv_k * 24
+            + self.hist_buckets * 8
+    }
+
+    /// Pages the configured sketches occupy, rounded up.
+    pub fn memory_pages(&self, page_size: usize) -> usize {
+        self.memory_bytes().div_ceil(page_size.max(64)).max(1)
+    }
+}
+
+/// Largest power of two `≤ n` (`n ≥ 1`).
+fn prev_power_of_two(n: usize) -> usize {
+    1 << (usize::BITS - 1 - n.max(1).leading_zeros())
+}
+
+/// One-pass streaming statistics collector.
+#[derive(Debug)]
+pub struct StatsCollector {
+    config: StatsConfig,
+    spacesaving: SpaceSaving,
+    countmin: CountMinSketch,
+    kmv: KmvSketch,
+    histogram: EquiWidthHistogram,
+    n: u64,
+    min_key: Option<u64>,
+    max_key: Option<u64>,
+    /// Holds the page budget against the join's buffer pool for the lifetime
+    /// of the collection pass.
+    reservation: Option<Reservation>,
+}
+
+impl StatsCollector {
+    /// Creates a collector with explicit sketch sizing and no buffer-pool
+    /// charge (for tests and offline analysis).
+    pub fn new(config: StatsConfig) -> Self {
+        let histogram = match config.key_domain {
+            Some((lo, hi)) => EquiWidthHistogram::new(lo, hi, config.hist_buckets),
+            None => EquiWidthHistogram::adaptive(0, config.hist_buckets),
+        };
+        StatsCollector {
+            spacesaving: SpaceSaving::new(config.mcv_counters),
+            countmin: CountMinSketch::new(config.cm_width, config.cm_depth),
+            kmv: KmvSketch::new(config.kmv_k),
+            histogram,
+            n: 0,
+            min_key: None,
+            max_key: None,
+            reservation: None,
+            config,
+        }
+    }
+
+    /// Creates a collector sized for `pages` pages, **reserving the
+    /// sketches' footprint from `pool`** for the lifetime of the collection
+    /// pass. Fails with
+    /// [`StorageError::OutOfMemory`](nocap_storage::StorageError::OutOfMemory)
+    /// if the pool cannot spare it — statistics collection must not
+    /// silently exceed the operator's memory budget.
+    pub fn with_budget(pool: &BufferPool, pages: usize, page_size: usize) -> Result<Self> {
+        let config = StatsConfig::for_budget_pages(pages, page_size);
+        // For every realistic geometry the footprint fits the request; only
+        // degenerate page sizes (under ~256 bytes, where even one-of-each
+        // sketch outgrows a page) need more, and then the *actual* footprint
+        // is what gets reserved — never charged less than used.
+        let reservation = pool.reserve(pages.max(config.memory_pages(page_size)))?;
+        let mut collector = Self::new(config);
+        collector.reservation = Some(reservation);
+        Ok(collector)
+    }
+
+    /// The sketch sizing in effect.
+    pub fn config(&self) -> &StatsConfig {
+        &self.config
+    }
+
+    /// Keys observed so far.
+    pub fn observed(&self) -> u64 {
+        self.n
+    }
+
+    /// Observes one join key.
+    pub fn observe(&mut self, key: u64) {
+        self.n += 1;
+        self.spacesaving.offer(key);
+        self.countmin.add(key);
+        self.kmv.insert(key);
+        self.histogram.add(key);
+        self.min_key = Some(self.min_key.map_or(key, |m| m.min(key)));
+        self.max_key = Some(self.max_key.map_or(key, |m| m.max(key)));
+    }
+
+    /// Observes one record (its join key).
+    pub fn observe_record(&mut self, record: &Record) {
+        self.observe(record.key());
+    }
+
+    /// Consumes an entire relation scan in one pass. This is the intended
+    /// entry point: page-granular sequential reads, every record's key
+    /// offered to every sketch exactly once.
+    pub fn consume(&mut self, scan: RelationScan) -> Result<()> {
+        for record in scan {
+            self.observe_record(&record?);
+        }
+        Ok(())
+    }
+
+    /// Consumes a fallible key stream (the `stream_keys` hook of
+    /// `nocap-workload` generators produces exactly this shape).
+    pub fn consume_keys<I>(&mut self, keys: I) -> Result<()>
+    where
+        I: IntoIterator<Item = Result<u64>>,
+    {
+        for key in keys {
+            self.observe(key?);
+        }
+        Ok(())
+    }
+
+    /// Finishes the pass: releases the buffer-pool reservation and returns
+    /// the summary.
+    pub fn finish(mut self) -> StatsSummary {
+        drop(self.reservation.take());
+        let mcvs = self.spacesaving.top_k(self.spacesaving.capacity());
+        StatsSummary {
+            n: self.n,
+            mcvs,
+            error_guarantee: self.spacesaving.error_guarantee(),
+            unmonitored_ceiling: self.spacesaving.min_count(),
+            distinct: self.kmv.estimate(),
+            min_key: self.min_key,
+            max_key: self.max_key,
+            spacesaving: self.spacesaving,
+            countmin: self.countmin,
+            histogram: self.histogram,
+        }
+    }
+}
+
+/// The planner-facing artifact of one collection pass.
+#[derive(Debug, Clone)]
+pub struct StatsSummary {
+    n: u64,
+    mcvs: Vec<McvEstimate>,
+    error_guarantee: u64,
+    unmonitored_ceiling: u64,
+    distinct: f64,
+    min_key: Option<u64>,
+    max_key: Option<u64>,
+    spacesaving: SpaceSaving,
+    countmin: CountMinSketch,
+    histogram: EquiWidthHistogram,
+}
+
+impl StatsSummary {
+    /// Exact number of records observed (the stream length, `n_S` when the
+    /// fact relation was scanned).
+    pub fn stream_len(&self) -> u64 {
+        self.n
+    }
+
+    /// The tracked most common values, most frequent first, with error
+    /// bounds. At most `mcv_counters` entries.
+    pub fn mcvs(&self) -> &[McvEstimate] {
+        &self.mcvs
+    }
+
+    /// The `k` hottest MCVs as the `(key, count)` pairs the NOCAP planner
+    /// consumes.
+    pub fn mcv_pairs(&self, k: usize) -> Vec<(u64, u64)> {
+        nocap_model::estimate::to_pairs(&self.mcvs[..k.min(self.mcvs.len())])
+    }
+
+    /// The SpaceSaving guarantee: no MCV count overestimates its true
+    /// frequency by more than this (`N / counters`).
+    pub fn error_guarantee(&self) -> u64 {
+        self.error_guarantee
+    }
+
+    /// Upper bound on the frequency of any key *not* in the MCV list.
+    pub fn unmonitored_ceiling(&self) -> u64 {
+        self.unmonitored_ceiling
+    }
+
+    /// Estimated number of distinct keys (KMV).
+    pub fn distinct_keys(&self) -> f64 {
+        self.distinct
+    }
+
+    /// Smallest key observed, if any record was seen.
+    pub fn min_key(&self) -> Option<u64> {
+        self.min_key
+    }
+
+    /// Largest key observed, if any record was seen.
+    pub fn max_key(&self) -> Option<u64> {
+        self.max_key
+    }
+
+    /// Best available frequency estimate for one key: the SpaceSaving
+    /// estimate when monitored, otherwise the Count-Min upper bound capped
+    /// by the unmonitored ceiling.
+    pub fn estimate_frequency(&self, key: u64) -> u64 {
+        match self.spacesaving.estimate(key) {
+            Some((count, _)) => count,
+            None => self.countmin.estimate(key).min(self.unmonitored_ceiling),
+        }
+    }
+
+    /// Equi-width fallback estimate for one key (uniformity within bucket).
+    pub fn histogram_estimate(&self, key: u64) -> f64 {
+        self.histogram.estimate(key)
+    }
+
+    /// Resident size of the retained sketches, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.spacesaving.memory_bytes()
+            + self.countmin.memory_bytes()
+            + self.histogram.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocap_storage::{Record, RecordLayout, Relation, SimDevice, StorageError};
+
+    fn skewed_relation(device: nocap_storage::device::DeviceRef, n_keys: u64) -> Relation {
+        // Key k appears (n_keys / (k+1)).max(1) times, round-robin order.
+        let mut keys: Vec<u64> = Vec::new();
+        for k in 0..n_keys {
+            for _ in 0..(n_keys / (k + 1)).max(1) {
+                keys.push(k);
+            }
+        }
+        keys.sort_by_key(|&k| (k.wrapping_mul(0x9E3779B97F4A7C15)) >> 32);
+        Relation::bulk_load(
+            device,
+            RecordLayout::new(24),
+            4096,
+            keys.into_iter().map(|k| Record::with_fill(k, 24, 0)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn one_pass_collects_exact_stream_length() {
+        let device = SimDevice::new_ref();
+        let rel = skewed_relation(device, 500);
+        let mut collector = StatsCollector::new(StatsConfig::default());
+        collector.consume(rel.scan()).unwrap();
+        let summary = collector.finish();
+        assert_eq!(summary.stream_len() as usize, rel.num_records());
+        assert!(summary.distinct_keys() > 0.0);
+        assert_eq!(summary.min_key(), Some(0));
+        assert_eq!(summary.max_key(), Some(499));
+    }
+
+    #[test]
+    fn budget_is_charged_to_the_pool_and_released() {
+        let device = SimDevice::new_ref();
+        let rel = skewed_relation(device, 200);
+        let pool = BufferPool::new(32);
+        let mut collector = StatsCollector::with_budget(&pool, 8, 4096).unwrap();
+        assert_eq!(pool.in_use(), 8, "collection must hold its pages");
+        collector.consume(rel.scan()).unwrap();
+        let summary = collector.finish();
+        assert_eq!(pool.in_use(), 0, "finish must release the reservation");
+        assert!(!summary.mcvs().is_empty());
+    }
+
+    #[test]
+    fn over_budget_collection_is_rejected() {
+        let pool = BufferPool::new(4);
+        let err = StatsCollector::with_budget(&pool, 8, 4096).unwrap_err();
+        assert!(matches!(err, StorageError::OutOfMemory { .. }));
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn sketch_sizing_fits_the_requested_pages() {
+        for page_size in [256usize, 512, 1024, 4096, 16_384] {
+            for pages in [1usize, 2, 4, 16, 64, 256] {
+                let config = StatsConfig::for_budget_pages(pages, page_size);
+                assert!(
+                    config.memory_pages(page_size) <= pages,
+                    "{pages} x {page_size}-byte budget produced {} pages of sketches",
+                    config.memory_pages(page_size)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_budgets_and_small_pages_do_not_panic_or_undercharge() {
+        // Regression: the old fixed sizing floors (~2 KB) exceeded one small
+        // page, tripping a debug assert and under-reserving in release.
+        let pool = BufferPool::new(16);
+        let collector = StatsCollector::with_budget(&pool, 1, 1024).unwrap();
+        assert_eq!(pool.in_use(), 1, "1 KB of sketches must fit one 1 KB page");
+        assert!(collector.config().memory_bytes() <= 1024);
+        drop(collector);
+        // Degenerate page size: the structural minimum (~232 B of sketches)
+        // spans several 64-byte pages; the reservation covers the real
+        // footprint instead of silently exceeding the single requested page.
+        let collector = StatsCollector::with_budget(&pool, 1, 64).unwrap();
+        let config = collector.config();
+        assert_eq!(pool.in_use(), config.memory_pages(64));
+        assert!(pool.in_use() >= 1);
+    }
+
+    #[test]
+    fn mcv_estimates_bracket_the_truth() {
+        let device = SimDevice::new_ref();
+        let n_keys = 400u64;
+        let rel = skewed_relation(device, n_keys);
+        let mut collector = StatsCollector::new(StatsConfig {
+            mcv_counters: 64,
+            ..StatsConfig::default()
+        });
+        collector.consume(rel.scan()).unwrap();
+        let summary = collector.finish();
+        let truth = |k: u64| (n_keys / (k + 1)).max(1);
+        for est in summary.mcvs().iter().take(10) {
+            let t = truth(est.key);
+            assert!(est.count >= t, "MCV count must not underestimate");
+            assert!(est.guaranteed_count() <= t, "lower bound must hold");
+        }
+        // The hottest key must be identified.
+        assert_eq!(summary.mcvs()[0].key, 0);
+    }
+
+    #[test]
+    fn point_queries_fall_back_beyond_the_mcv_list() {
+        let device = SimDevice::new_ref();
+        let rel = skewed_relation(device, 300);
+        let mut collector = StatsCollector::new(StatsConfig {
+            mcv_counters: 16,
+            ..StatsConfig::default()
+        });
+        collector.consume(rel.scan()).unwrap();
+        let summary = collector.finish();
+        // A cold key not in the 16-counter summary still gets a finite,
+        // ceiling-capped estimate.
+        let cold = 299u64;
+        let est = summary.estimate_frequency(cold);
+        assert!(est <= summary.unmonitored_ceiling().max(1));
+    }
+
+    #[test]
+    fn consume_keys_matches_consume_scan() {
+        let device = SimDevice::new_ref();
+        let rel = skewed_relation(device, 250);
+        let mut by_scan = StatsCollector::new(StatsConfig::default());
+        by_scan.consume(rel.scan()).unwrap();
+        let mut by_keys = StatsCollector::new(StatsConfig::default());
+        by_keys
+            .consume_keys(rel.scan().map(|r| r.map(|rec| rec.key())))
+            .unwrap();
+        let (a, b) = (by_scan.finish(), by_keys.finish());
+        assert_eq!(a.stream_len(), b.stream_len());
+        assert_eq!(a.mcvs(), b.mcvs());
+        assert_eq!(a.distinct_keys(), b.distinct_keys());
+    }
+}

@@ -1,0 +1,237 @@
+//! The Count-Min sketch (Cormode & Muthukrishnan).
+//!
+//! A `depth × width` grid of counters; each of the `depth` rows hashes the
+//! key with an independent hash-family member and increments one cell. A
+//! point query returns the minimum cell over the rows, which is always an
+//! **overestimate** of the true frequency; with width `w = ⌈e/ε⌉` and depth
+//! `d = ⌈ln(1/δ)⌉` the overestimate exceeds the truth by more than `ε·N`
+//! with probability at most `δ`.
+//!
+//! In the stats pipeline the Count-Min sketch answers frequency point
+//! queries for keys the SpaceSaving summary does *not* monitor (the long
+//! tail), and cross-checks the summary's estimates.
+
+use crate::mix_with_seed;
+
+/// A Count-Min sketch over `u64` keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountMinSketch {
+    /// Cells, row-major: `cells[row * width + col]`.
+    cells: Vec<u64>,
+    width: usize,
+    depth: usize,
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with the given geometry. `width` is rounded up to a
+    /// power of two (for mask-based indexing); both dimensions have a floor
+    /// of 1.
+    pub fn new(width: usize, depth: usize) -> Self {
+        let width = width.max(1).next_power_of_two();
+        let depth = depth.max(1);
+        CountMinSketch {
+            cells: vec![0; width * depth],
+            width,
+            depth,
+            total: 0,
+        }
+    }
+
+    /// Creates a sketch sized for the standard `(ε, δ)` guarantee:
+    /// overestimation beyond `ε·N` with probability at most `δ`.
+    pub fn with_error(epsilon: f64, delta: f64) -> Self {
+        let epsilon = epsilon.clamp(1e-9, 1.0);
+        let delta = delta.clamp(1e-12, 0.5);
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        CountMinSketch::new(width, depth)
+    }
+
+    /// Number of columns (a power of two).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total stream weight observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observes one occurrence of `key`.
+    pub fn add(&mut self, key: u64) {
+        self.add_weighted(key, 1);
+    }
+
+    /// Observes `weight` occurrences of `key`.
+    pub fn add_weighted(&mut self, key: u64, weight: u64) {
+        self.total += weight;
+        let mask = (self.width - 1) as u64;
+        for row in 0..self.depth {
+            let col = (mix_with_seed(key, row as u64 + 1) & mask) as usize;
+            self.cells[row * self.width + col] += weight;
+        }
+    }
+
+    /// Point query: an upper bound on the frequency of `key` (the min over
+    /// rows). Never underestimates.
+    pub fn estimate(&self, key: u64) -> u64 {
+        let mask = (self.width - 1) as u64;
+        let mut best = u64::MAX;
+        for row in 0..self.depth {
+            let col = (mix_with_seed(key, row as u64 + 1) & mask) as usize;
+            best = best.min(self.cells[row * self.width + col]);
+        }
+        if best == u64::MAX {
+            0
+        } else {
+            best
+        }
+    }
+
+    /// Merges `other` into `self` by cell-wise addition. Merge is exact (and
+    /// therefore associative and commutative): the merged sketch equals the
+    /// sketch of the concatenated streams.
+    ///
+    /// # Panics
+    /// If the two sketches have different geometry — they would not share a
+    /// hash family.
+    pub fn merge(&mut self, other: &CountMinSketch) {
+        assert_eq!(
+            (self.width, self.depth),
+            (other.width, other.depth),
+            "can only merge Count-Min sketches with identical geometry"
+        );
+        for (a, b) in self.cells.iter_mut().zip(other.cells.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Approximate resident size in bytes (the cell grid dominates).
+    pub fn memory_bytes(&self) -> usize {
+        self.cells.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn stream() -> Vec<u64> {
+        // Key i appears (1000 / (i+1)) times, i in 0..100.
+        let mut s = Vec::new();
+        for i in 0..100u64 {
+            for _ in 0..(1_000 / (i + 1)) {
+                s.push(i);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn never_underestimates() {
+        let s = stream();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut cm = CountMinSketch::new(256, 4);
+        for &k in &s {
+            cm.add(k);
+            *truth.entry(k).or_insert(0) += 1;
+        }
+        for (&k, &t) in &truth {
+            assert!(cm.estimate(k) >= t, "CM underestimated key {k}");
+        }
+        // Unseen keys may collide but the estimate is still an upper bound
+        // of their true count, 0 — trivially satisfied. Sanity: most unseen
+        // keys in a sparse sketch stay small.
+        assert_eq!(cm.total(), s.len() as u64);
+    }
+
+    #[test]
+    fn epsilon_bound_holds_on_average() {
+        let s = stream();
+        let mut cm = CountMinSketch::with_error(0.01, 0.01);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &k in &s {
+            cm.add(k);
+            *truth.entry(k).or_insert(0) += 1;
+        }
+        let n = s.len() as u64;
+        let eps_n = (0.01 * n as f64).ceil() as u64;
+        let violations = truth
+            .iter()
+            .filter(|(&k, &t)| cm.estimate(k) > t + eps_n)
+            .count();
+        assert!(
+            violations <= truth.len() / 20,
+            "too many ε·N violations: {violations}"
+        );
+    }
+
+    #[test]
+    fn width_rounds_to_power_of_two() {
+        let cm = CountMinSketch::new(100, 3);
+        assert_eq!(cm.width(), 128);
+        assert_eq!(cm.depth(), 3);
+        assert_eq!(cm.memory_bytes(), 128 * 3 * 8);
+    }
+
+    #[test]
+    fn merge_equals_concatenated_stream() {
+        let s = stream();
+        let (left, right) = s.split_at(s.len() / 2);
+        let mut a = CountMinSketch::new(128, 4);
+        let mut b = CountMinSketch::new(128, 4);
+        let mut whole = CountMinSketch::new(128, 4);
+        for &k in left {
+            a.add(k);
+        }
+        for &k in right {
+            b.add(k);
+        }
+        for &k in &s {
+            whole.add(k);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let s = stream();
+        let third = s.len() / 3;
+        let parts = [&s[..third], &s[third..2 * third], &s[2 * third..]];
+        let sketch = |keys: &[u64]| {
+            let mut cm = CountMinSketch::new(64, 3);
+            for &k in keys {
+                cm.add(k);
+            }
+            cm
+        };
+        let (s0, s1, s2) = (sketch(parts[0]), sketch(parts[1]), sketch(parts[2]));
+        // (s0 ⊕ s1) ⊕ s2
+        let mut left = s0.clone();
+        left.merge(&s1);
+        left.merge(&s2);
+        // s0 ⊕ (s1 ⊕ s2)
+        let mut right_inner = s1.clone();
+        right_inner.merge(&s2);
+        let mut right = s0.clone();
+        right.merge(&right_inner);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical geometry")]
+    fn merging_mismatched_geometry_panics() {
+        let mut a = CountMinSketch::new(64, 3);
+        let b = CountMinSketch::new(128, 3);
+        a.merge(&b);
+    }
+}

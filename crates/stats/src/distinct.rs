@@ -1,0 +1,194 @@
+//! KMV (k-minimum-values) distinct-count estimation (Bar-Yossef et al.;
+//! Beyer et al., "On Synopses for Distinct-Value Estimation Under Multiset
+//! Operations").
+//!
+//! Hash every key to a uniform 64-bit value and keep only the `k` smallest
+//! distinct hashes. If the `k`-th smallest hash, normalized to `(0, 1]`, is
+//! `u`, the stream contained about `(k − 1) / u` distinct keys. While fewer
+//! than `k` distinct hashes have been seen the estimate is exact.
+//!
+//! KMV was chosen over HyperLogLog because its sketch is a plain sorted set
+//! of hashes: merging is set union (exactly associative), the estimator is
+//! unbiased, and the memory accounting is trivially `k × 8` bytes. The NOCAP
+//! pipeline uses the estimate to size the residual partitioner
+//! (`n_R − |K_mem| − |K_disk|` keys) when no exact key count is available.
+
+use std::collections::BTreeSet;
+
+use crate::mix_with_seed;
+
+/// Seed for the KMV hash; fixed so sketches are always mergeable.
+const KMV_SEED: u64 = 0x5EED_0D15_717C_0CA9;
+
+/// A KMV distinct-count sketch keeping the `k` smallest key hashes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KmvSketch {
+    k: usize,
+    /// The smallest distinct hashes seen, at most `k` of them.
+    hashes: BTreeSet<u64>,
+}
+
+impl KmvSketch {
+    /// Creates a sketch keeping the `k ≥ 2` smallest hashes. Accuracy is
+    /// roughly `1 / √k` relative error.
+    pub fn new(k: usize) -> Self {
+        KmvSketch {
+            k: k.max(2),
+            hashes: BTreeSet::new(),
+        }
+    }
+
+    /// Number of minimum hashes this sketch retains.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Observes `key` (duplicates are free: they hash identically).
+    pub fn insert(&mut self, key: u64) {
+        let h = mix_with_seed(key, KMV_SEED);
+        if self.hashes.len() < self.k {
+            self.hashes.insert(h);
+            return;
+        }
+        let max = *self.hashes.iter().next_back().expect("non-empty at k");
+        if h < max && self.hashes.insert(h) {
+            self.hashes.remove(&max);
+        }
+    }
+
+    /// Estimated number of distinct keys observed.
+    pub fn estimate(&self) -> f64 {
+        if self.hashes.len() < self.k {
+            // Fewer than k distinct hashes: the sketch is lossless.
+            return self.hashes.len() as f64;
+        }
+        let kth = *self.hashes.iter().next_back().expect("non-empty at k");
+        // Normalize to (0, 1]; +1 avoids division by zero for hash 0.
+        let u = (kth as f64 + 1.0) / (u64::MAX as f64 + 1.0);
+        (self.k as f64 - 1.0) / u
+    }
+
+    /// Merges `other` into `self`: the union of both hash sets, truncated to
+    /// the `k` smallest. The merge is exactly associative and commutative —
+    /// it equals the sketch of the union stream.
+    ///
+    /// # Panics
+    /// If the sketches have different `k`: the smaller-`k` sketch has
+    /// discarded hashes the union would need, so its tail minima are not the
+    /// true minima and the merged estimate would silently underestimate.
+    pub fn merge(&mut self, other: &KmvSketch) {
+        assert_eq!(
+            self.k, other.k,
+            "can only merge KMV sketches with the same k"
+        );
+        for &h in &other.hashes {
+            self.hashes.insert(h);
+        }
+        while self.hashes.len() > self.k {
+            let max = *self.hashes.iter().next_back().expect("non-empty");
+            self.hashes.remove(&max);
+        }
+    }
+
+    /// Approximate resident size in bytes (BTreeSet node overhead included).
+    pub fn memory_bytes(&self) -> usize {
+        self.k * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_cardinalities_are_exact() {
+        let mut kmv = KmvSketch::new(64);
+        for k in 0..40u64 {
+            kmv.insert(k);
+            kmv.insert(k); // duplicates must not count
+        }
+        assert_eq!(kmv.estimate(), 40.0);
+    }
+
+    #[test]
+    fn large_cardinalities_are_close() {
+        let mut kmv = KmvSketch::new(256);
+        let n = 50_000u64;
+        for k in 0..n {
+            kmv.insert(k);
+        }
+        let est = kmv.estimate();
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(
+            rel < 0.2,
+            "relative error {rel:.3} too large (est {est:.0})"
+        );
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate_the_estimate() {
+        let mut kmv = KmvSketch::new(128);
+        for _ in 0..100 {
+            for k in 0..1_000u64 {
+                kmv.insert(k);
+            }
+        }
+        let est = kmv.estimate();
+        let rel = (est - 1_000.0).abs() / 1_000.0;
+        assert!(rel < 0.25, "estimate {est:.0} should be near 1000");
+    }
+
+    #[test]
+    fn merge_equals_union_and_is_associative() {
+        let sketch = |range: std::ops::Range<u64>| {
+            let mut s = KmvSketch::new(64);
+            for k in range {
+                s.insert(k);
+            }
+            s
+        };
+        let (a, b, c) = (sketch(0..800), sketch(400..1_200), sketch(1_000..2_000));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        assert_eq!(left, right, "KMV merge must be associative");
+
+        let union = sketch(0..2_000);
+        assert_eq!(left, union, "merged sketch must equal the union stream's");
+    }
+
+    #[test]
+    #[should_panic(expected = "same k")]
+    fn merging_mismatched_k_panics() {
+        let mut a = KmvSketch::new(256);
+        let b = KmvSketch::new(64);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn merge_respects_k() {
+        let mut a = KmvSketch::new(32);
+        let mut b = KmvSketch::new(32);
+        for k in 0..10_000u64 {
+            if k % 2 == 0 {
+                a.insert(k);
+            } else {
+                b.insert(k);
+            }
+        }
+        a.merge(&b);
+        let est = a.estimate();
+        let rel = (est - 10_000.0).abs() / 10_000.0;
+        assert!(
+            rel < 0.5,
+            "merged estimate {est:.0} unreasonably far from 10000"
+        );
+    }
+}

@@ -1,0 +1,496 @@
+//! An equi-width fallback histogram over the join-key domain.
+//!
+//! When a key is neither monitored by the SpaceSaving summary nor worth a
+//! Count-Min point query (e.g. range-level reasoning, or sanity-checking the
+//! sketches), the histogram provides coarse frequency mass per key range:
+//! `buckets` equal-width buckets, out-of-range keys clamped into the edge
+//! buckets. The per-key estimate assumes uniformity within a bucket — the
+//! classic equi-width assumption of textbook optimizers, which is exactly
+//! the "no correlation knowledge" baseline the paper argues against; it is
+//! kept as the fallback of last resort.
+//!
+//! Two modes:
+//!
+//! * **Fixed domain** ([`EquiWidthHistogram::new`]): the caller knows the
+//!   key range (catalog knowledge) and buckets span `[lo, hi)`.
+//! * **Adaptive** ([`EquiWidthHistogram::adaptive`]): no domain knowledge
+//!   needed. Buckets start one key wide at `lo` and, whenever a key lands
+//!   beyond the current range, the bucket width doubles (adjacent buckets
+//!   merge pairwise) until it fits — the standard one-pass trick for
+//!   streaming equi-width histograms. Widths are always `2^i`, so two
+//!   adaptive histograms with the same `lo` and bucket count are mergeable
+//!   regardless of how far each expanded.
+
+/// An equi-width histogram over `u64` keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquiWidthHistogram {
+    lo: u64,
+    counts: Vec<u64>,
+    /// Distinct-key width of each bucket.
+    bucket_width: u64,
+    /// Whether the bucket width doubles to cover out-of-range keys.
+    adaptive: bool,
+    total: u64,
+}
+
+impl EquiWidthHistogram {
+    /// Creates a fixed-domain histogram with `buckets ≥ 1` buckets over the
+    /// half-open key domain `[lo, hi)` (`hi > lo` enforced by widening
+    /// degenerate domains). Keys outside the domain clamp to the edge
+    /// buckets.
+    pub fn new(lo: u64, hi: u64, buckets: usize) -> Self {
+        let hi = hi.max(lo + 1);
+        let buckets = buckets.max(1);
+        let span = hi - lo;
+        let bucket_width = span.div_ceil(buckets as u64).max(1);
+        // With clamping, the last buckets may be unused when span < buckets.
+        let effective = span.div_ceil(bucket_width) as usize;
+        EquiWidthHistogram {
+            lo,
+            counts: vec![0; effective.max(1)],
+            bucket_width,
+            adaptive: false,
+            total: 0,
+        }
+    }
+
+    /// Creates an adaptive histogram: `buckets` buckets starting one key
+    /// wide, doubling in width whenever a key lands beyond the covered
+    /// range. Use this when the key domain is unknown upfront.
+    ///
+    /// `lo` is only a provisional anchor: the first observed key replaces
+    /// it, and later keys below the anchor re-anchor it downward (shifting
+    /// buckets, doubling the width only when the shift would push occupied
+    /// buckets off the top). Domains far from `lo` — snowflake-style ids,
+    /// hash-derived keys — therefore keep full bucket resolution instead of
+    /// expanding across the gap. Two adaptive histograms are mergeable once
+    /// their anchors coincide (e.g. shards of the same key-ordered stream,
+    /// or both still empty).
+    pub fn adaptive(lo: u64, buckets: usize) -> Self {
+        EquiWidthHistogram {
+            lo,
+            counts: vec![0; buckets.max(1)],
+            bucket_width: 1,
+            adaptive: true,
+            total: 0,
+        }
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total observed weight.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Distinct-key width of each bucket.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+
+    /// Exclusive upper end of the covered range.
+    fn hi(&self) -> u128 {
+        self.lo as u128 + self.bucket_width as u128 * self.counts.len() as u128
+    }
+
+    /// The bucket index a key falls into (clamped into the covered range).
+    pub fn bucket_of(&self, key: u64) -> usize {
+        let key = key.max(self.lo);
+        (((key - self.lo) / self.bucket_width) as usize).min(self.counts.len() - 1)
+    }
+
+    /// Doubles the bucket width by merging adjacent bucket pairs (an odd
+    /// trailing bucket carries over unpaired).
+    fn expand(&mut self) {
+        let n = self.counts.len();
+        let half = n.div_ceil(2);
+        for i in 0..half {
+            let a = self.counts[2 * i];
+            let b = if 2 * i + 1 < n {
+                self.counts[2 * i + 1]
+            } else {
+                0
+            };
+            self.counts[i] = a + b;
+        }
+        for c in self.counts.iter_mut().skip(half) {
+            *c = 0;
+        }
+        self.bucket_width = self.bucket_width.saturating_mul(2);
+    }
+
+    /// Re-anchors the histogram downward so `key < lo` is covered.
+    ///
+    /// Fast path: shift occupied buckets toward higher indices by whole
+    /// buckets (exact — every count keeps its key range), doubling the
+    /// bucket width when the shift would push them off the top. When no
+    /// whole-bucket shift can reach `key` (the anchor is smaller than one
+    /// bucket width), fall back to a rebuild that re-anchors at `key` and
+    /// re-bins each occupied bucket by its old lower bound — approximate,
+    /// but off by at most one old bucket width, the histogram's own
+    /// resolution.
+    fn cover_below(&mut self, key: u64) {
+        debug_assert!(self.adaptive && key < self.lo);
+        let n = self.counts.len();
+        if n == 1 {
+            self.lo = key;
+            return;
+        }
+        loop {
+            let delta = self.lo - key;
+            let shift = delta.div_ceil(self.bucket_width);
+            let drop = shift as u128 * self.bucket_width as u128;
+            if drop > self.lo as u128 {
+                break; // no exact whole-bucket shift exists; rebuild below
+            }
+            let occupied = self
+                .counts
+                .iter()
+                .rposition(|&c| c > 0)
+                .map_or(0, |i| i + 1);
+            if shift as u128 + occupied as u128 <= n as u128 {
+                let shift = shift as usize;
+                for i in (0..occupied).rev() {
+                    self.counts[i + shift] = self.counts[i];
+                }
+                for c in self.counts.iter_mut().take(shift) {
+                    *c = 0;
+                }
+                self.lo -= drop as u64;
+                return;
+            }
+            let before = self.bucket_width;
+            self.expand();
+            if self.bucket_width == before {
+                break; // width saturated; rebuild below
+            }
+        }
+        // Rebuild: re-anchor, widen until the old range is covered, and
+        // re-bin each occupied bucket by its old lower bound. Anchor at 0
+        // when the key is within the histogram's current reach of it —
+        // shuffled 0-based streams then never rebuild again — and at the
+        // key itself for distant domains (snowflake-style ids), preserving
+        // resolution there.
+        let (old_lo, old_width) = (self.lo, self.bucket_width);
+        let old_hi = old_lo as u128 + old_width as u128 * n as u128;
+        let old_counts = std::mem::replace(&mut self.counts, vec![0; n]);
+        self.lo = if (key as u128) < old_width as u128 * n as u128 {
+            0
+        } else {
+            key
+        };
+        while self.hi() < old_hi && self.bucket_width < u64::MAX {
+            self.bucket_width = self.bucket_width.saturating_mul(2);
+        }
+        for (i, mass) in old_counts.into_iter().enumerate() {
+            if mass == 0 {
+                continue;
+            }
+            let low = old_lo as u128 + i as u128 * old_width as u128;
+            let idx = (((low - self.lo as u128) / self.bucket_width as u128) as usize).min(n - 1);
+            self.counts[idx] += mass;
+        }
+    }
+
+    /// Observes one occurrence of `key`.
+    pub fn add(&mut self, key: u64) {
+        self.add_weighted(key, 1);
+    }
+
+    /// Observes `weight` occurrences of `key`. In adaptive mode the bucket
+    /// width doubles until the key is covered; in fixed mode out-of-range
+    /// keys clamp to the edge buckets.
+    pub fn add_weighted(&mut self, key: u64, weight: u64) {
+        if self.adaptive {
+            if self.total == 0 {
+                // Anchor at the first observed key so distant domains keep
+                // full resolution instead of expanding across the gap.
+                self.lo = key;
+            } else if key < self.lo {
+                self.cover_below(key);
+            }
+            while (key as u128) >= self.hi() {
+                let before = self.bucket_width;
+                self.expand();
+                if self.bucket_width == before {
+                    break; // width saturated at u64::MAX; clamp into the top bucket
+                }
+            }
+        }
+        let b = self.bucket_of(key);
+        self.counts[b] += weight;
+        self.total += weight;
+    }
+
+    /// Total weight in the bucket containing `key`.
+    pub fn bucket_mass(&self, key: u64) -> u64 {
+        self.counts[self.bucket_of(key)]
+    }
+
+    /// Per-key frequency estimate under the uniformity assumption:
+    /// bucket mass divided by the bucket's key width.
+    pub fn estimate(&self, key: u64) -> f64 {
+        self.bucket_mass(key) as f64 / self.bucket_width as f64
+    }
+
+    /// Merges `other` into `self` by bucket-wise addition. Two adaptive
+    /// histograms with the same origin and bucket count are always
+    /// mergeable (the narrower one expands to the wider width first);
+    /// fixed-domain histograms must match exactly.
+    ///
+    /// # Panics
+    /// If the histograms differ in origin, bucket count or mode, or (fixed
+    /// mode) bucket width.
+    pub fn merge(&mut self, other: &EquiWidthHistogram) {
+        assert_eq!(
+            (self.lo, self.counts.len(), self.adaptive),
+            (other.lo, other.counts.len(), other.adaptive),
+            "can only merge histograms with the same origin, bucket count and mode"
+        );
+        if self.adaptive {
+            let mut other = other.clone();
+            while self.bucket_width < other.bucket_width {
+                self.expand();
+            }
+            while other.bucket_width < self.bucket_width {
+                other.expand();
+            }
+            for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+                *a += b;
+            }
+            self.total += other.total;
+        } else {
+            assert_eq!(
+                self.bucket_width, other.bucket_width,
+                "can only merge histograms with the same origin, bucket count and mode"
+            );
+            for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+                *a += b;
+            }
+            self.total += other.total;
+        }
+    }
+
+    /// Approximate resident size in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.counts.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_domain() {
+        let h = EquiWidthHistogram::new(0, 1_000, 10);
+        assert_eq!(h.num_buckets(), 10);
+        assert_eq!(h.bucket_of(0), 0);
+        assert_eq!(h.bucket_of(99), 0);
+        assert_eq!(h.bucket_of(100), 1);
+        assert_eq!(h.bucket_of(999), 9);
+    }
+
+    #[test]
+    fn out_of_range_keys_clamp_to_edges() {
+        let mut h = EquiWidthHistogram::new(100, 200, 4);
+        h.add(5);
+        h.add(10_000);
+        assert_eq!(h.bucket_mass(100), 1);
+        assert_eq!(h.bucket_mass(199), 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn uniform_data_gives_uniform_estimates() {
+        let mut h = EquiWidthHistogram::new(0, 1_000, 10);
+        for k in 0..1_000u64 {
+            h.add_weighted(k, 5);
+        }
+        for probe in [0u64, 250, 500, 999] {
+            assert!((h.estimate(probe) - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_domains_do_not_panic() {
+        let mut h = EquiWidthHistogram::new(7, 7, 16);
+        h.add(7);
+        h.add(8);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.num_buckets(), 1);
+    }
+
+    #[test]
+    fn adaptive_histogram_tracks_the_observed_range() {
+        let mut h = EquiWidthHistogram::adaptive(0, 64);
+        for k in 0..20_000u64 {
+            h.add(k);
+        }
+        // Width grew to the smallest power of two covering 20000 keys with
+        // 64 buckets: 512 (64 * 512 = 32768 >= 20000).
+        assert_eq!(h.bucket_width(), 512);
+        assert_eq!(h.total(), 20_000);
+        // Uniform stream: fully-covered buckets estimate ~1 per key (the
+        // last bucket is only partially observed, so probe inside).
+        for probe in [0u64, 5_000, 19_000] {
+            assert!(
+                (h.estimate(probe) - 1.0).abs() < 0.01,
+                "estimate({probe}) = {}",
+                h.estimate(probe)
+            );
+        }
+        // Mass conservation through expansion.
+        let covered: u64 = (0..h.num_buckets())
+            .map(|i| h.bucket_mass(i as u64 * h.bucket_width()))
+            .sum();
+        assert_eq!(covered, 20_000);
+    }
+
+    #[test]
+    fn adaptive_expansion_preserves_skew() {
+        let mut h = EquiWidthHistogram::adaptive(0, 32);
+        for _ in 0..900 {
+            h.add(3); // hot key in the first bucket
+        }
+        for k in 0..10_000u64 {
+            h.add(k); // force several expansions
+        }
+        assert!(
+            h.estimate(3) > 2.0 * h.estimate(9_000),
+            "head must stay hot"
+        );
+    }
+
+    #[test]
+    fn adaptive_histogram_anchors_at_the_first_key() {
+        // Keys live far from 0 (snowflake-style ids); the histogram must
+        // keep resolution over the actual domain instead of expanding its
+        // bucket width across the gap from the provisional anchor.
+        let base = 1_u64 << 40;
+        let mut h = EquiWidthHistogram::adaptive(0, 64);
+        for k in 0..10_000u64 {
+            h.add(base + k);
+        }
+        assert_eq!(h.bucket_width(), 256, "64 buckets x 256 covers 10000 keys");
+        assert!(
+            (h.estimate(base + 5_000) - 1.0).abs() < 0.01,
+            "estimate over the observed domain must stay sharp, got {}",
+            h.estimate(base + 5_000)
+        );
+        // Stragglers below the anchor re-anchor downward without coarsening
+        // (one-bucket shift, width unchanged).
+        h.add(base - 100);
+        assert_eq!(h.total(), 10_001);
+        assert_eq!(h.bucket_width(), 256);
+        assert!((h.estimate(base + 5_000) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn extreme_keys_terminate_even_when_the_width_saturates() {
+        // Regression: with one bucket, lo = 0 and key = u64::MAX, hi() can
+        // never exceed the key, so expansion must detect saturation and
+        // clamp instead of looping forever.
+        let mut h = EquiWidthHistogram::adaptive(0, 1);
+        h.add(0);
+        h.add(u64::MAX);
+        assert_eq!(h.total(), 2);
+        let mut wide = EquiWidthHistogram::adaptive(0, 8);
+        wide.add(1);
+        wide.add(u64::MAX);
+        wide.add(42);
+        assert_eq!(wide.total(), 3);
+    }
+
+    #[test]
+    fn unalignable_reanchor_rebins_instead_of_mislabeling() {
+        // Regression: anchor 3, width grown to 8 — a whole-bucket shift
+        // would need to drop lo by 8 > 3. The rebuild must keep the hot
+        // key's mass in the bucket that actually contains it.
+        let mut h = EquiWidthHistogram::adaptive(0, 4);
+        for _ in 0..3 {
+            h.add(3);
+        }
+        h.add(30);
+        h.add(2);
+        assert_eq!(h.total(), 5);
+        assert_eq!(
+            h.bucket_mass(3),
+            4,
+            "keys 2 and 3 must share the first bucket, not drift upward"
+        );
+        assert_eq!(h.bucket_mass(30), 1);
+        assert!(h.estimate(3) > h.estimate(30));
+    }
+
+    #[test]
+    fn adaptive_histogram_handles_shuffled_streams() {
+        // A shuffled 0-based domain: the first key lands mid-domain, so the
+        // anchor must walk down as smaller keys arrive, keeping resolution.
+        let mut h = EquiWidthHistogram::adaptive(0, 64);
+        let mut keys: Vec<u64> = (0..4_096u64).collect();
+        // Deterministic shuffle-ish interleave: stride by a coprime (the
+        // +1 offset keeps key 0 away from the front).
+        keys.sort_by_key(|&k| ((k + 1) * 2_654_435_761) % 4_096);
+        assert_ne!(keys[0], 0, "test premise: first key is mid-domain");
+        for &k in &keys {
+            h.add(k);
+        }
+        assert_eq!(h.total(), 4_096);
+        // 64 buckets over 4096 keys: width must settle near 64, far from
+        // the pathological full-clamp (width 1 with everything in bucket 0).
+        assert!(
+            h.bucket_width() <= 256,
+            "width {} too coarse",
+            h.bucket_width()
+        );
+        for probe in [100u64, 2_000, 3_900] {
+            assert!(
+                (h.estimate(probe) - 1.0).abs() < 0.5,
+                "estimate({probe}) = {} should be near 1",
+                h.estimate(probe)
+            );
+        }
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let mut a = EquiWidthHistogram::new(0, 100, 4);
+        let mut b = EquiWidthHistogram::new(0, 100, 4);
+        a.add_weighted(10, 3);
+        b.add_weighted(10, 4);
+        b.add_weighted(90, 2);
+        a.merge(&b);
+        assert_eq!(a.bucket_mass(10), 7);
+        assert_eq!(a.bucket_mass(90), 2);
+        assert_eq!(a.total(), 9);
+    }
+
+    #[test]
+    fn adaptive_merge_reconciles_widths() {
+        let mut narrow = EquiWidthHistogram::adaptive(0, 16);
+        let mut wide = EquiWidthHistogram::adaptive(0, 16);
+        for k in 0..16u64 {
+            narrow.add(k); // width stays 1
+        }
+        for k in 0..1_000u64 {
+            wide.add(k); // width expands to 64
+        }
+        narrow.merge(&wide);
+        assert_eq!(narrow.bucket_width(), 64);
+        assert_eq!(narrow.total(), 1_016);
+        // The first bucket holds both streams' mass over keys 0..64.
+        assert_eq!(narrow.bucket_mass(0), 16 + 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "same origin")]
+    fn mismatched_merge_panics() {
+        let mut a = EquiWidthHistogram::new(0, 100, 4);
+        let b = EquiWidthHistogram::new(0, 200, 4);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,83 @@
+//! # nocap-stats
+//!
+//! Bounded-memory streaming statistics feeding the NOCAP planner.
+//!
+//! NOCAP's premise is planning from *limited* correlation knowledge: the
+//! top-k most-common-value (MCV) list. The rest of this workspace can build
+//! those statistics from a full [`CorrelationTable`](nocap_model::ct) — an
+//! oracle that would never fit the memory budget of a real system. This
+//! crate produces the same statistics in **one streaming pass** over the
+//! fact relation with sketches whose memory is charged, in pages, against
+//! the join's own [`BufferPool`](nocap_storage::BufferPool):
+//!
+//! * [`spacesaving`] — the SpaceSaving heavy-hitter summary (Metwally et
+//!   al.): `k` counters track the hottest keys with per-key error bounds and
+//!   the global guarantee `error ≤ N / k`.
+//! * [`countmin`] — a Count-Min sketch for per-key frequency point queries
+//!   on keys the SpaceSaving summary does not track (overestimate-only).
+//! * [`distinct`] — a KMV (k-minimum-values) distinct-count estimator, used
+//!   to size the residual partitioner (`n_R − |MCV|` keys).
+//! * [`histogram`] — an equi-width fallback histogram for coarse frequency
+//!   mass over key ranges when nothing better is available.
+//! * [`collector`] — [`StatsCollector`]: wires all four behind a single
+//!   one-pass consumer of a [`RelationScan`](nocap_storage::RelationScan),
+//!   sized from a page budget, producing a [`StatsSummary`] whose
+//!   [`McvEstimate`](nocap_model::McvEstimate)s feed the planner directly.
+//!
+//! ```
+//! use nocap_stats::{StatsCollector, StatsConfig};
+//! use nocap_storage::{BufferPool, Record, RecordLayout, Relation, SimDevice};
+//!
+//! // A skewed stream: key 0 appears 500 times, keys 1..100 once each.
+//! let device = SimDevice::new_ref();
+//! let keys = std::iter::repeat(0u64)
+//!     .take(500)
+//!     .chain(1..100u64);
+//! let s = Relation::bulk_load(
+//!     device,
+//!     RecordLayout::new(24),
+//!     4096,
+//!     keys.map(|k| Record::with_fill(k, 24, 0)),
+//! )
+//! .unwrap();
+//!
+//! // Collect within a 4-page budget charged to the pool.
+//! let pool = BufferPool::new(64);
+//! let mut collector = StatsCollector::with_budget(&pool, 4, 4096).unwrap();
+//! collector.consume(s.scan()).unwrap();
+//! let summary = collector.finish();
+//!
+//! assert_eq!(summary.stream_len(), 599);
+//! let hottest = &summary.mcvs()[0];
+//! assert_eq!(hottest.key, 0);
+//! assert!(hottest.count >= 500);
+//! assert!(hottest.guaranteed_count() <= 500);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod collector;
+pub mod countmin;
+pub mod distinct;
+pub mod histogram;
+pub mod spacesaving;
+
+pub use collector::{StatsCollector, StatsConfig, StatsSummary};
+pub use countmin::CountMinSketch;
+pub use distinct::KmvSketch;
+pub use histogram::EquiWidthHistogram;
+pub use spacesaving::SpaceSaving;
+
+/// SplitMix64 finalizer with a seed, the shared hash of every sketch in this
+/// crate. Matches the mixing quality of the partition router in `nocap` while
+/// letting each sketch row draw an independent hash family member.
+#[inline]
+pub(crate) fn mix_with_seed(key: u64, seed: u64) -> u64 {
+    let mut z = key
+        .wrapping_add(seed.wrapping_mul(0xA076_1D64_78BD_642F))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

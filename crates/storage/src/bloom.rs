@@ -26,7 +26,9 @@ impl BloomFilter {
         let n = expected_keys.max(1) as f64;
         let num_bits = (-(n * rate.ln()) / (std::f64::consts::LN_2.powi(2))).ceil() as u64;
         let num_bits = num_bits.max(64);
-        let num_hashes = ((num_bits as f64 / n) * std::f64::consts::LN_2).round().max(1.0) as u32;
+        let num_hashes = ((num_bits as f64 / n) * std::f64::consts::LN_2)
+            .round()
+            .max(1.0) as u32;
         BloomFilter {
             bits: vec![0u64; (num_bits as usize).div_ceil(64)],
             num_bits,
@@ -132,7 +134,10 @@ mod tests {
             .filter(|&k| bf.may_contain(k))
             .count();
         let rate = false_positives as f64 / 50_000.0;
-        assert!(rate < 0.05, "observed false-positive rate {rate} far above target");
+        assert!(
+            rate < 0.05,
+            "observed false-positive rate {rate} far above target"
+        );
     }
 
     #[test]
@@ -157,6 +162,9 @@ mod tests {
             bf.insert(k);
         }
         assert!(bf.fill_ratio() > before);
-        assert!(bf.fill_ratio() < 0.9, "a correctly sized filter is not saturated");
+        assert!(
+            bf.fill_ratio() < 0.9,
+            "a correctly sized filter is not saturated"
+        );
     }
 }

@@ -156,7 +156,10 @@ mod tests {
         let pool = BufferPool::new(5);
         let _a = pool.reserve(3).unwrap();
         let err = pool.reserve(3).unwrap_err();
-        assert!(matches!(err, StorageError::OutOfMemory { available: 2, .. }));
+        assert!(matches!(
+            err,
+            StorageError::OutOfMemory { available: 2, .. }
+        ));
         assert_eq!(pool.in_use(), 3);
     }
 

@@ -326,8 +326,7 @@ impl BlockDevice for FileDevice {
                 len: meta.pages,
             });
         }
-        let mut f =
-            fs::File::open(&meta.path).map_err(|e| StorageError::Io(e.to_string()))?;
+        let mut f = fs::File::open(&meta.path).map_err(|e| StorageError::Io(e.to_string()))?;
         f.seek(SeekFrom::Start((index * meta.page_size) as u64))
             .map_err(|e| StorageError::Io(e.to_string()))?;
         let mut buf = vec![0u8; meta.page_size];
@@ -374,7 +373,9 @@ mod tests {
     fn sim_device_append_read_roundtrip() {
         let dev = SimDevice::new();
         let f = dev.create_file();
-        let idx = dev.append_page(f, &page_with(&[1, 2, 3]), IoKind::RandWrite).unwrap();
+        let idx = dev
+            .append_page(f, &page_with(&[1, 2, 3]), IoKind::RandWrite)
+            .unwrap();
         assert_eq!(idx, 0);
         let p = dev.read_page(f, 0, IoKind::SeqRead).unwrap();
         let keys: Vec<u64> = p.records().map(|r| r.key()).collect();
@@ -387,7 +388,8 @@ mod tests {
         let dev = SimDevice::new();
         let f = dev.create_file();
         for _ in 0..4 {
-            dev.append_page(f, &page_with(&[7]), IoKind::RandWrite).unwrap();
+            dev.append_page(f, &page_with(&[7]), IoKind::RandWrite)
+                .unwrap();
         }
         for i in 0..4 {
             dev.read_page(f, i, IoKind::SeqRead).unwrap();
@@ -424,7 +426,8 @@ mod tests {
     fn sim_device_delete_releases_pages() {
         let dev = SimDevice::new();
         let f = dev.create_file();
-        dev.append_page(f, &page_with(&[1]), IoKind::RandWrite).unwrap();
+        dev.append_page(f, &page_with(&[1]), IoKind::RandWrite)
+            .unwrap();
         assert_eq!(dev.resident_pages(), 1);
         dev.delete_file(f).unwrap();
         assert_eq!(dev.resident_pages(), 0);
@@ -436,8 +439,10 @@ mod tests {
         let dev = FileDevice::new_temp().unwrap();
         let dir = dev.dir().clone();
         let f = dev.create_file();
-        dev.append_page(f, &page_with(&[10, 20]), IoKind::SeqWrite).unwrap();
-        dev.append_page(f, &page_with(&[30]), IoKind::SeqWrite).unwrap();
+        dev.append_page(f, &page_with(&[10, 20]), IoKind::SeqWrite)
+            .unwrap();
+        dev.append_page(f, &page_with(&[30]), IoKind::SeqWrite)
+            .unwrap();
         assert_eq!(dev.file_pages(f).unwrap(), 2);
         let p = dev.read_page(f, 1, IoKind::SeqRead).unwrap();
         assert_eq!(p.records().map(|r| r.key()).collect::<Vec<_>>(), vec![30]);
@@ -445,14 +450,18 @@ mod tests {
         assert_eq!(dev.stats().seq_reads, 1);
         dev.delete_file(f).unwrap();
         drop(dev);
-        assert!(!dir.exists(), "temporary directory should be removed on drop");
+        assert!(
+            !dir.exists(),
+            "temporary directory should be removed on drop"
+        );
     }
 
     #[test]
     fn file_device_rejects_mixed_page_sizes() {
         let dev = FileDevice::new_temp().unwrap();
         let f = dev.create_file();
-        dev.append_page(f, &page_with(&[1]), IoKind::SeqWrite).unwrap();
+        dev.append_page(f, &page_with(&[1]), IoKind::SeqWrite)
+            .unwrap();
         let other = Page::empty(512, RecordLayout::new(8));
         assert!(dev.append_page(f, &other, IoKind::SeqWrite).is_err());
     }

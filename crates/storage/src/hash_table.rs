@@ -29,7 +29,10 @@ impl JoinHashTable {
     /// `fudge` is the paper's `F` (≥ 1): the in-memory footprint of the table
     /// is charged as `F ×` the raw record bytes.
     pub fn new(layout: RecordLayout, page_size: usize, fudge: f64) -> Self {
-        assert!(fudge >= 1.0, "the fudge factor is a space amplification, F >= 1");
+        assert!(
+            fudge >= 1.0,
+            "the fudge factor is a space amplification, F >= 1"
+        );
         JoinHashTable {
             map: HashMap::new(),
             layout,
@@ -78,12 +81,7 @@ impl JoinHashTable {
 
     /// Pages a table of `records` records would require (static helper used
     /// by planners before any record is actually inserted).
-    pub fn pages_for(
-        records: usize,
-        layout: RecordLayout,
-        page_size: usize,
-        fudge: f64,
-    ) -> usize {
+    pub fn pages_for(records: usize, layout: RecordLayout, page_size: usize, fudge: f64) -> usize {
         if records == 0 {
             return 0;
         }

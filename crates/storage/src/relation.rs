@@ -199,11 +199,10 @@ impl RelationScan {
         if self.next_page >= self.relation.num_pages {
             return Ok(false);
         }
-        let page = self.relation.device.read_page(
-            self.relation.file,
-            self.next_page,
-            IoKind::SeqRead,
-        )?;
+        let page =
+            self.relation
+                .device
+                .read_page(self.relation.file, self.next_page, IoKind::SeqRead)?;
         self.next_page += 1;
         self.current = page.records().collect();
         self.current_pos = 0;
@@ -236,7 +235,9 @@ mod tests {
     use crate::device::SimDevice;
 
     fn records(n: usize, payload: usize) -> Vec<Record> {
-        (0..n as u64).map(|k| Record::with_fill(k, payload, 1)).collect()
+        (0..n as u64)
+            .map(|k| Record::with_fill(k, payload, 1))
+            .collect()
     }
 
     #[test]
@@ -280,8 +281,7 @@ mod tests {
     #[test]
     fn empty_relation_is_legal() {
         let dev = SimDevice::new_ref();
-        let rel =
-            Relation::bulk_load(dev, RecordLayout::new(8), 128, std::iter::empty()).unwrap();
+        let rel = Relation::bulk_load(dev, RecordLayout::new(8), 128, std::iter::empty()).unwrap();
         assert_eq!(rel.num_pages(), 0);
         assert_eq!(rel.num_records(), 0);
         assert_eq!(rel.read_all().unwrap().len(), 0);
@@ -297,8 +297,8 @@ mod tests {
             &SimDevice::new()
         };
         let _ = sim; // silence unused in case of future edits
-        let rel = Relation::bulk_load(dev.clone(), RecordLayout::new(8), 128, records(64, 8))
-            .unwrap();
+        let rel =
+            Relation::bulk_load(dev.clone(), RecordLayout::new(8), 128, records(64, 8)).unwrap();
         let file = rel.file();
         assert!(dev.file_pages(file).is_ok());
         rel.delete().unwrap();

@@ -117,11 +117,7 @@ impl ExternalSorter {
         Ok(runs)
     }
 
-    fn write_run(
-        &self,
-        relation: &Relation,
-        buffer: &mut Vec<Record>,
-    ) -> Result<PartitionHandle> {
+    fn write_run(&self, relation: &Relation, buffer: &mut Vec<Record>) -> Result<PartitionHandle> {
         buffer.sort_by_key(Record::key);
         let mut writer = PartitionWriter::new(
             self.device.clone(),
@@ -352,7 +348,10 @@ mod tests {
         let mut sorter = ExternalSorter::new(dev.clone(), 3);
         let out = sorter.sort_to_runs(&rel, 16).unwrap();
         let after_runs = dev.stats();
-        assert!(after_runs.seq_writes > 0, "run generation writes sequentially");
+        assert!(
+            after_runs.seq_writes > 0,
+            "run generation writes sequentially"
+        );
         assert_eq!(after_runs.rand_writes, 0);
         let _ = MergeIterator::new(&out.runs)
             .unwrap()

@@ -73,8 +73,8 @@ pub fn jcch_counts(config: &JcchConfig) -> Vec<u64> {
             // spread thinly and uniformly.
             let hot_keys = 5usize.min(n);
             let hot_mass = (total as f64 * 0.6) as u64;
-            for i in 0..hot_keys {
-                counts[i] = hot_mass / hot_keys as u64;
+            for c in counts.iter_mut().take(hot_keys) {
+                *c = hot_mass / hot_keys as u64;
             }
             let cold_mass = total - counts.iter().sum::<u64>();
             distribute_uniform(&mut counts[hot_keys..], cold_mass, &mut rng);

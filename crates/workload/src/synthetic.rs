@@ -82,6 +82,21 @@ impl GeneratedWorkload {
     pub fn layout(&self) -> RecordLayout {
         self.r.layout()
     }
+
+    /// Streams the fact relation's join keys in storage order — the hook a
+    /// streaming statistics collector consumes (`nocap-stats`'s
+    /// `StatsCollector::consume_keys` takes exactly this shape). Each page
+    /// costs one sequential read on the workload's device, so statistics
+    /// collection is visible in the I/O trace like any other scan.
+    pub fn stream_keys(&self) -> impl Iterator<Item = nocap_storage::Result<u64>> {
+        self.s.scan().map(|r| r.map(|rec| rec.key()))
+    }
+
+    /// Like [`stream_keys`](Self::stream_keys) but over the dimension
+    /// relation R (for collecting R-side statistics such as distinct counts).
+    pub fn stream_r_keys(&self) -> impl Iterator<Item = nocap_storage::Result<u64>> {
+        self.r.scan().map(|r| r.map(|rec| rec.key()))
+    }
 }
 
 /// Generates per-key match counts for the requested correlation shape.
@@ -192,7 +207,10 @@ mod tests {
         assert_eq!(counts.iter().sum::<u64>() as usize, 16_000);
         let max = *counts.iter().max().unwrap();
         let mean = 16_000 / 2_000;
-        assert!(max > 20 * mean, "Zipf(1.0) should have a very hot head (max={max})");
+        assert!(
+            max > 20 * mean,
+            "Zipf(1.0) should have a very hot head (max={max})"
+        );
     }
 
     #[test]
@@ -206,13 +224,12 @@ mod tests {
         // Spot-check: the number of S records carrying the hottest key equals
         // that key's CT entry.
         let (hot_key, hot_count) = wl.mcvs[0];
-        let actual = wl
-            .s
-            .read_all()
-            .unwrap()
-            .iter()
-            .filter(|rec| rec.key() == hot_key)
-            .count() as u64;
+        let actual =
+            wl.s.read_all()
+                .unwrap()
+                .iter()
+                .filter(|rec| rec.key() == hot_key)
+                .count() as u64;
         assert_eq!(actual, hot_count);
     }
 

@@ -135,7 +135,10 @@ mod tests {
         let hot: u64 = counts[..20].iter().sum();
         let cold: u64 = counts[20..].iter().sum();
         // 20 hot keys at ~100 matches ≈ 2000; 3980 cold keys at ~1.5 ≈ 6000.
-        assert!(hot > 1_000, "hot keys should carry a large share (hot={hot})");
+        assert!(
+            hot > 1_000,
+            "hot keys should carry a large share (hot={hot})"
+        );
         let hot_avg = hot as f64 / 20.0;
         let cold_avg = cold as f64 / 3_980.0;
         assert!(hot_avg > 20.0 * cold_avg);

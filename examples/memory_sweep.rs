@@ -40,16 +40,23 @@ fn main() {
             .unwrap()
             .total_ios();
         device.reset_stats();
-        let histo_ios = HistoJoin::new(spec).run(&wl.r, &wl.s, &wl.mcvs).unwrap().total_ios();
+        let histo_ios = HistoJoin::new(spec)
+            .run(&wl.r, &wl.s, &wl.mcvs)
+            .unwrap()
+            .total_ios();
         device.reset_stats();
-        let ghj_ios = GraceHashJoin::new(spec).run(&wl.r, &wl.s).unwrap().total_ios();
+        let ghj_ios = GraceHashJoin::new(spec)
+            .run(&wl.r, &wl.s)
+            .unwrap()
+            .total_ios();
         device.reset_stats();
-        let smj_ios = SortMergeJoin::new(spec).run(&wl.r, &wl.s).unwrap().total_ios();
+        let smj_ios = SortMergeJoin::new(spec)
+            .run(&wl.r, &wl.s)
+            .unwrap()
+            .total_ios();
         let bound = ocap(&wl.ct, &spec, &OcapConfig::default()).total_io_pages;
 
-        println!(
-            "{budget},{nocap_ios},{dhh_ios},{histo_ios},{ghj_ios},{smj_ios},{bound:.0}"
-        );
+        println!("{budget},{nocap_ios},{dhh_ios},{histo_ios},{ghj_ios},{smj_ios},{bound:.0}");
         budget *= 2;
     }
 }

@@ -23,7 +23,10 @@ fn main() {
     let ct = nocap_suite::model::CorrelationTable::from_counts(counts);
     let mcvs = ct.top_k(config.mcv_count);
 
-    println!("Zipf(1.0) correlation, n_R = {}, n_S = {}", config.n_r, config.n_s);
+    println!(
+        "Zipf(1.0) correlation, n_R = {}, n_S = {}",
+        config.n_r, config.n_s
+    );
     println!("top-10 MCV mass = {:.1}% of S", 100.0 * ct.top_k_mass(10));
     println!();
     println!(

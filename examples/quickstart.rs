@@ -5,9 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use nocap_suite::joins::{DhhConfig, DhhJoin};
 use nocap_suite::model::JoinSpec;
 use nocap_suite::nocap::{NocapConfig, NocapJoin};
-use nocap_suite::joins::{DhhConfig, DhhJoin};
 use nocap_suite::storage::{DeviceProfile, SimDevice};
 use nocap_suite::workload::{synthetic, Correlation, SyntheticConfig};
 
@@ -51,7 +51,10 @@ fn main() {
         .expect("DHH join");
 
     assert_eq!(nocap_report.output_records, dhh_report.output_records);
-    println!("join output: {} tuples (both algorithms agree)", nocap_report.output_records);
+    println!(
+        "join output: {} tuples (both algorithms agree)",
+        nocap_report.output_records
+    );
     for report in [&nocap_report, &dhh_report] {
         println!(
             "{:>9}: {:>8} I/Os  ({} partition, {} probe)  est. latency {:.2}s",
@@ -63,5 +66,8 @@ fn main() {
         );
     }
     let saved = 1.0 - nocap_report.total_ios() as f64 / dhh_report.total_ios() as f64;
-    println!("NOCAP saves {:.1}% of DHH's I/Os on this workload", 100.0 * saved);
+    println!(
+        "NOCAP saves {:.1}% of DHH's I/Os on this workload",
+        100.0 * saved
+    );
 }

@@ -6,6 +6,9 @@
 //!
 //! * [`storage`] — pages, simulated block devices, buffer pool, spill files.
 //! * [`model`] — correlation tables, join specifications, analytic cost models.
+//! * [`stats`] — bounded-memory streaming statistics (SpaceSaving top-k,
+//!   Count-Min, KMV distinct count, fallback histograms) that replace the
+//!   `CorrelationTable` oracle with one-pass sketch summaries.
 //! * [`nocap`] — the OCAP and NOCAP algorithms (the paper's contribution).
 //! * [`joins`] — baseline joins: NBJ, GHJ, SMJ, DHH, Histojoin.
 //! * [`workload`] — synthetic, TPC-H-like, JCC-H-like and JOB-like generators.
@@ -13,5 +16,6 @@
 pub use nocap;
 pub use nocap_joins as joins;
 pub use nocap_model as model;
+pub use nocap_stats as stats;
 pub use nocap_storage as storage;
 pub use nocap_workload as workload;

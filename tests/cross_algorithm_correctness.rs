@@ -57,17 +57,26 @@ fn all_outputs(wl: &GeneratedWorkload, spec: JoinSpec) -> Vec<(&'static str, u64
     device.reset_stats();
     results.push((
         "GHJ",
-        GraceHashJoin::new(spec).run(&wl.r, &wl.s).unwrap().output_records,
+        GraceHashJoin::new(spec)
+            .run(&wl.r, &wl.s)
+            .unwrap()
+            .output_records,
     ));
     device.reset_stats();
     results.push((
         "SMJ",
-        SortMergeJoin::new(spec).run(&wl.r, &wl.s).unwrap().output_records,
+        SortMergeJoin::new(spec)
+            .run(&wl.r, &wl.s)
+            .unwrap()
+            .output_records,
     ));
     device.reset_stats();
     results.push((
         "NBJ",
-        NestedBlockJoin::new(spec).run(&wl.r, &wl.s).unwrap().output_records,
+        NestedBlockJoin::new(spec)
+            .run(&wl.r, &wl.s)
+            .unwrap()
+            .output_records,
     ));
     results
 }
@@ -124,7 +133,10 @@ fn nocap_never_does_more_io_than_ghj() {
             .unwrap()
             .total_ios();
         device.reset_stats();
-        let ghj_ios = GraceHashJoin::new(spec).run(&wl.r, &wl.s).unwrap().total_ios();
+        let ghj_ios = GraceHashJoin::new(spec)
+            .run(&wl.r, &wl.s)
+            .unwrap()
+            .total_ios();
         assert!(
             nocap_ios <= ghj_ios,
             "NOCAP ({nocap_ios}) must not exceed GHJ ({ghj_ios}) at B = {budget}"

@@ -1,0 +1,168 @@
+//! End-to-end tests of the streaming-statistics path: scan S once through a
+//! budgeted `StatsCollector`, plan NOCAP from the sketch summary alone (no
+//! `CorrelationTable` oracle anywhere), execute, and compare against the
+//! oracle-planned run. All seeds are fixed, so these tests are deterministic.
+
+use nocap_suite::model::JoinSpec;
+use nocap_suite::nocap::{NocapConfig, NocapJoin};
+use nocap_suite::stats::StatsCollector;
+use nocap_suite::storage::{BufferPool, SimDevice};
+use nocap_suite::workload::{synthetic, Correlation, GeneratedWorkload, SyntheticConfig};
+
+fn workload(correlation: Correlation, n_r: usize, n_s: usize, seed: u64) -> GeneratedWorkload {
+    let device = SimDevice::new_ref();
+    synthetic::generate(
+        device,
+        &SyntheticConfig {
+            n_r,
+            n_s,
+            record_bytes: 128,
+            correlation,
+            mcv_count: (n_r / 20).max(10),
+            seed,
+        },
+    )
+    .expect("workload generation")
+}
+
+/// Collects a sketch summary over S with `pages` pages reserved from a pool
+/// capped at the operator's own buffer budget.
+fn collect(
+    wl: &GeneratedWorkload,
+    spec: &JoinSpec,
+    pages: usize,
+) -> nocap_suite::stats::StatsSummary {
+    let pool = BufferPool::new(spec.buffer_pages);
+    let mut collector = StatsCollector::with_budget(&pool, pages, spec.page_size).unwrap();
+    collector.consume_keys(wl.stream_keys()).unwrap();
+    collector.finish()
+}
+
+#[test]
+fn sketch_planned_join_is_correct() {
+    let wl = workload(Correlation::Zipf { alpha: 1.0 }, 3_000, 24_000, 11);
+    let spec = JoinSpec::paper_synthetic(128, 48);
+    let summary = collect(&wl, &spec, 4);
+    assert_eq!(summary.stream_len(), 24_000);
+
+    let device = wl.r.device().clone();
+    device.reset_stats();
+    let join = NocapJoin::new(spec, NocapConfig::default());
+    let sketch_run = join
+        .run_with_collected_stats(&wl.r, &wl.s, &summary)
+        .unwrap();
+
+    device.reset_stats();
+    let oracle_run = join.run(&wl.r, &wl.s, &wl.mcvs).unwrap();
+    assert_eq!(
+        sketch_run.output_records, oracle_run.output_records,
+        "sketch-planned NOCAP must produce the same join output"
+    );
+}
+
+#[test]
+fn sketch_planned_io_is_within_bounded_factor_of_oracle_on_zipf() {
+    // The acceptance bar: at a sketch budget of >= 1 % of ||R|| pages, the
+    // sketch-planned join's I/O stays within 1.5x of the oracle-planned
+    // join's on a Zipf(1.0) workload. Deterministic seed.
+    let n_r = 6_000;
+    let wl = workload(Correlation::Zipf { alpha: 1.0 }, n_r, 48_000, 42);
+    let spec = JoinSpec::paper_synthetic(128, 64);
+    let pages_r = spec.pages_r(n_r);
+    let budget = (pages_r / 100).max(2); // 1 % of ||R||, at least 2 pages
+
+    let summary = collect(&wl, &spec, budget);
+    let device = wl.r.device().clone();
+    let join = NocapJoin::new(spec, NocapConfig::default());
+
+    device.reset_stats();
+    let sketch_ios = join
+        .run_with_collected_stats(&wl.r, &wl.s, &summary)
+        .unwrap()
+        .total_ios();
+    device.reset_stats();
+    let oracle_ios = join.run(&wl.r, &wl.s, &wl.mcvs).unwrap().total_ios();
+
+    assert!(
+        (sketch_ios as f64) <= 1.5 * oracle_ios as f64,
+        "sketch-planned I/O ({sketch_ios}) must stay within 1.5x of \
+         oracle-planned ({oracle_ios}) at a {budget}-page sketch budget"
+    );
+}
+
+#[test]
+fn more_sketch_budget_never_hurts_much() {
+    // Plan quality should be (weakly) monotone in sketch budget: a larger
+    // summary can only sharpen the MCV list. Allow 5 % slack for plan-grid
+    // discretization.
+    let wl = workload(Correlation::Zipf { alpha: 1.0 }, 4_000, 32_000, 7);
+    let spec = JoinSpec::paper_synthetic(128, 48);
+    let device = wl.r.device().clone();
+    let join = NocapJoin::new(spec, NocapConfig::default());
+    let mut prev = u64::MAX;
+    // Capped below B - 2 = 46: collection must fit the operator's budget.
+    for budget in [1usize, 4, 16, 44] {
+        let summary = collect(&wl, &spec, budget);
+        device.reset_stats();
+        let ios = join
+            .run_with_collected_stats(&wl.r, &wl.s, &summary)
+            .unwrap()
+            .total_ios();
+        assert!(
+            ios as f64 <= prev as f64 * 1.05,
+            "I/O should not grow with sketch budget ({budget} pages: {ios} vs {prev})"
+        );
+        prev = ios.max(1);
+    }
+}
+
+#[test]
+fn collect_and_run_is_self_contained_and_accounts_the_stats_scan() {
+    let wl = workload(Correlation::Zipf { alpha: 1.0 }, 2_000, 16_000, 3);
+    let spec = JoinSpec::paper_synthetic(128, 32);
+    let device = wl.r.device().clone();
+    let join = NocapJoin::new(spec, NocapConfig::default());
+
+    device.reset_stats();
+    let report = join.collect_and_run(&wl.r, &wl.s, 4).unwrap();
+    let total_device_ios = device.stats().reads() + device.stats().writes();
+
+    // Output correct...
+    device.reset_stats();
+    let oracle = join.run(&wl.r, &wl.s, &wl.mcvs).unwrap();
+    assert_eq!(report.output_records, oracle.output_records);
+    // ...and the one-pass statistics scan of S is visible in the I/O trace:
+    // at least ||S|| reads beyond what the join itself reports.
+    assert!(
+        total_device_ios >= report.total_ios() + wl.s.num_pages() as u64,
+        "stats collection must be charged as I/O (device {total_device_ios}, \
+         join {}, ||S|| {})",
+        report.total_ios(),
+        wl.s.num_pages()
+    );
+}
+
+#[test]
+fn uniform_workloads_need_no_mcvs_to_plan_well() {
+    // Under a uniform correlation the sketch finds no meaningful heavy
+    // hitters; the plan should degrade gracefully to the residual-only path
+    // and still match the oracle's output.
+    let wl = workload(Correlation::Uniform, 2_000, 16_000, 5);
+    let spec = JoinSpec::paper_synthetic(128, 32);
+    let summary = collect(&wl, &spec, 4);
+    let device = wl.r.device().clone();
+    let join = NocapJoin::new(spec, NocapConfig::default());
+    device.reset_stats();
+    let sketch_run = join
+        .run_with_collected_stats(&wl.r, &wl.s, &summary)
+        .unwrap();
+    device.reset_stats();
+    let oracle_run = join.run(&wl.r, &wl.s, &wl.mcvs).unwrap();
+    assert_eq!(sketch_run.output_records, oracle_run.output_records);
+    assert!(
+        (sketch_run.total_ios() as f64) <= 1.5 * oracle_run.total_ios() as f64,
+        "uniform: sketch {} vs oracle {}",
+        sketch_run.total_ios(),
+        oracle_run.total_ios()
+    );
+}
