@@ -1,0 +1,90 @@
+//! Wall-clock scaling of the parallel NOCAP executor.
+//!
+//! Runs the Zipf(1.0) synthetic workload through `run_parallel` at 1, 2, 4
+//! and 8 workers and reports wall-clock speedup relative to one worker,
+//! verifying at every point that the modeled I/O trace and the join output
+//! are identical to the sequential executor — the engine's core contract:
+//! parallelism changes *when* the work happens, never *what* work happens.
+//!
+//! On `SimDevice` the partitioning passes are pure CPU (hashing, routing,
+//! page packing), so the speedup measures the engine itself rather than a
+//! disk. Run on a machine with ≥ 4 cores to see the scaling (the report
+//! prints the detected parallelism — on a single-core CI runner the
+//! speedups will hover around 1.0 by physics, not by design). Pass
+//! `--quick` for a smaller sweep.
+
+use std::time::Instant;
+
+use nocap::{NocapConfig, NocapJoin};
+use nocap_model::JoinSpec;
+use nocap_storage::SimDevice;
+use nocap_workload::{synthetic, Correlation, SyntheticConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n_r, n_s, repeats) = if quick {
+        (10_000, 80_000, 1)
+    } else {
+        (40_000, 320_000, 3)
+    };
+    let record_bytes = 256;
+    let buffer_pages = 96;
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    println!(
+        "# exp_parallel_scaling: n_R = {n_r}, n_S = {n_s}, {record_bytes}-byte records, \
+         B = {buffer_pages} pages, Zipf(1.0), best of {repeats} runs"
+    );
+    println!("# detected available parallelism: {cores} hardware thread(s)");
+
+    let device = SimDevice::new_ref();
+    let config = SyntheticConfig {
+        n_r,
+        n_s,
+        record_bytes,
+        correlation: Correlation::Zipf { alpha: 1.0 },
+        mcv_count: n_r / 20,
+        seed: 0x0CA9,
+    };
+    let wl = synthetic::generate(device.clone(), &config).expect("workload generation");
+    let spec = JoinSpec::paper_synthetic(record_bytes, buffer_pages);
+    let join = NocapJoin::new(spec, NocapConfig::default());
+
+    // Sequential baseline: the reference for output and I/O equality.
+    device.reset_stats();
+    let sequential = join.run(&wl.r, &wl.s, &wl.mcvs).expect("sequential run");
+    assert_eq!(sequential.output_records, wl.expected_join_output());
+
+    println!("threads,wall_secs,speedup_vs_1,total_ios,io_identical_to_sequential");
+    let mut base_secs = None;
+    for threads in [1usize, 2, 4, 8] {
+        let mut best = f64::INFINITY;
+        let mut report = None;
+        for _ in 0..repeats {
+            device.reset_stats();
+            let started = Instant::now();
+            let run = join
+                .run_parallel(&wl.r, &wl.s, &wl.mcvs, threads)
+                .expect("parallel run");
+            let secs = started.elapsed().as_secs_f64();
+            if secs < best {
+                best = secs;
+            }
+            report = Some(run);
+        }
+        let report = report.expect("at least one run");
+        assert_eq!(report.output_records, sequential.output_records);
+        let io_identical = report.partition_io == sequential.partition_io
+            && report.probe_io == sequential.probe_io;
+        assert!(io_identical, "parallel I/O diverged at {threads} threads");
+        let base = *base_secs.get_or_insert(best);
+        println!(
+            "{threads},{best:.4},{:.2},{},{}",
+            base / best,
+            report.total_ios(),
+            io_identical
+        );
+    }
+}

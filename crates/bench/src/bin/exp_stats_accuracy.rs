@@ -17,8 +17,15 @@
 //! gracefully under inaccurate statistics; this experiment quantifies the
 //! same property when the inaccuracy comes from bounded-memory sketches
 //! rather than injected Gaussian noise. Pass `--quick` for a smaller sweep.
+//!
+//! A second table repeats the comparison for every skew-aware algorithm —
+//! NOCAP, DHH (PostgreSQL-style 2 % triggers) and Histojoin — each planned
+//! once from oracle MCVs and once from the same one-pass sketch summary
+//! (`run_with_collected_stats`), so the sketch-vs-oracle question is
+//! answered on equal footing across the whole algorithm lineup.
 
 use nocap::{NocapConfig, NocapJoin};
+use nocap_joins::{DhhConfig, DhhJoin, HistoJoin};
 use nocap_model::JoinSpec;
 use nocap_stats::{StatsCollector, StatsSummary};
 use nocap_storage::{BufferPool, SimDevice};
@@ -123,5 +130,62 @@ fn main() {
                 mean_err
             );
         }
+    }
+
+    // ---- Every skew-aware algorithm on the same sketch summary -----------
+    println!("\n# sketch-driven vs oracle, all skew-aware algorithms (1% of ||R|| budget)");
+    println!("algorithm,correlation,sketch_ios,oracle_ios,ratio");
+    for (name, correlation) in correlations {
+        let device = SimDevice::new_ref();
+        let config = SyntheticConfig {
+            n_r,
+            n_s,
+            record_bytes,
+            correlation,
+            mcv_count: n_r / 20,
+            seed: 0x0CA9,
+        };
+        let wl = synthetic::generate(device.clone(), &config).expect("workload generation");
+        let spec = JoinSpec::paper_synthetic(record_bytes, buffer_pages);
+        let budget = (spec.pages_r(n_r) / 100).clamp(1, buffer_pages - 2);
+        let summary = collect(&wl, &spec, budget);
+
+        let nocap = NocapJoin::new(spec, NocapConfig::default());
+        let dhh = DhhJoin::new(spec, DhhConfig::default());
+        let histo = HistoJoin::new(spec);
+        let row =
+            |algo: &str, oracle: nocap_model::JoinRunReport, sketch: nocap_model::JoinRunReport| {
+                assert_eq!(
+                    sketch.output_records, oracle.output_records,
+                    "{algo}: sketch-planned output must match"
+                );
+                println!(
+                    "{algo},{name},{},{},{:.3}",
+                    sketch.total_ios(),
+                    oracle.total_ios(),
+                    sketch.total_ios() as f64 / oracle.total_ios().max(1) as f64
+                );
+            };
+        device.reset_stats();
+        let o = nocap.run(&wl.r, &wl.s, &wl.mcvs).expect("nocap oracle");
+        device.reset_stats();
+        let s = nocap
+            .run_with_collected_stats(&wl.r, &wl.s, &summary)
+            .expect("nocap sketch");
+        row("NOCAP", o, s);
+        device.reset_stats();
+        let o = dhh.run(&wl.r, &wl.s, &wl.mcvs).expect("dhh oracle");
+        device.reset_stats();
+        let s = dhh
+            .run_with_collected_stats(&wl.r, &wl.s, &summary)
+            .expect("dhh sketch");
+        row("DHH", o, s);
+        device.reset_stats();
+        let o = histo.run(&wl.r, &wl.s, &wl.mcvs).expect("histojoin oracle");
+        device.reset_stats();
+        let s = histo
+            .run_with_collected_stats(&wl.r, &wl.s, &summary)
+            .expect("histojoin sketch");
+        row("Histojoin", o, s);
     }
 }

@@ -6,8 +6,10 @@
 //! 1. **Partition R** — each R record is routed by key: cached keys go into
 //!    the in-memory hash table, designated keys go to their dedicated spill
 //!    partition, and everything else enters the [`RestPartitioner`], a
-//!    DHH-style dynamic partitioner that stages partitions in memory and
-//!    destages the largest one whenever the residual budget is exceeded.
+//!    DHH-style partitioner that stages partitions in memory and destages a
+//!    partition once its staged footprint exceeds its fixed quota of the
+//!    residual budget (see [`RestGeometry`] — the quota policy is what
+//!    makes sequential and parallel execution produce identical I/O).
 //!    Residual routing uses the rounded hash of §4.2.
 //! 2. **Partition / probe S** — S records with designated keys are spilled
 //!    to the matching S partition; the rest first probe the in-memory hash
@@ -58,6 +60,11 @@ impl NocapJoin {
         &self.spec
     }
 
+    /// The executor configuration this operator was built with.
+    pub fn config(&self) -> &NocapConfig {
+        &self.config
+    }
+
     /// Plans and executes the join of `r ⋈ s` given MCV statistics.
     pub fn run(
         &self,
@@ -78,18 +85,21 @@ impl NocapJoin {
     /// Plans and executes the join purely from a one-pass sketch summary —
     /// no `CorrelationTable` oracle anywhere on this path.
     ///
-    /// The summary's MCV estimates (with their error bounds collapsed to the
-    /// conservative upper counts) stand in for the exact top-k statistics,
-    /// and its exact stream length stands in for `n_S`. This is the
-    /// deployable configuration: everything the planner consumes was
-    /// produced by `nocap-stats` sketches within a bounded page budget.
+    /// The summary's planner statistics stand in for the exact top-k MCVs
+    /// and its exact stream length stands in for `n_S`. On skewed streams
+    /// those statistics are the SpaceSaving counts; on near-uniform streams
+    /// [`StatsSummary::planner_mcvs`] substitutes equi-width histogram
+    /// masses, whose per-key estimates are unbiased where SpaceSaving is
+    /// noise-dominated. This is the deployable configuration: everything
+    /// the planner consumes was produced by `nocap-stats` sketches within a
+    /// bounded page budget.
     pub fn run_with_collected_stats(
         &self,
         r: &Relation,
         s: &Relation,
         stats: &StatsSummary,
     ) -> nocap_storage::Result<JoinRunReport> {
-        let mcvs = stats.mcv_pairs(stats.mcvs().len());
+        let mcvs = stats.planner_mcvs();
         let plan = plan_nocap(
             &mcvs,
             r.num_records(),
@@ -284,18 +294,69 @@ pub struct RestBuild {
     pub rh: RoundedHash,
 }
 
-/// DHH-style dynamic partitioner for the residual (non-MCV) keys.
+/// Geometry of the residual partitioner, shared verbatim by the sequential
+/// [`RestPartitioner`] and the parallel executor
+/// ([`NocapJoin::run_parallel`](crate::exec_par)): partition count, the
+/// rounded-hash router and the per-partition staging quotas. Deriving both
+/// paths from one struct is what makes their partition contents — and
+/// therefore their I/O traces — identical by construction.
+#[derive(Debug, Clone)]
+pub struct RestGeometry {
+    /// The rounded-hash router over the residual partitions.
+    pub rh: RoundedHash,
+    /// Per-partition staging quotas in pages; they sum to the residual
+    /// budget (see [`nocap_par::even_caps`]).
+    pub caps: Vec<usize>,
+}
+
+impl RestGeometry {
+    /// Sizes the residual partitioner: the partition count targets one NBJ
+    /// chunk (`c*_R`) per partition, clamped so that every partition can own
+    /// at least one page of the residual budget.
+    pub fn new(
+        spec: &JoinSpec,
+        budget_pages: usize,
+        estimated_keys: usize,
+        rh_params: RoundedHashParams,
+    ) -> Self {
+        let budget_pages = budget_pages.max(1);
+        let c_star = rh_params.effective_chunk(spec.c_r().max(1));
+        let desired_partitions = estimated_keys.div_ceil(c_star.max(1)).max(1);
+        let num_partitions = desired_partitions.min(budget_pages.saturating_sub(1).max(1));
+        let rh = RoundedHash::new(estimated_keys, num_partitions, spec.c_r(), &rh_params);
+        RestGeometry {
+            rh,
+            caps: nocap_par::even_caps(budget_pages, num_partitions),
+        }
+    }
+
+    /// Number of residual partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.caps.len()
+    }
+}
+
+/// Quota-destaging partitioner for the residual (non-MCV) keys.
 ///
-/// Partitions start staged in memory; whenever the staged pages plus the
-/// output buffers of already-destaged partitions exceed the residual budget,
-/// the largest staged partition is written out (its POB bit is set) and its
-/// memory is reused — exactly the destaging policy of §2.2.
+/// Partitions start staged in memory. Each partition owns a fixed quota of
+/// staging pages carved from the residual budget ([`RestGeometry`]); the
+/// moment a partition's staged footprint exceeds its quota it is destaged
+/// to disk (its POB bit is set) and its memory is reused — every later
+/// record of that partition streams through the spill writer's single
+/// output-buffer page.
+///
+/// This replaces the earlier "destage the largest partition when the global
+/// budget overflows" policy of §2.2. The global policy's outcome depends on
+/// the order records arrive, which no sharded scan can reproduce; the quota
+/// policy destages partition `p` iff `hash_table_pages(n_p) > cap_p` — a
+/// function of the partition's total record count only — so the sequential
+/// and parallel executors destage identical partition sets and the §4.1
+/// bound `Σ staged + spilled buffers ≤ m_rest` still holds at all times.
 pub struct RestPartitioner {
     device: nocap_storage::device::DeviceRef,
     spec: JoinSpec,
     layout: RecordLayout,
-    budget_pages: usize,
-    rh: RoundedHash,
+    geometry: RestGeometry,
     staged: Vec<Vec<Record>>,
     staged_pages: Vec<usize>,
     staged_pages_total: usize,
@@ -316,17 +377,23 @@ impl RestPartitioner {
         estimated_keys: usize,
         rh_params: RoundedHashParams,
     ) -> Self {
-        let budget_pages = budget_pages.max(1);
-        let c_star = rh_params.effective_chunk(spec.c_r().max(1));
-        let desired_partitions = estimated_keys.div_ceil(c_star.max(1)).max(1);
-        let num_partitions = desired_partitions.min(budget_pages.saturating_sub(1).max(1));
-        let rh = RoundedHash::new(estimated_keys, num_partitions, spec.c_r(), &rh_params);
+        let geometry = RestGeometry::new(&spec, budget_pages, estimated_keys, rh_params);
+        Self::with_geometry(device, spec, layout, geometry)
+    }
+
+    /// Creates a residual partitioner from an explicit geometry.
+    pub fn with_geometry(
+        device: nocap_storage::device::DeviceRef,
+        spec: JoinSpec,
+        layout: RecordLayout,
+        geometry: RestGeometry,
+    ) -> Self {
+        let num_partitions = geometry.num_partitions();
         RestPartitioner {
             device,
             spec,
             layout,
-            budget_pages,
-            rh,
+            geometry,
             staged: vec![Vec::new(); num_partitions],
             staged_pages: vec![0; num_partitions],
             staged_pages_total: 0,
@@ -353,7 +420,7 @@ impl RestPartitioner {
 
     /// Routes one R record to its residual partition.
     pub fn insert(&mut self, rec: Record) -> nocap_storage::Result<()> {
-        let p = self.rh.partition_of(rec.key());
+        let p = self.geometry.rh.partition_of(rec.key());
         if self.pob[p] {
             self.writers[p]
                 .as_mut()
@@ -365,42 +432,31 @@ impl RestPartitioner {
         let new_pages = self.spec.hash_table_pages(self.staged[p].len()).max(1);
         self.staged_pages_total += new_pages - self.staged_pages[p];
         self.staged_pages[p] = new_pages;
-        while self.pages_in_use() > self.budget_pages {
-            if !self.spill_largest()? {
-                break;
-            }
+        if new_pages > self.geometry.caps[p] {
+            self.destage(p)?;
         }
         Ok(())
     }
 
-    /// Destages the largest staged partition. Returns `false` if nothing was
-    /// left to spill.
-    fn spill_largest(&mut self) -> nocap_storage::Result<bool> {
-        let victim = self
-            .staged
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| !v.is_empty())
-            .max_by_key(|(_, v)| v.len())
-            .map(|(i, _)| i);
-        let Some(victim) = victim else {
-            return Ok(false);
-        };
+    /// Destages partition `p`: staged records drain into a fresh spill
+    /// writer and the partition's memory drops to the writer's single
+    /// output-buffer page.
+    fn destage(&mut self, p: usize) -> nocap_storage::Result<()> {
         let mut writer = PartitionWriter::new(
             self.device.clone(),
             self.layout,
             self.spec.page_size,
             IoKind::RandWrite,
         );
-        for rec in self.staged[victim].drain(..) {
+        for rec in self.staged[p].drain(..) {
             writer.push(&rec)?;
         }
-        self.staged_pages_total -= self.staged_pages[victim];
-        self.staged_pages[victim] = 0;
-        self.writers[victim] = Some(writer);
-        self.pob[victim] = true;
+        self.staged_pages_total -= self.staged_pages[p];
+        self.staged_pages[p] = 0;
+        self.writers[p] = Some(writer);
+        self.pob[p] = true;
         self.spilled_count += 1;
-        Ok(true)
+        Ok(())
     }
 
     /// Finishes the R pass: remaining staged records go to the caller's
@@ -421,7 +477,7 @@ impl RestPartitioner {
             staged_records,
             spilled,
             pob: self.pob,
-            rh: self.rh,
+            rh: self.geometry.rh,
         })
     }
 }

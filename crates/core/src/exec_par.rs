@@ -1,0 +1,334 @@
+//! Multi-threaded NOCAP execution: `run_parallel`.
+//!
+//! The partitioning passes of Algorithms 8 and 9 route each record
+//! independently, so [`NocapJoin::run_parallel`] shards both scans across a
+//! worker pool (`nocap-par`) and fans the partition-wise probe phase out
+//! over the spilled partition pairs. The engine is built so that, for
+//! every thread count, it produces **the same join output and the same
+//! modeled I/O trace** as the sequential [`NocapJoin::run_with_plan`]:
+//!
+//! * Workers scan disjoint page ranges ([`page_shards`]), so the base scans
+//!   cost exactly `‖R‖ + ‖S‖` sequential reads.
+//! * Every spill partition keeps **one** shared output-buffer page
+//!   ([`SharedWriterSet`]), so a partition receiving `n` records flushes
+//!   exactly `⌈n / b⌉` random writes regardless of arrival order.
+//! * Residual destaging uses the deterministic per-partition quotas of
+//!   [`RestGeometry`](crate::exec::RestGeometry): a partition's page-out
+//!   bit depends only on its total record count, never on interleaving.
+//! * The probe phase joins the same partition pairs with the same
+//!   [`smart_partition_join`]; each pair's I/O is independent of the order
+//!   pairs are claimed from the work queue.
+//!
+//! During the partitioning phases memory stays inside the same §4.1
+//! budget: the pool reserves the two streaming pages and the plan's fixed
+//! structures exactly as the sequential path does, and the residual budget
+//! is carved into per-partition quotas whose reservations are visible in
+//! the pool. Two knowing simplifications: each worker holds one transient
+//! scan-buffer page (the model charges one logical input page for the
+//! pipeline, as the paper does), and the fanned-out probe phase runs up to
+//! `threads` partition-pair NBJs concurrently, each with the `B − 2`-page
+//! chunk the cost model prescribes — peak physical probe memory is
+//! `threads × B` pages even though the modeled I/O is unchanged. Use fewer
+//! threads when physical memory, not I/O, is the binding constraint.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use nocap_model::pairwise::smart_partition_join;
+use nocap_model::JoinRunReport;
+use nocap_par::{page_shards, run_workers, sum_tasks, ParallelStager, SharedWriterSet};
+use nocap_storage::{BufferPool, IoKind, JoinHashTable, PartitionHandle, Relation, Reservation};
+
+use crate::exec::{NocapJoin, RestGeometry};
+use crate::plan::NocapPlan;
+use crate::planner::plan_nocap;
+
+impl NocapJoin {
+    /// Plans and executes the join of `r ⋈ s` on `threads` worker threads.
+    ///
+    /// `threads == 0` selects [`nocap_par::default_threads`] (the
+    /// `NOCAP_THREADS` environment variable, falling back to the machine's
+    /// parallelism). For every thread count the result — output cardinality
+    /// and the full per-phase I/O trace — is identical to [`NocapJoin::run`].
+    pub fn run_parallel(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        mcvs: &[(u64, u64)],
+        threads: usize,
+    ) -> nocap_storage::Result<JoinRunReport> {
+        let plan = plan_nocap(
+            mcvs,
+            r.num_records(),
+            s.num_records() as u64,
+            self.spec(),
+            &self.config().planner,
+        );
+        self.run_parallel_with_plan(r, s, &plan, threads)
+    }
+
+    /// Executes a pre-computed plan on `threads` worker threads (see
+    /// [`run_parallel`](Self::run_parallel)).
+    pub fn run_parallel_with_plan(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        plan: &NocapPlan,
+        threads: usize,
+    ) -> nocap_storage::Result<JoinRunReport> {
+        let threads = if threads == 0 {
+            nocap_par::default_threads()
+        } else {
+            threads
+        };
+        let spec = *self.spec();
+        let device = r.device().clone();
+        let pool = BufferPool::new(spec.buffer_pages);
+        // Identical budget breakdown to the sequential path: one streaming
+        // input page, one output page, then the plan's fixed structures.
+        let _io_pages = pool.reserve(2)?;
+        let _fixed = pool.reserve(plan.fixed_memory_pages(&spec).min(pool.available()))?;
+        let rest_budget = pool.available();
+
+        let started = Instant::now();
+        let base_stats = device.stats();
+
+        let mem_set = plan.mem_key_set();
+        let disk_map = plan.disk_map();
+        let m_disk = plan.num_designated();
+
+        let geometry = RestGeometry::new(
+            &spec,
+            rest_budget,
+            plan.estimated_rest_keys,
+            self.config().planner.rh_params,
+        );
+        // Make the quota carving visible to the pool: one reservation per
+        // residual partition, together covering exactly the residual budget
+        // (the same even split as `geometry.caps`).
+        let _quotas: Vec<Reservation> = pool.carve_remaining(geometry.num_partitions());
+
+        // ---- Phase 1: partition R (Algorithm 8, sharded) -----------------
+        let stager = ParallelStager::new(device.clone(), r.layout(), spec, geometry.caps.clone());
+        let r_disk = SharedWriterSet::new(
+            device.clone(),
+            r.layout(),
+            spec.page_size,
+            IoKind::RandWrite,
+            m_disk,
+        );
+        let ht_shared = Mutex::new(JoinHashTable::new(r.layout(), spec.page_size, spec.fudge));
+        let r_shards = page_shards(r.num_pages(), threads);
+        let stages = run_workers(threads, |w| {
+            let mut stage = stager.worker_stage();
+            for rec in r.scan_range(r_shards[w].clone()) {
+                let rec = rec?;
+                if mem_set.contains(&rec.key()) {
+                    // R is the primary-key side: cached keys are rare, so
+                    // this lock is cold.
+                    ht_shared
+                        .lock()
+                        .expect("hash table lock poisoned")
+                        .insert(rec);
+                } else if let Some(&pid) = disk_map.get(&rec.key()) {
+                    r_disk.push(pid as usize, &rec)?;
+                } else {
+                    let p = geometry.rh.partition_of(rec.key());
+                    stager.insert(&mut stage, p, rec)?;
+                }
+            }
+            Ok(stage)
+        })?;
+        let rest_build = stager.finish(stages)?;
+        let mut ht_mem = ht_shared.into_inner().expect("hash table lock poisoned");
+        for rec in rest_build.staged_records {
+            ht_mem.insert(rec);
+        }
+        let r_disk_handles = r_disk.finish_dense()?;
+
+        // ---- Phase 2: partition / probe S (Algorithm 9, sharded) ---------
+        let s_disk = SharedWriterSet::new(
+            device.clone(),
+            s.layout(),
+            spec.page_size,
+            IoKind::RandWrite,
+            m_disk,
+        );
+        let s_rest = SharedWriterSet::new_masked(
+            device.clone(),
+            s.layout(),
+            spec.page_size,
+            IoKind::RandWrite,
+            &rest_build.pob,
+        );
+        let s_shards = page_shards(s.num_pages(), threads);
+        let ht_ref = &ht_mem;
+        let pob = &rest_build.pob;
+        let probe_counts = run_workers(threads, |w| {
+            let mut output = 0u64;
+            for rec in s.scan_range(s_shards[w].clone()) {
+                let rec = rec?;
+                if let Some(&pid) = disk_map.get(&rec.key()) {
+                    s_disk.push(pid as usize, &rec)?;
+                    continue;
+                }
+                let matches = ht_ref.probe(rec.key());
+                if !matches.is_empty() {
+                    output += matches.len() as u64;
+                    continue;
+                }
+                let part = geometry.rh.partition_of(rec.key());
+                if pob[part] {
+                    s_rest.push(part, &rec)?;
+                }
+                // else: the partition stayed in memory and the key had no
+                // match.
+            }
+            Ok(output)
+        })?;
+        let mut output: u64 = probe_counts.into_iter().sum();
+        let partition_io = device.stats().since(&base_stats);
+
+        // ---- Phase 3: partition-wise joins, fanned out -------------------
+        // Partial output-buffer pages flush inside this window, exactly
+        // where the sequential executor flushes them.
+        let probe_base = device.stats();
+        let s_disk_handles = s_disk.finish_dense()?;
+        let s_rest_handles = s_rest.finish_all()?;
+        let mut pairs: Vec<(PartitionHandle, PartitionHandle)> = Vec::new();
+        for (r_part, s_part) in r_disk_handles.iter().zip(s_disk_handles.iter()) {
+            pairs.push((r_part.clone(), s_part.clone()));
+        }
+        for (maybe_r, maybe_s) in rest_build.spilled.iter().zip(s_rest_handles.iter()) {
+            if let (Some(r_part), Some(s_part)) = (maybe_r, maybe_s) {
+                pairs.push((r_part.clone(), s_part.clone()));
+            }
+        }
+        output += sum_tasks(threads, pairs.len(), |i| {
+            smart_partition_join(&pairs[i].0, &pairs[i].1, &spec, 1)
+        })?;
+        let probe_io = device.stats().since(&probe_base);
+
+        // Clean up spill files (not counted as I/O).
+        for h in r_disk_handles.into_iter().chain(s_disk_handles) {
+            h.delete()?;
+        }
+        for h in rest_build.spilled.into_iter().flatten() {
+            h.delete()?;
+        }
+        for h in s_rest_handles.into_iter().flatten() {
+            h.delete()?;
+        }
+
+        let mut report = JoinRunReport::new("NOCAP");
+        report.output_records = output;
+        report.partition_io = partition_io;
+        report.probe_io = probe_io;
+        report.cpu_seconds = started.elapsed().as_secs_f64();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::NocapConfig;
+    use nocap_model::JoinSpec;
+    use nocap_storage::{Record, RecordLayout, SimDevice};
+
+    /// Builds a deterministic workload on a fresh device: R holds keys
+    /// `0..n_r`, S holds `counts(k)` records per key, shuffled.
+    fn build(
+        n_r: u64,
+        counts: impl Fn(u64) -> u64,
+        spec: &JoinSpec,
+    ) -> (Relation, Relation, Vec<(u64, u64)>) {
+        let device = SimDevice::new_ref();
+        let payload = spec.r_layout.payload_bytes();
+        let r = Relation::bulk_load(
+            device.clone(),
+            spec.r_layout,
+            spec.page_size,
+            (0..n_r).map(|k| Record::with_fill(k, payload, 1)),
+        )
+        .unwrap();
+        let mut s_keys: Vec<u64> = Vec::new();
+        for k in 0..n_r {
+            for _ in 0..counts(k) {
+                s_keys.push(k);
+            }
+        }
+        let salt = s_keys.len() as u64;
+        s_keys.sort_by_key(|&k| crate::rounded_hash::mix_key(k.wrapping_add(salt)));
+        let s = Relation::bulk_load(
+            device.clone(),
+            spec.s_layout,
+            spec.page_size,
+            s_keys.iter().map(|&k| Record::with_fill(k, payload, 2)),
+        )
+        .unwrap();
+        let mut mcv: Vec<(u64, u64)> = (0..n_r).map(|k| (k, counts(k))).collect();
+        mcv.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+        mcv.truncate((n_r as usize / 20).max(10));
+        device.reset_stats();
+        (r, s, mcv)
+    }
+
+    fn layout_of(spec: &JoinSpec) -> RecordLayout {
+        spec.r_layout
+    }
+
+    #[test]
+    fn parallel_matches_sequential_io_and_output_exactly() {
+        let spec = JoinSpec::paper_synthetic(128, 48);
+        let counts = |k: u64| if k < 8 { 250 } else { 2 };
+        let join = NocapJoin::new(spec, NocapConfig::default());
+        let _ = layout_of(&spec);
+
+        let (r, s, mcvs) = build(3_000, counts, &spec);
+        let sequential = join.run(&r, &s, &mcvs).unwrap();
+        for threads in [1usize, 2, 4] {
+            let (r, s, mcvs) = build(3_000, counts, &spec);
+            let parallel = join.run_parallel(&r, &s, &mcvs, threads).unwrap();
+            assert_eq!(
+                parallel.output_records, sequential.output_records,
+                "output differs at {threads} threads"
+            );
+            assert_eq!(
+                parallel.partition_io, sequential.partition_io,
+                "partition I/O differs at {threads} threads"
+            );
+            assert_eq!(
+                parallel.probe_io, sequential.probe_io,
+                "probe I/O differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_join_cleans_up_all_spill_files() {
+        let spec = JoinSpec::paper_synthetic(128, 32);
+        let counts = |k: u64| (k % 5) + 1;
+        let join = NocapJoin::new(spec, NocapConfig::default());
+        let (r, s, mcvs) = build(2_500, counts, &spec);
+        let device = r.device().clone();
+        let report = join.run_parallel(&r, &s, &mcvs, 3).unwrap();
+        assert!(report.output_records > 0);
+        // Only the two base relations should remain on the device.
+        let sim = device;
+        assert_eq!(
+            sim.file_pages(r.file()).unwrap() + sim.file_pages(s.file()).unwrap(),
+            r.num_pages() + s.num_pages()
+        );
+    }
+
+    #[test]
+    fn zero_threads_selects_a_default() {
+        let spec = JoinSpec::paper_synthetic(128, 64);
+        let counts = |_k: u64| 3u64;
+        let join = NocapJoin::new(spec, NocapConfig::default());
+        let (r, s, mcvs) = build(1_000, counts, &spec);
+        let report = join.run_parallel(&r, &s, &mcvs, 0).unwrap();
+        assert_eq!(report.output_records, 3_000);
+    }
+}

@@ -22,6 +22,11 @@
 //!   a [`BlockDevice`](nocap_storage::BlockDevice), then joins the spilled
 //!   partition pairs, producing a measured
 //!   [`JoinRunReport`](nocap_model::JoinRunReport).
+//! * [`exec_par`] — the multi-threaded entry points
+//!   ([`NocapJoin::run_parallel`]): sharded partitioning scans and a
+//!   fanned-out probe phase on the `nocap-par` worker pool, producing the
+//!   same output and the same modeled I/O as the sequential executor for
+//!   every thread count.
 //! * [`plan`] — the [`NocapPlan`] data structure shared by the planner and
 //!   the executor.
 //!
@@ -67,12 +72,13 @@
 #![forbid(unsafe_code)]
 
 pub mod exec;
+pub mod exec_par;
 pub mod ocap;
 pub mod plan;
 pub mod planner;
 pub mod rounded_hash;
 
-pub use exec::{NocapConfig, NocapJoin};
+pub use exec::{NocapConfig, NocapJoin, RestGeometry};
 pub use ocap::dp::{partition_dp, DpOptions, DpSolution};
 pub use ocap::{ocap, OcapConfig, OcapSolution};
 pub use plan::NocapPlan;

@@ -24,6 +24,7 @@ use std::time::Instant;
 
 use nocap_model::pairwise::smart_partition_join;
 use nocap_model::{JoinRunReport, JoinSpec};
+use nocap_stats::StatsSummary;
 use nocap_storage::device::DeviceRef;
 use nocap_storage::{
     BufferPool, IoKind, JoinHashTable, PartitionHandle, PartitionWriter, Record, RecordLayout,
@@ -97,6 +98,24 @@ impl DhhJoin {
     /// Creates a DHH operator with the default (PostgreSQL-like) thresholds.
     pub fn with_defaults(spec: JoinSpec) -> Self {
         DhhJoin::new(spec, DhhConfig::default())
+    }
+
+    /// Executes `r ⋈ s` with statistics from a one-pass sketch summary
+    /// instead of the oracle MCV list — the same deployable configuration
+    /// `NocapJoin::run_with_collected_stats` uses, so `exp_stats_accuracy`
+    /// compares every skew-aware algorithm on equal (sketched) footing.
+    ///
+    /// The skew optimization consumes [`StatsSummary::planner_mcvs`]: raw
+    /// SpaceSaving counts on skewed streams, histogram-backed masses on
+    /// near-uniform ones (where the raw counts are noise-dominated and
+    /// would trip the 2 % frequency trigger spuriously).
+    pub fn run_with_collected_stats(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        stats: &StatsSummary,
+    ) -> nocap_storage::Result<JoinRunReport> {
+        self.run(r, s, &stats.planner_mcvs())
     }
 
     /// Executes `r ⋈ s`. `mcvs` are the tracked most-common-value statistics
@@ -425,6 +444,39 @@ mod tests {
         assert!(
             report.partition_io.writes() as usize > (r.num_pages() + s.num_pages()) / 2,
             "most data must spill under a tiny budget"
+        );
+    }
+
+    #[test]
+    fn sketch_driven_dhh_matches_oracle_output_and_stays_close_on_io() {
+        use nocap_stats::{StatsCollector, StatsConfig};
+        let dev = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(128, 48);
+        let counts = |k: u64| if k < 10 { 250 } else { 2 };
+        let (r, s) = build_workload(dev.clone(), &spec, 2_500, counts);
+        let expected = naive_join_count(&r, &s).unwrap();
+
+        let mut collector = StatsCollector::new(StatsConfig::default());
+        collector.consume(s.scan()).unwrap();
+        let summary = collector.finish();
+
+        let oracle_stats = mcvs(2_500, counts, 100);
+        dev.reset_stats();
+        let oracle = DhhJoin::with_defaults(spec)
+            .run(&r, &s, &oracle_stats)
+            .unwrap();
+        dev.reset_stats();
+        let sketched = DhhJoin::with_defaults(spec)
+            .run_with_collected_stats(&r, &s, &summary)
+            .unwrap();
+        assert_eq!(sketched.output_records, expected);
+        assert_eq!(oracle.output_records, expected);
+        assert!(
+            (sketched.total_ios() as f64) <= 1.5 * oracle.total_ios() as f64,
+            "sketch-driven DHH should stay close to oracle DHH \
+             ({} vs {})",
+            sketched.total_ios(),
+            oracle.total_ios()
         );
     }
 

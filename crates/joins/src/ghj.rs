@@ -12,6 +12,7 @@ use std::time::Instant;
 use nocap_model::classic_cost::nbj_cost_best;
 use nocap_model::pairwise::nbj_partition_join;
 use nocap_model::{ghj_cost, JoinRunReport, JoinSpec};
+use nocap_par::{page_shards, run_workers, sum_tasks, SharedWriterSet};
 use nocap_storage::device::DeviceRef;
 use nocap_storage::{
     BufferPool, IoKind, JoinHashTable, PartitionHandle, PartitionWriter, Relation,
@@ -66,6 +67,78 @@ impl GraceHashJoin {
         for (r_part, s_part) in r_parts.iter().zip(s_parts.iter()) {
             output += self.join_pair(&device, r_part, s_part, 1)?;
         }
+        let probe_io = device.stats().since(&probe_base);
+
+        for h in r_parts.into_iter().chain(s_parts) {
+            h.delete()?;
+        }
+
+        let mut report = JoinRunReport::new("GHJ");
+        report.output_records = output;
+        report.partition_io = partition_io;
+        report.probe_io = probe_io;
+        report.cpu_seconds = started.elapsed().as_secs_f64();
+        Ok(report)
+    }
+
+    /// Executes `r ⋈ s` on `threads` worker threads.
+    ///
+    /// GHJ's static hash partitioning has no order-dependent state at all,
+    /// so the parallel path is the textbook case for the `nocap-par`
+    /// machinery: workers shard each relation's pages and route into shared
+    /// single-buffer spill writers ([`SharedWriterSet`]), then the
+    /// partition pairs are claimed from a work queue. Output and the full
+    /// I/O trace are identical to [`run`](Self::run) for every thread
+    /// count; `threads == 0` selects [`nocap_par::default_threads`].
+    pub fn run_parallel(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        threads: usize,
+    ) -> nocap_storage::Result<JoinRunReport> {
+        let threads = if threads == 0 {
+            nocap_par::default_threads()
+        } else {
+            threads
+        };
+        let spec = &self.spec;
+        let device = r.device().clone();
+        let started = Instant::now();
+        let base = device.stats();
+
+        let num_partitions = spec.buffer_pages.saturating_sub(1).max(2);
+        let pool = BufferPool::new(spec.buffer_pages);
+        let _input_page = pool.reserve(1)?;
+        let _output_buffers = pool.reserve(num_partitions.min(pool.available()))?;
+
+        let partition_parallel =
+            |relation: &Relation| -> nocap_storage::Result<Vec<PartitionHandle>> {
+                let writers = SharedWriterSet::new(
+                    device.clone(),
+                    relation.layout(),
+                    spec.page_size,
+                    IoKind::RandWrite,
+                    num_partitions,
+                );
+                let shards = page_shards(relation.num_pages(), threads);
+                run_workers(threads, |w| {
+                    for rec in relation.scan_range(shards[w].clone()) {
+                        let rec = rec?;
+                        let p = (level_hash(rec.key(), 0) % num_partitions as u64) as usize;
+                        writers.push(p, &rec)?;
+                    }
+                    Ok(())
+                })?;
+                writers.finish_dense()
+            };
+        let r_parts = partition_parallel(r)?;
+        let s_parts = partition_parallel(s)?;
+        let partition_io = device.stats().since(&base);
+
+        let probe_base = device.stats();
+        let output = sum_tasks(threads, r_parts.len(), |i| {
+            self.join_pair(&device, &r_parts[i], &s_parts[i], 1)
+        })?;
         let probe_io = device.stats().since(&probe_base);
 
         for h in r_parts.into_iter().chain(s_parts) {
@@ -233,6 +306,33 @@ mod tests {
         );
         // And those writes are random writes (μ-weighted in the cost model).
         assert_eq!(report.partition_io.seq_writes, 0);
+    }
+
+    #[test]
+    fn parallel_ghj_matches_sequential_io_and_output() {
+        let spec = JoinSpec::paper_synthetic(128, 32);
+        let counts = |k: u64| if k < 12 { 120 } else { 2 };
+        let dev = SimDevice::new_ref();
+        let (r, s) = build_workload(dev.clone(), &spec, 2_000, counts);
+        dev.reset_stats();
+        let sequential = GraceHashJoin::new(spec).run(&r, &s).unwrap();
+        for threads in [1usize, 2, 4] {
+            let dev = SimDevice::new_ref();
+            let (r, s) = build_workload(dev.clone(), &spec, 2_000, counts);
+            dev.reset_stats();
+            let parallel = GraceHashJoin::new(spec)
+                .run_parallel(&r, &s, threads)
+                .unwrap();
+            assert_eq!(parallel.output_records, sequential.output_records);
+            assert_eq!(
+                parallel.partition_io, sequential.partition_io,
+                "partition I/O differs at {threads} threads"
+            );
+            assert_eq!(
+                parallel.probe_io, sequential.probe_io,
+                "probe I/O differs at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! threshold as zero").
 
 use nocap_model::{JoinRunReport, JoinSpec};
+use nocap_stats::StatsSummary;
 use nocap_storage::Relation;
 
 use crate::dhh::{DhhConfig, DhhJoin};
@@ -53,6 +54,20 @@ impl HistoJoin {
         mcvs: &[(u64, u64)],
     ) -> nocap_storage::Result<JoinRunReport> {
         let mut report = self.inner.run(r, s, mcvs)?;
+        report.algorithm = "Histojoin".to_string();
+        Ok(report)
+    }
+
+    /// Executes `r ⋈ s` with statistics from a one-pass sketch summary (see
+    /// `DhhJoin::run_with_collected_stats`) — Histojoin's MCV table then
+    /// holds sketch-tracked keys rather than oracle truth.
+    pub fn run_with_collected_stats(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        stats: &StatsSummary,
+    ) -> nocap_storage::Result<JoinRunReport> {
+        let mut report = self.inner.run_with_collected_stats(r, s, stats)?;
         report.algorithm = "Histojoin".to_string();
         Ok(report)
     }

@@ -1,0 +1,45 @@
+//! # nocap-par
+//!
+//! The multi-threaded partitioned-join execution engine.
+//!
+//! The partitioning passes over R and S are embarrassingly parallel: every
+//! record is routed independently by a hash of its key. This crate provides
+//! the building blocks that let an executor shard those scans across worker
+//! threads **without changing the modeled I/O or violating the paper's
+//! memory budget**:
+//!
+//! * [`pool`] — a scoped [`run_workers`] fan-out helper, a work-queue
+//!   [`sum_tasks`] helper for the partition-wise probe phase, and
+//!   [`default_threads`] (the `NOCAP_THREADS` environment knob).
+//! * [`shard`] — [`page_shards`] splits a relation's pages into contiguous
+//!   per-worker morsels; [`SharedPartitionWriter`] / [`SharedWriterSet`]
+//!   are mutex-protected spill writers that keep the one-output-buffer-page
+//!   -per-partition invariant, so a partition that receives `n` records
+//!   costs exactly `⌈n / b⌉` random writes no matter how many workers fed
+//!   it or in which order.
+//! * [`quota`] — [`even_caps`] carves a page budget into per-partition
+//!   quotas (the deterministic destaging policy shared by the sequential
+//!   and parallel residual partitioners).
+//! * [`stage`] — [`ParallelStager`], the concurrent counterpart of the
+//!   DHH-style residual partitioner: per-worker staging buffers, a shared
+//!   atomic record count per partition, and quota-triggered destaging whose
+//!   outcome depends only on each partition's total record count — never on
+//!   thread interleaving — which is what makes `run_parallel(n)` produce
+//!   bit-identical I/O counts to the sequential executor.
+//!
+//! The crate is deliberately generic: routing (which partition a record
+//! belongs to) stays with the caller, so `nocap` (rounded-hash routing),
+//! GHJ (plain hash) and any future operator reuse the same machinery.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod pool;
+pub mod quota;
+pub mod shard;
+pub mod stage;
+
+pub use pool::{default_threads, run_workers, sum_tasks};
+pub use quota::even_caps;
+pub use shard::{page_shards, SharedPartitionWriter, SharedWriterSet};
+pub use stage::{ParallelStager, StagerBuild, WorkerStage};

@@ -1,0 +1,142 @@
+//! Scoped worker fan-out and work-queue helpers.
+//!
+//! The execution engine only ever needs two shapes of parallelism:
+//!
+//! * **static sharding** ([`run_workers`]): `n` workers, each handed its
+//!   worker id, producing one result each — used for the partitioning
+//!   scans, where worker `w` owns the `w`-th page range of the relation;
+//! * **dynamic work queue** ([`sum_tasks`]): a list of independent tasks
+//!   (spilled partition pairs) claimed from an atomic cursor — used for the
+//!   build/probe phase, where per-partition work is wildly uneven under
+//!   skew and static assignment would leave workers idle.
+//!
+//! Both are built on `std::thread::scope`, so borrowed state (the shared
+//! hash table, the writer sets, the device) needs no `'static` gymnastics
+//! and worker panics propagate to the caller.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use nocap_storage::Result;
+
+/// Default worker count: the `NOCAP_THREADS` environment variable if set to
+/// a positive integer, otherwise the machine's available parallelism,
+/// otherwise 1.
+///
+/// CI runs the test suite once with `NOCAP_THREADS=4` so the parallel paths
+/// are exercised with real concurrency even where the runner reports a
+/// single core.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("NOCAP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `threads` workers, each receiving its worker id `0..threads`, and
+/// collects their results in worker order.
+///
+/// The first worker error (in worker order) is returned if any worker
+/// fails; worker panics propagate. With `threads == 1` the closure runs on
+/// the calling thread — no spawn overhead, which keeps
+/// `run_parallel(1)` an honest baseline for scaling measurements.
+pub fn run_workers<T, F>(threads: usize, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        return Ok(vec![f(0)?]);
+    }
+    let results: Vec<Result<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let f = &f;
+                scope.spawn(move || f(w))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+/// Executes `count` independent tasks on `threads` workers via an atomic
+/// work queue and returns the sum of their `u64` results.
+///
+/// Tasks are claimed with a relaxed `fetch_add` — claim order is
+/// nondeterministic, which is fine because every consumer of this helper
+/// (the partition-wise probe phase) produces order-independent counts.
+pub fn sum_tasks<F>(threads: usize, count: usize, f: F) -> Result<u64>
+where
+    F: Fn(usize) -> Result<u64> + Sync,
+{
+    let cursor = AtomicUsize::new(0);
+    let partials = run_workers(threads.max(1).min(count.max(1)), |_| {
+        let mut sum = 0u64;
+        loop {
+            let task = cursor.fetch_add(1, Ordering::Relaxed);
+            if task >= count {
+                return Ok(sum);
+            }
+            sum += f(task)?;
+        }
+    })?;
+    Ok(partials.into_iter().sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocap_storage::StorageError;
+
+    #[test]
+    fn run_workers_returns_results_in_worker_order() {
+        let squares = run_workers(4, |w| Ok(w * w)).unwrap();
+        assert_eq!(squares, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn run_workers_propagates_errors() {
+        let err = run_workers(3, |w| {
+            if w == 1 {
+                Err(StorageError::Io("boom".into()))
+            } else {
+                Ok(w)
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
+    }
+
+    #[test]
+    fn sum_tasks_covers_every_task_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let hits = AtomicU64::new(0);
+        let total = sum_tasks(4, 100, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            Ok(i as u64)
+        })
+        .unwrap();
+        assert_eq!(total, (0..100u64).sum());
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn sum_tasks_with_zero_tasks_is_zero() {
+        assert_eq!(sum_tasks(4, 0, |_| Ok(7)).unwrap(), 0);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! Per-partition page quotas carved from a global budget.
+//!
+//! The deterministic destaging policy at the heart of the parallel engine:
+//! instead of DHH's "destage the largest partition when the *global* budget
+//! overflows" — whose outcome depends on the order records arrive, and
+//! therefore on thread interleaving — every residual partition gets a fixed
+//! quota of staging pages up front. A partition is destaged the moment its
+//! own staged footprint exceeds its quota, a condition that depends only on
+//! how many records the partition receives *in total*. Sequential and
+//! parallel execution therefore destage exactly the same partition set and
+//! produce identical I/O traces.
+//!
+//! The quotas sum to the budget, and a destaged partition's single
+//! output-buffer page fits inside its own quota (every quota is ≥ 1), so
+//! the §4.1 memory constraint holds at every instant just as it did under
+//! the dynamic policy.
+
+/// Splits `total` into `parts` shares that differ by at most one and sum to
+/// exactly `total` (earlier shares take the remainder). The single even
+/// -split distribution behind both [`even_caps`] and
+/// [`crate::shard::page_shards`].
+pub(crate) fn even_split(total: usize, parts: usize) -> impl Iterator<Item = usize> {
+    let parts = parts.max(1);
+    let base = total / parts;
+    let remainder = total % parts;
+    (0..parts).map(move |i| base + usize::from(i < remainder))
+}
+
+/// Splits `budget` pages into `parts` quotas that differ by at most one
+/// page and sum to exactly `budget`.
+///
+/// Requires `parts ≤ budget` for every quota to be ≥ 1 (callers size the
+/// partition count as `min(desired, budget − 1)`, which guarantees it);
+/// quotas of zero are clamped up to 1 as a defensive floor, accepting a
+/// bounded overshoot rather than a partition that could never stage a
+/// single record.
+pub fn even_caps(budget: usize, parts: usize) -> Vec<usize> {
+    even_split(budget, parts).map(|c| c.max(1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_sum_to_the_budget() {
+        for (budget, parts) in [(10, 3), (7, 7), (100, 1), (64, 13)] {
+            let caps = even_caps(budget, parts);
+            assert_eq!(caps.len(), parts);
+            assert_eq!(caps.iter().sum::<usize>(), budget, "budget={budget}");
+            let (min, max) = (caps.iter().min().unwrap(), caps.iter().max().unwrap());
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    fn caps_never_drop_to_zero() {
+        let caps = even_caps(2, 5);
+        assert!(caps.iter().all(|&c| c >= 1));
+    }
+}

@@ -295,6 +295,49 @@ impl StatsSummary {
         self.max_key
     }
 
+    /// MCVs with a frequency *provably* above the unmonitored ceiling: their
+    /// guaranteed (lower-bound) count exceeds the largest frequency any
+    /// untracked key could have, so they are heavy hitters no matter how the
+    /// sketch erred.
+    pub fn reliable_mcvs(&self) -> impl Iterator<Item = &McvEstimate> {
+        self.mcvs
+            .iter()
+            .filter(|e| e.guaranteed_count() > self.unmonitored_ceiling)
+    }
+
+    /// The `(key, count)` statistics the planner should consume.
+    ///
+    /// On skewed streams this is simply every tracked MCV with its
+    /// SpaceSaving count — the configuration the accuracy experiments
+    /// validated. On **near-uniform** streams SpaceSaving degenerates:
+    /// every counter's count is dominated by the `N / counters` error term,
+    /// so the raw estimates overstate per-key frequency by an order of
+    /// magnitude and can bait the planner into caching keys that save
+    /// nothing. The near-uniform case is detected by counting
+    /// [`reliable_mcvs`](Self::reliable_mcvs) (provable heavy hitters);
+    /// when almost none exist, the tracked keys are kept — they are real
+    /// keys of the stream — but their masses are replaced by the equi-width
+    /// histogram's per-key estimate, which is unbiased under uniformity.
+    /// This is the histogram-backed fallback the planner consumes instead
+    /// of an empty (or noise-ridden) MCV list.
+    pub fn planner_mcvs(&self) -> Vec<(u64, u64)> {
+        /// Below this many provable heavy hitters the stream is treated as
+        /// near-uniform.
+        const MIN_RELIABLE: usize = 8;
+        let reliable = self.reliable_mcvs().count();
+        if reliable >= MIN_RELIABLE || reliable * 2 >= self.mcvs.len() {
+            return nocap_model::estimate::to_pairs(&self.mcvs);
+        }
+        self.mcvs
+            .iter()
+            .map(|e| {
+                let hist = self.histogram_estimate(e.key).round() as u64;
+                // Never exceed the sketch count (an upper bound on truth).
+                (e.key, hist.clamp(1, e.count.max(1)))
+            })
+            .collect()
+    }
+
     /// Best available frequency estimate for one key: the SpaceSaving
     /// estimate when monitored, otherwise the Count-Min upper bound capped
     /// by the unmonitored ceiling.
@@ -443,6 +486,66 @@ mod tests {
         let cold = 299u64;
         let est = summary.estimate_frequency(cold);
         assert!(est <= summary.unmonitored_ceiling().max(1));
+    }
+
+    #[test]
+    fn planner_mcvs_trusts_the_sketch_on_skewed_streams() {
+        let device = SimDevice::new_ref();
+        let rel = skewed_relation(device, 400);
+        let mut collector = StatsCollector::new(StatsConfig {
+            mcv_counters: 64,
+            ..StatsConfig::default()
+        });
+        collector.consume(rel.scan()).unwrap();
+        let summary = collector.finish();
+        assert!(
+            summary.reliable_mcvs().count() >= 8,
+            "a 1/k-skewed stream has provable heavy hitters"
+        );
+        let planner = summary.planner_mcvs();
+        let raw = summary.mcv_pairs(summary.mcvs().len());
+        assert_eq!(planner, raw, "skewed streams keep raw sketch counts");
+    }
+
+    #[test]
+    fn planner_mcvs_falls_back_to_histogram_masses_on_uniform_streams() {
+        let device = SimDevice::new_ref();
+        // 4 000 distinct keys, 8 occurrences each, shuffled: far more keys
+        // than counters, perfectly uniform.
+        let mut keys: Vec<u64> = (0..4_000u64).flat_map(|k| [k; 8]).collect();
+        keys.sort_by_key(|&k| k.wrapping_mul(0x9E3779B97F4A7C15) >> 16);
+        let rel = Relation::bulk_load(
+            device,
+            RecordLayout::new(24),
+            4096,
+            keys.into_iter().map(|k| Record::with_fill(k, 24, 0)),
+        )
+        .unwrap();
+        let mut collector = StatsCollector::new(StatsConfig {
+            mcv_counters: 128,
+            ..StatsConfig::default()
+        });
+        collector.consume(rel.scan()).unwrap();
+        let summary = collector.finish();
+        assert!(
+            summary.reliable_mcvs().count() < 8,
+            "uniform streams must not produce provable heavy hitters"
+        );
+        let planner = summary.planner_mcvs();
+        assert!(!planner.is_empty(), "fallback keeps the tracked keys");
+        // The raw SpaceSaving counts are dominated by the N/counters error
+        // (32000/128 = 250 vs a true frequency of 8); the histogram-backed
+        // masses must land near the truth instead.
+        let raw_mean = summary.mcvs().iter().map(|e| e.count as f64).sum::<f64>()
+            / summary.mcvs().len() as f64;
+        let fallback_mean =
+            planner.iter().map(|&(_, c)| c as f64).sum::<f64>() / planner.len() as f64;
+        assert!(raw_mean > 10.0 * 8.0, "raw counts are noise-dominated");
+        assert!(
+            fallback_mean < 4.0 * 8.0,
+            "histogram masses should be near the true per-key frequency \
+             (got {fallback_mean:.1} vs truth 8)"
+        );
     }
 
     #[test]

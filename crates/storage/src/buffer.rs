@@ -12,9 +12,15 @@
 //! algorithm keeps them (hash tables, staging vectors, …). This matches how
 //! the paper reasons about memory: in units of pages, inflated by the fudge
 //! factor where appropriate.
+//!
+//! The pool is thread-safe: the parallel execution engine (`nocap-par`)
+//! reserves and releases pages from many worker threads against one shared
+//! budget. Per-worker quotas are carved from the global budget either with
+//! [`BufferPool::carve_remaining`] (even split of whatever is left) or by
+//! [`Reservation::split`]ting an existing reservation, so the sum of all
+//! worker quotas can never exceed *B*.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::{Result, StorageError};
 
@@ -28,14 +34,14 @@ struct PoolState {
 /// A shared page-budget accountant.
 #[derive(Debug, Clone)]
 pub struct BufferPool {
-    state: Rc<RefCell<PoolState>>,
+    state: Arc<Mutex<PoolState>>,
 }
 
 impl BufferPool {
     /// Creates a pool with a budget of `capacity` pages.
     pub fn new(capacity: usize) -> Self {
         BufferPool {
-            state: Rc::new(RefCell::new(PoolState {
+            state: Arc::new(Mutex::new(PoolState {
                 capacity,
                 in_use: 0,
                 peak: 0,
@@ -43,25 +49,29 @@ impl BufferPool {
         }
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolState> {
+        self.state.lock().expect("buffer pool lock poisoned")
+    }
+
     /// Total page budget (the paper's *B*).
     pub fn capacity(&self) -> usize {
-        self.state.borrow().capacity
+        self.lock().capacity
     }
 
     /// Pages currently reserved.
     pub fn in_use(&self) -> usize {
-        self.state.borrow().in_use
+        self.lock().in_use
     }
 
     /// Pages still available.
     pub fn available(&self) -> usize {
-        let st = self.state.borrow();
+        let st = self.lock();
         st.capacity - st.in_use
     }
 
     /// Highest number of pages that were ever simultaneously reserved.
     pub fn peak(&self) -> usize {
-        self.state.borrow().peak
+        self.lock().peak
     }
 
     /// Reserves `pages` pages, failing if the budget would be exceeded.
@@ -69,7 +79,7 @@ impl BufferPool {
     /// The returned [`Reservation`] releases the pages when dropped.
     pub fn reserve(&self, pages: usize) -> Result<Reservation> {
         {
-            let mut st = self.state.borrow_mut();
+            let mut st = self.lock();
             if st.in_use + pages > st.capacity {
                 return Err(StorageError::OutOfMemory {
                     requested: pages,
@@ -86,14 +96,35 @@ impl BufferPool {
     }
 
     /// Reserves all currently available pages (possibly zero).
+    ///
+    /// Atomic with respect to concurrent reservations: the pages are taken
+    /// under the same lock that computed how many were available.
     pub fn reserve_remaining(&self) -> Reservation {
-        let avail = self.available();
-        self.reserve(avail)
-            .expect("reserving exactly the available pages cannot fail")
+        let pages = {
+            let mut st = self.lock();
+            let avail = st.capacity - st.in_use;
+            st.in_use = st.capacity;
+            st.peak = st.peak.max(st.in_use);
+            avail
+        };
+        Reservation {
+            pool: self.clone(),
+            pages,
+        }
+    }
+
+    /// Carves the remaining budget into `workers` per-worker quotas whose
+    /// sizes differ by at most one page and whose sum is exactly the number
+    /// of pages that were available. Each quota is an independent
+    /// [`Reservation`] that its worker can grow, shrink and drop on its own;
+    /// together they can never exceed the global budget.
+    pub fn carve_remaining(&self, workers: usize) -> Vec<Reservation> {
+        let workers = workers.max(1);
+        self.reserve_remaining().split(workers)
     }
 
     fn release(&self, pages: usize) {
-        let mut st = self.state.borrow_mut();
+        let mut st = self.lock();
         debug_assert!(st.in_use >= pages, "released more pages than reserved");
         st.in_use -= pages.min(st.in_use);
     }
@@ -115,10 +146,12 @@ impl Reservation {
     /// Grows the reservation by `extra` pages, failing if the budget would be
     /// exceeded (the original reservation is unchanged on failure).
     pub fn grow(&mut self, extra: usize) -> Result<()> {
-        let additional = self.pool.reserve(extra)?;
-        // Absorb the new reservation into this one.
+        let mut additional = self.pool.reserve(extra)?;
+        // Absorb the new reservation into this one: the pages move here and
+        // the emptied guard drops as a no-op (forgetting it would leak its
+        // pool handle).
         self.pages += additional.pages;
-        std::mem::forget(additional);
+        additional.pages = 0;
         Ok(())
     }
 
@@ -127,6 +160,25 @@ impl Reservation {
         let released = pages.min(self.pages);
         self.pool.release(released);
         self.pages -= released;
+    }
+
+    /// Splits the reservation into `parts` reservations whose sizes differ
+    /// by at most one page and sum to the original size. No pages are
+    /// released or acquired in the process — this is how per-worker quotas
+    /// are carved from an already-reserved share of the budget.
+    pub fn split(mut self, parts: usize) -> Vec<Reservation> {
+        let parts = parts.max(1);
+        let base = self.pages / parts;
+        let remainder = self.pages % parts;
+        // The pages move into the children; the emptied parent drops as a
+        // no-op (forgetting it would leak its pool handle).
+        self.pages = 0;
+        (0..parts)
+            .map(|i| Reservation {
+                pool: self.pool.clone(),
+                pages: base + usize::from(i < remainder),
+            })
+            .collect()
     }
 }
 
@@ -204,5 +256,49 @@ mod tests {
         let r = pool.reserve(0).unwrap();
         assert_eq!(r.pages(), 0);
         assert!(pool.reserve(1).is_err());
+    }
+
+    #[test]
+    fn split_preserves_total_and_balances_shares() {
+        let pool = BufferPool::new(11);
+        let r = pool.reserve(11).unwrap();
+        let parts = r.split(4);
+        let sizes: Vec<usize> = parts.iter().map(Reservation::pages).collect();
+        assert_eq!(sizes, vec![3, 3, 3, 2]);
+        assert_eq!(pool.in_use(), 11, "splitting must not change accounting");
+        drop(parts);
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn carve_remaining_hands_out_worker_quotas() {
+        let pool = BufferPool::new(10);
+        let _fixed = pool.reserve(3).unwrap();
+        let quotas = pool.carve_remaining(3);
+        assert_eq!(quotas.iter().map(Reservation::pages).sum::<usize>(), 7);
+        assert_eq!(pool.available(), 0);
+        drop(quotas);
+        assert_eq!(pool.in_use(), 3);
+    }
+
+    #[test]
+    fn concurrent_reservations_never_exceed_capacity() {
+        let pool = BufferPool::new(64);
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let pool = pool.clone();
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        if let Ok(mut r) = pool.reserve((t + i) % 9) {
+                            let _ = r.grow(1);
+                            r.shrink(1);
+                            assert!(pool.in_use() <= pool.capacity());
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.in_use(), 0);
+        assert!(pool.peak() <= 64);
     }
 }

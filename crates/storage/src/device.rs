@@ -13,18 +13,24 @@
 //!   directory. Used by examples that want to demonstrate the algorithms on
 //!   an actual filesystem.
 //!
-//! Devices are shared by value as [`DeviceRef`] (an `Rc`), with interior
-//! mutability inside each implementation; the join code is single-threaded,
-//! mirroring the single join operator of the paper.
+//! Devices are shared by value as [`DeviceRef`] (an `Arc`), with interior
+//! locking inside each implementation. Since the `nocap-par` execution
+//! engine shards partitioning scans across worker threads, every
+//! [`BlockDevice`] implementation must be `Send + Sync`; the trait bound
+//! makes that a compile-time requirement. [`SimDevice`] is engineered for
+//! concurrent readers: pages are stored behind an `RwLock` (shared page
+//! reads never serialize each other) and the I/O counters are lock-free
+//! atomics, so the counting itself never becomes the scalability
+//! bottleneck the device is supposed to *measure*.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fs;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
-use crate::iostats::{IoKind, IoStats};
+use crate::iostats::{AtomicIoStats, IoKind, IoStats};
 use crate::page::Page;
 use crate::{Result, StorageError};
 
@@ -33,10 +39,13 @@ use crate::{Result, StorageError};
 pub struct FileId(pub u64);
 
 /// Shared handle to a block device.
-pub type DeviceRef = Rc<dyn BlockDevice>;
+pub type DeviceRef = Arc<dyn BlockDevice>;
 
 /// A device that stores files made of fixed-size pages and counts every I/O.
-pub trait BlockDevice {
+///
+/// Implementations must be thread-safe: the parallel executor issues reads
+/// and appends from many worker threads concurrently.
+pub trait BlockDevice: Send + Sync {
     /// Creates a new, empty file and returns its id.
     fn create_file(&self) -> FileId;
 
@@ -67,22 +76,22 @@ pub trait BlockDevice {
 // SimDevice
 // ---------------------------------------------------------------------------
 
-#[derive(Default)]
-struct SimState {
-    files: HashMap<FileId, Vec<Page>>,
-    next_id: u64,
-    stats: IoStats,
-}
-
 /// In-memory block device with exact I/O accounting.
 ///
 /// This is the storage substitute for the paper's SSD: algorithms perform
 /// the same page-granular reads and writes they would against a disk, and
 /// the device records how many of each kind happened. Latency is derived
 /// from the trace via [`DeviceProfile`](crate::DeviceProfile).
+///
+/// Pages are stored as `Arc<Page>` so a read only holds the file-table lock
+/// for a reference-count bump; the page copy handed to the caller is made
+/// *outside* the lock. Reads take the lock in shared mode, so concurrent
+/// scans of the same relation proceed without serializing.
 #[derive(Default)]
 pub struct SimDevice {
-    state: RefCell<SimState>,
+    files: RwLock<HashMap<FileId, Vec<Arc<Page>>>>,
+    next_id: AtomicU64,
+    stats: AtomicIoStats,
 }
 
 impl SimDevice {
@@ -93,15 +102,15 @@ impl SimDevice {
 
     /// Creates an empty simulated device already wrapped in a [`DeviceRef`].
     pub fn new_ref() -> DeviceRef {
-        Rc::new(SimDevice::new())
+        Arc::new(SimDevice::new())
     }
 
     /// Total number of pages currently stored across all files (useful for
     /// asserting that temporary files were cleaned up).
     pub fn resident_pages(&self) -> usize {
-        self.state
-            .borrow()
-            .files
+        self.files
+            .read()
+            .expect("device lock poisoned")
             .values()
             .map(|pages| pages.len())
             .sum()
@@ -109,66 +118,75 @@ impl SimDevice {
 
     /// Number of live (not yet deleted) files.
     pub fn live_files(&self) -> usize {
-        self.state.borrow().files.len()
+        self.files.read().expect("device lock poisoned").len()
     }
 }
 
 impl BlockDevice for SimDevice {
     fn create_file(&self) -> FileId {
-        let mut st = self.state.borrow_mut();
-        let id = FileId(st.next_id);
-        st.next_id += 1;
-        st.files.insert(id, Vec::new());
+        let id = FileId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.files
+            .write()
+            .expect("device lock poisoned")
+            .insert(id, Vec::new());
         id
     }
 
     fn file_pages(&self, file: FileId) -> Result<usize> {
-        self.state
-            .borrow()
-            .files
+        self.files
+            .read()
+            .expect("device lock poisoned")
             .get(&file)
             .map(|pages| pages.len())
             .ok_or(StorageError::UnknownFile(file))
     }
 
     fn append_page(&self, file: FileId, page: &Page, kind: IoKind) -> Result<usize> {
-        let mut st = self.state.borrow_mut();
-        st.stats.record(kind);
-        let pages = st
-            .files
+        // Copy the page before taking the lock so writers hold it only for
+        // the vector push.
+        let stored = Arc::new(page.clone());
+        let mut files = self.files.write().expect("device lock poisoned");
+        let pages = files
             .get_mut(&file)
             .ok_or(StorageError::UnknownFile(file))?;
-        pages.push(page.clone());
+        self.stats.record(kind);
+        pages.push(stored);
         Ok(pages.len() - 1)
     }
 
     fn read_page(&self, file: FileId, index: usize, kind: IoKind) -> Result<Page> {
-        let mut st = self.state.borrow_mut();
-        st.stats.record(kind);
-        let pages = st.files.get(&file).ok_or(StorageError::UnknownFile(file))?;
-        pages
-            .get(index)
-            .cloned()
-            .ok_or(StorageError::PageOutOfBounds {
-                index,
-                len: pages.len(),
-            })
+        let arc = {
+            let files = self.files.read().expect("device lock poisoned");
+            let pages = files.get(&file).ok_or(StorageError::UnknownFile(file))?;
+            let arc = pages
+                .get(index)
+                .cloned()
+                .ok_or(StorageError::PageOutOfBounds {
+                    index,
+                    len: pages.len(),
+                })?;
+            self.stats.record(kind);
+            arc
+        };
+        // The page copy happens outside the lock.
+        Ok((*arc).clone())
     }
 
     fn delete_file(&self, file: FileId) -> Result<()> {
-        let mut st = self.state.borrow_mut();
-        st.files
+        self.files
+            .write()
+            .expect("device lock poisoned")
             .remove(&file)
             .map(|_| ())
             .ok_or(StorageError::UnknownFile(file))
     }
 
     fn stats(&self) -> IoStats {
-        self.state.borrow().stats
+        self.stats.snapshot()
     }
 
     fn reset_stats(&self) {
-        self.state.borrow_mut().stats = IoStats::new();
+        self.stats.reset();
     }
 }
 
@@ -185,17 +203,19 @@ struct FileMeta {
 struct FileState {
     files: HashMap<FileId, FileMeta>,
     next_id: u64,
-    stats: IoStats,
 }
 
 /// A block device backed by real files in a temporary directory.
 ///
 /// The I/O accounting is identical to [`SimDevice`]; in addition every page
 /// append/read is materialized with actual `write`/`read` system calls so
-/// the examples can be pointed at a real disk.
+/// the examples can be pointed at a real disk. Metadata lives behind a
+/// single mutex — the syscalls dominate, so finer-grained locking would buy
+/// nothing here.
 pub struct FileDevice {
     dir: PathBuf,
-    state: RefCell<FileState>,
+    state: Mutex<FileState>,
+    stats: AtomicIoStats,
     remove_dir_on_drop: bool,
 }
 
@@ -216,11 +236,11 @@ impl FileDevice {
         fs::create_dir_all(&dir).map_err(|e| StorageError::Io(e.to_string()))?;
         Ok(FileDevice {
             dir,
-            state: RefCell::new(FileState {
+            state: Mutex::new(FileState {
                 files: HashMap::new(),
                 next_id: 0,
-                stats: IoStats::new(),
             }),
+            stats: AtomicIoStats::default(),
             remove_dir_on_drop: true,
         })
     }
@@ -237,11 +257,11 @@ impl FileDevice {
         }
         Ok(FileDevice {
             dir,
-            state: RefCell::new(FileState {
+            state: Mutex::new(FileState {
                 files: HashMap::new(),
                 next_id: 0,
-                stats: IoStats::new(),
             }),
+            stats: AtomicIoStats::default(),
             remove_dir_on_drop: false,
         })
     }
@@ -266,13 +286,14 @@ impl Drop for FileDevice {
 
 impl BlockDevice for FileDevice {
     fn create_file(&self) -> FileId {
-        let mut st = self.state.borrow_mut();
+        let mut st = self.state.lock().expect("device lock poisoned");
         let id = FileId(st.next_id);
         st.next_id += 1;
+        let path = self.file_path(id);
         st.files.insert(
             id,
             FileMeta {
-                path: self.file_path(id),
+                path,
                 page_size: 0,
                 pages: 0,
             },
@@ -282,7 +303,8 @@ impl BlockDevice for FileDevice {
 
     fn file_pages(&self, file: FileId) -> Result<usize> {
         self.state
-            .borrow()
+            .lock()
+            .expect("device lock poisoned")
             .files
             .get(&file)
             .map(|m| m.pages)
@@ -290,12 +312,14 @@ impl BlockDevice for FileDevice {
     }
 
     fn append_page(&self, file: FileId, page: &Page, kind: IoKind) -> Result<usize> {
-        let mut st = self.state.borrow_mut();
-        st.stats.record(kind);
+        let mut st = self.state.lock().expect("device lock poisoned");
         let meta = st
             .files
             .get_mut(&file)
             .ok_or(StorageError::UnknownFile(file))?;
+        // Counted after validation, like SimDevice: failed operations never
+        // reach the disk, so they must not show up in the modeled trace.
+        self.stats.record(kind);
         if meta.pages == 0 {
             meta.page_size = page.size();
         } else if meta.page_size != page.size() {
@@ -317,27 +341,31 @@ impl BlockDevice for FileDevice {
     }
 
     fn read_page(&self, file: FileId, index: usize, kind: IoKind) -> Result<Page> {
-        let mut st = self.state.borrow_mut();
-        st.stats.record(kind);
-        let meta = st.files.get(&file).ok_or(StorageError::UnknownFile(file))?;
-        if index >= meta.pages {
-            return Err(StorageError::PageOutOfBounds {
-                index,
-                len: meta.pages,
-            });
+        // Resolve metadata under the lock, then do the syscalls outside it so
+        // concurrent readers of different offsets are not serialized.
+        let (path, page_size, pages) = {
+            let st = self.state.lock().expect("device lock poisoned");
+            let meta = st.files.get(&file).ok_or(StorageError::UnknownFile(file))?;
+            (meta.path.clone(), meta.page_size, meta.pages)
+        };
+        if index >= pages {
+            return Err(StorageError::PageOutOfBounds { index, len: pages });
         }
-        let mut f = fs::File::open(&meta.path).map_err(|e| StorageError::Io(e.to_string()))?;
-        f.seek(SeekFrom::Start((index * meta.page_size) as u64))
+        self.stats.record(kind);
+        let mut f = fs::File::open(&path).map_err(|e| StorageError::Io(e.to_string()))?;
+        f.seek(SeekFrom::Start((index * page_size) as u64))
             .map_err(|e| StorageError::Io(e.to_string()))?;
-        let mut buf = vec![0u8; meta.page_size];
+        let mut buf = vec![0u8; page_size];
         f.read_exact(&mut buf)
             .map_err(|e| StorageError::Io(e.to_string()))?;
         Page::from_bytes(buf)
     }
 
     fn delete_file(&self, file: FileId) -> Result<()> {
-        let mut st = self.state.borrow_mut();
-        let meta = st
+        let meta = self
+            .state
+            .lock()
+            .expect("device lock poisoned")
             .files
             .remove(&file)
             .ok_or(StorageError::UnknownFile(file))?;
@@ -348,11 +376,11 @@ impl BlockDevice for FileDevice {
     }
 
     fn stats(&self) -> IoStats {
-        self.state.borrow().stats
+        self.stats.snapshot()
     }
 
     fn reset_stats(&self) {
-        self.state.borrow_mut().stats = IoStats::new();
+        self.stats.reset();
     }
 }
 
@@ -432,6 +460,44 @@ mod tests {
         dev.delete_file(f).unwrap();
         assert_eq!(dev.resident_pages(), 0);
         assert_eq!(dev.live_files(), 0);
+    }
+
+    #[test]
+    fn sim_device_failed_reads_are_not_counted() {
+        let dev = SimDevice::new();
+        let f = dev.create_file();
+        let _ = dev.read_page(f, 3, IoKind::SeqRead);
+        let _ = dev.read_page(FileId(99), 0, IoKind::SeqRead);
+        assert_eq!(dev.stats().total(), 0);
+    }
+
+    #[test]
+    fn sim_device_is_safe_under_concurrent_readers_and_writers() {
+        let dev: DeviceRef = SimDevice::new_ref();
+        let shared = dev.create_file();
+        for k in 0..16u64 {
+            dev.append_page(shared, &page_with(&[k]), IoKind::SeqWrite)
+                .unwrap();
+        }
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let dev = dev.clone();
+                scope.spawn(move || {
+                    let own = dev.create_file();
+                    for i in 0..16 {
+                        let p = dev.read_page(shared, i, IoKind::SeqRead).unwrap();
+                        assert_eq!(p.records().count(), 1);
+                        dev.append_page(own, &page_with(&[t as u64]), IoKind::RandWrite)
+                            .unwrap();
+                    }
+                    dev.delete_file(own).unwrap();
+                });
+            }
+        });
+        let s = dev.stats();
+        assert_eq!(s.seq_reads, 4 * 16);
+        assert_eq!(s.rand_writes, 4 * 16);
+        assert_eq!(s.seq_writes, 16);
     }
 
     #[test]

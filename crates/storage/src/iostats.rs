@@ -117,6 +117,61 @@ impl std::fmt::Display for IoStats {
     }
 }
 
+/// Lock-free I/O counters shared by concurrent workers.
+///
+/// The parallel execution engine (`nocap-par`) issues page I/Os from many
+/// threads at once; devices count them through this structure so the
+/// accounting itself never serializes the workers. Counters use relaxed
+/// ordering — each counter is an independent statistic and no other memory
+/// is published through it. A [`snapshot`](AtomicIoStats::snapshot) taken
+/// while workers are quiescent (the executor snapshots only at phase
+/// barriers) is exact.
+#[derive(Debug, Default)]
+pub struct AtomicIoStats {
+    seq_reads: std::sync::atomic::AtomicU64,
+    rand_reads: std::sync::atomic::AtomicU64,
+    seq_writes: std::sync::atomic::AtomicU64,
+    rand_writes: std::sync::atomic::AtomicU64,
+}
+
+impl AtomicIoStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        AtomicIoStats::default()
+    }
+
+    /// Records one I/O of the given kind.
+    pub fn record(&self, kind: IoKind) {
+        use std::sync::atomic::Ordering::Relaxed;
+        match kind {
+            IoKind::SeqRead => self.seq_reads.fetch_add(1, Relaxed),
+            IoKind::RandRead => self.rand_reads.fetch_add(1, Relaxed),
+            IoKind::SeqWrite => self.seq_writes.fetch_add(1, Relaxed),
+            IoKind::RandWrite => self.rand_writes.fetch_add(1, Relaxed),
+        };
+    }
+
+    /// Copies the current counter values into a plain [`IoStats`].
+    pub fn snapshot(&self) -> IoStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        IoStats {
+            seq_reads: self.seq_reads.load(Relaxed),
+            rand_reads: self.rand_reads.load(Relaxed),
+            seq_writes: self.seq_writes.load(Relaxed),
+            rand_writes: self.rand_writes.load(Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.seq_reads.store(0, Relaxed);
+        self.rand_reads.store(0, Relaxed);
+        self.seq_writes.store(0, Relaxed);
+        self.rand_writes.store(0, Relaxed);
+    }
+}
+
 /// Latency model of the storage device: cost per page I/O of each kind,
 /// expressed in microseconds.
 ///
@@ -219,6 +274,27 @@ mod tests {
         assert_eq!(s.reads(), 1);
         assert_eq!(s.writes(), 4);
         assert_eq!(s.total(), 5);
+    }
+
+    #[test]
+    fn atomic_stats_record_snapshot_reset() {
+        let stats = AtomicIoStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        stats.record(IoKind::SeqRead);
+                        stats.record(IoKind::RandWrite);
+                    }
+                });
+            }
+        });
+        let snap = stats.snapshot();
+        assert_eq!(snap.seq_reads, 400);
+        assert_eq!(snap.rand_writes, 400);
+        assert_eq!(snap.total(), 800);
+        stats.reset();
+        assert_eq!(stats.snapshot().total(), 0);
     }
 
     #[test]

@@ -35,6 +35,14 @@
 //! The crate has no dependencies and is deliberately self-contained so that
 //! the algorithm crates (`nocap` and `nocap-joins`) only talk to storage
 //! through these interfaces.
+//!
+//! The whole layer is **thread-safe**: [`BlockDevice`] requires
+//! `Send + Sync` (devices use interior locking — an `RwLock`ed page store
+//! and lock-free atomic I/O counters in [`SimDevice`]), [`BufferPool`] is a
+//! mutex-protected shared accountant, and [`DeviceRef`](device::DeviceRef)
+//! is an `Arc`. This is what lets the `nocap-par` execution engine shard
+//! partitioning scans across worker threads while the I/O trace and the
+//! *B*-page budget stay exact.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -54,7 +62,7 @@ pub use bloom::BloomFilter;
 pub use buffer::{BufferPool, Reservation};
 pub use device::{BlockDevice, FileDevice, FileId, SimDevice};
 pub use hash_table::JoinHashTable;
-pub use iostats::{DeviceProfile, IoKind, IoStats};
+pub use iostats::{AtomicIoStats, DeviceProfile, IoKind, IoStats};
 pub use page::{Page, DEFAULT_PAGE_SIZE};
 pub use record::{Record, RecordLayout};
 pub use relation::{Relation, RelationBuilder, RelationScan};

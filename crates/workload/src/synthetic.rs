@@ -97,6 +97,14 @@ impl GeneratedWorkload {
     pub fn stream_r_keys(&self) -> impl Iterator<Item = nocap_storage::Result<u64>> {
         self.r.scan().map(|r| r.map(|rec| rec.key()))
     }
+
+    /// The exact join output cardinality, derived from the correlation
+    /// table (every S record matches exactly one R key in this PK–FK
+    /// setting). Lets tests and benches verify a join's output without
+    /// paying for a naive reference join.
+    pub fn expected_join_output(&self) -> u64 {
+        self.ct.total_matches()
+    }
 }
 
 /// Generates per-key match counts for the requested correlation shape.

@@ -9,6 +9,9 @@
 //! * [`stats`] — bounded-memory streaming statistics (SpaceSaving top-k,
 //!   Count-Min, KMV distinct count, fallback histograms) that replace the
 //!   `CorrelationTable` oracle with one-pass sketch summaries.
+//! * [`par`] — the multi-threaded execution engine: worker pool, sharded
+//!   spill writers and the deterministic concurrent residual stager behind
+//!   `NocapJoin::run_parallel`.
 //! * [`nocap`] — the OCAP and NOCAP algorithms (the paper's contribution).
 //! * [`joins`] — baseline joins: NBJ, GHJ, SMJ, DHH, Histojoin.
 //! * [`workload`] — synthetic, TPC-H-like, JCC-H-like and JOB-like generators.
@@ -16,6 +19,7 @@
 pub use nocap;
 pub use nocap_joins as joins;
 pub use nocap_model as model;
+pub use nocap_par as par;
 pub use nocap_stats as stats;
 pub use nocap_storage as storage;
 pub use nocap_workload as workload;

@@ -1,0 +1,143 @@
+//! End-to-end guarantees of the parallel execution engine:
+//!
+//! 1. `NocapJoin::run_parallel(n)` produces the same join output and the
+//!    same per-phase modeled I/O as the sequential `run` for n ∈ {1, 2, 4},
+//!    across skewed and uniform workloads and several memory budgets.
+//! 2. The thread-safe `BufferPool` never over-commits its budget under a
+//!    barrier-synchronized reserve/release storm, and per-worker quota
+//!    carving conserves pages exactly.
+
+use std::sync::Barrier;
+
+use nocap_suite::model::JoinSpec;
+use nocap_suite::nocap::{NocapConfig, NocapJoin};
+use nocap_suite::storage::{BufferPool, IoStats, SimDevice};
+use nocap_suite::workload::{synthetic, Correlation, SyntheticConfig};
+
+/// Generates the workload fresh on its own device (same seed → identical
+/// relations) and runs one configuration.
+fn run_once(
+    correlation: Correlation,
+    buffer_pages: usize,
+    threads: Option<usize>,
+) -> (u64, IoStats, IoStats) {
+    let device = SimDevice::new_ref();
+    let config = SyntheticConfig {
+        n_r: 6_000,
+        n_s: 48_000,
+        record_bytes: 128,
+        correlation,
+        mcv_count: 300,
+        seed: 0x9A5,
+    };
+    let wl = synthetic::generate(device.clone(), &config).expect("workload");
+    let spec = JoinSpec::paper_synthetic(128, buffer_pages);
+    let join = NocapJoin::new(spec, NocapConfig::default());
+    device.reset_stats();
+    let report = match threads {
+        None => join.run(&wl.r, &wl.s, &wl.mcvs).expect("sequential run"),
+        Some(n) => join
+            .run_parallel(&wl.r, &wl.s, &wl.mcvs, n)
+            .expect("parallel run"),
+    };
+    assert_eq!(
+        report.output_records,
+        wl.expected_join_output(),
+        "join output must match the correlation table"
+    );
+    (report.output_records, report.partition_io, report.probe_io)
+}
+
+#[test]
+fn run_parallel_matches_run_across_workloads_threads_and_budgets() {
+    let correlations = [
+        ("zipf_1.1", Correlation::Zipf { alpha: 1.1 }),
+        ("uniform", Correlation::Uniform),
+    ];
+    for (name, correlation) in correlations {
+        for budget in [32usize, 96] {
+            let sequential = run_once(correlation, budget, None);
+            for threads in [1usize, 2, 4] {
+                let parallel = run_once(correlation, budget, Some(threads));
+                assert_eq!(
+                    parallel.0, sequential.0,
+                    "{name}/B={budget}: output differs at {threads} threads"
+                );
+                assert_eq!(
+                    parallel.1, sequential.1,
+                    "{name}/B={budget}: partition I/O differs at {threads} threads"
+                );
+                assert_eq!(
+                    parallel.2, sequential.2,
+                    "{name}/B={budget}: probe I/O differs at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn run_parallel_honors_the_nocap_threads_default() {
+    // threads = 0 routes through default_threads() (NOCAP_THREADS or the
+    // machine's parallelism); the result must still be byte-identical.
+    let sequential = run_once(Correlation::Zipf { alpha: 1.1 }, 48, None);
+    let defaulted = run_once(Correlation::Zipf { alpha: 1.1 }, 48, Some(0));
+    assert_eq!(defaulted, sequential);
+}
+
+#[test]
+fn buffer_pool_quota_accounting_survives_a_barrier_stress_test() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 60;
+    let pool = BufferPool::new(THREADS * 4);
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let pool = pool.clone();
+            let barrier = &barrier;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    // Line everyone up so every round contends for real.
+                    barrier.wait();
+                    // Deterministic per-thread pattern; over-asking is part
+                    // of the test — failures must not corrupt accounting.
+                    let ask = (t * 7 + round * 3) % 9;
+                    match pool.reserve(ask) {
+                        Ok(mut r) => {
+                            assert!(pool.in_use() <= pool.capacity());
+                            if r.grow(2).is_ok() {
+                                r.shrink(1);
+                            }
+                            assert!(pool.in_use() <= pool.capacity());
+                            drop(r);
+                        }
+                        Err(_) => {
+                            assert!(pool.in_use() <= pool.capacity());
+                        }
+                    }
+                    barrier.wait();
+                }
+            });
+        }
+    });
+    assert_eq!(pool.in_use(), 0, "all reservations must be released");
+    assert!(pool.peak() <= pool.capacity(), "budget was over-committed");
+}
+
+#[test]
+fn carved_worker_quotas_conserve_the_budget() {
+    let pool = BufferPool::new(37);
+    let _fixed = pool.reserve(5).unwrap();
+    let quotas = pool.carve_remaining(6);
+    assert_eq!(quotas.len(), 6);
+    let total: usize = quotas.iter().map(|q| q.pages()).sum();
+    assert_eq!(total, 32, "quotas must cover exactly the remaining budget");
+    assert_eq!(pool.available(), 0);
+    // Workers release their quotas independently.
+    std::thread::scope(|scope| {
+        for quota in quotas {
+            scope.spawn(move || drop(quota));
+        }
+    });
+    assert_eq!(pool.in_use(), 5, "only the fixed reservation remains");
+}
