@@ -1,0 +1,51 @@
+//! CPU throughput of the record pipeline: zero-copy vs the pre-refactor
+//! allocation-heavy path, for the in-memory build+probe kernel and the
+//! one-pass partition sweep.
+//!
+//! On `SimDevice` the modeled I/O is free, so these numbers isolate the CPU
+//! cost per record — the quantity the zero-copy refactor targets. The same
+//! kernels power `exp_cpu_throughput`, which records absolute records/sec
+//! in `BENCH_cpu.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nocap_bench::cpu;
+use nocap_storage::{Relation, SimDevice};
+
+const N_R: usize = 20_000;
+const N_S: usize = 80_000;
+const RECORD_BYTES: usize = 128;
+const PARTITIONS: usize = 64;
+
+fn inputs() -> (Relation, Relation) {
+    let device = SimDevice::new_ref();
+    cpu::build_input(device, N_R, N_S, RECORD_BYTES, 4096).expect("workload")
+}
+
+fn bench_build_probe(c: &mut Criterion) {
+    let (r, s) = inputs();
+    let mut group = c.benchmark_group("build_probe");
+    group.sample_size(10);
+    group.bench_function("zero_copy", |b| {
+        b.iter(|| cpu::build_probe_zero_copy(black_box(&r), black_box(&s)).unwrap())
+    });
+    group.bench_function("legacy", |b| {
+        b.iter(|| cpu::build_probe_legacy(black_box(&r), black_box(&s)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_partition_sweep(c: &mut Criterion) {
+    let (_, s) = inputs();
+    let mut group = c.benchmark_group("partition_sweep");
+    group.sample_size(10);
+    group.bench_function("zero_copy", |b| {
+        b.iter(|| cpu::partition_sweep_zero_copy(black_box(&s), PARTITIONS).unwrap())
+    });
+    group.bench_function("legacy", |b| {
+        b.iter(|| cpu::partition_sweep_legacy(black_box(&s), PARTITIONS).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build_probe, bench_partition_sweep);
+criterion_main!(benches);

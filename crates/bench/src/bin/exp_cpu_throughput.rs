@@ -1,0 +1,92 @@
+//! CPU-throughput trajectory of the record pipeline, recorded across PRs.
+//!
+//! Measures records/sec for two kernels on `SimDevice` (modeled I/O is
+//! free, so this is pure CPU):
+//!
+//! * **build_probe** — load R into the in-memory hash table, probe it with
+//!   every S record (throughput over `n_R + n_S` records);
+//! * **partition_sweep** — one hash-route-and-copy pass over S into 64
+//!   spill partitions (throughput over `n_S` records).
+//!
+//! Each kernel runs both as the current zero-copy implementation and as a
+//! faithful reproduction of the pre-refactor path (`Record::read_from` per
+//! record + `HashMap<u64, Vec<Record>>` / owned-record pushes — see
+//! `nocap_bench::cpu`), so the printed speedups measure the arena refactor
+//! directly. Results are written to `BENCH_cpu.json` in the working
+//! directory so the perf trajectory is tracked across PRs. Pass `--quick`
+//! for a smaller workload (CI smoke).
+
+use std::time::Instant;
+
+use nocap_bench::cpu;
+use nocap_storage::SimDevice;
+
+/// Best-of-N wall-clock seconds for one kernel run.
+fn best_secs(repeats: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut result = 0u64;
+    for _ in 0..repeats {
+        let started = Instant::now();
+        result = std::hint::black_box(f());
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    (best, result)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n_r, n_s, repeats) = if quick {
+        (10_000usize, 40_000usize, 2usize)
+    } else {
+        (100_000, 400_000, 5)
+    };
+    let record_bytes = 128;
+    let partitions = 64;
+
+    println!(
+        "# exp_cpu_throughput: n_R = {n_r}, n_S = {n_s}, {record_bytes}-byte records, \
+         {partitions} partitions, best of {repeats} runs"
+    );
+
+    let device = SimDevice::new_ref();
+    let (r, s) =
+        cpu::build_input(device, n_r, n_s, record_bytes, 4096).expect("workload generation");
+
+    // ---- build + probe ---------------------------------------------------
+    let bp_records = (n_r + n_s) as f64;
+    let (legacy_secs, legacy_out) = best_secs(repeats, || cpu::build_probe_legacy(&r, &s).unwrap());
+    let (fast_secs, fast_out) = best_secs(repeats, || cpu::build_probe_zero_copy(&r, &s).unwrap());
+    assert_eq!(
+        fast_out, legacy_out,
+        "kernels must agree on the join output"
+    );
+    let bp_legacy = bp_records / legacy_secs;
+    let bp_fast = bp_records / fast_secs;
+    let bp_speedup = bp_fast / bp_legacy;
+
+    // ---- partition sweep -------------------------------------------------
+    let (sweep_legacy_secs, _) = best_secs(repeats, || {
+        cpu::partition_sweep_legacy(&s, partitions).unwrap()
+    });
+    let (sweep_fast_secs, _) = best_secs(repeats, || {
+        cpu::partition_sweep_zero_copy(&s, partitions).unwrap()
+    });
+    let sweep_legacy = n_s as f64 / sweep_legacy_secs;
+    let sweep_fast = n_s as f64 / sweep_fast_secs;
+    let sweep_speedup = sweep_fast / sweep_legacy;
+
+    println!("kernel,legacy_records_per_sec,zero_copy_records_per_sec,speedup");
+    println!("build_probe,{bp_legacy:.0},{bp_fast:.0},{bp_speedup:.2}");
+    println!("partition_sweep,{sweep_legacy:.0},{sweep_fast:.0},{sweep_speedup:.2}");
+
+    let json = format!(
+        "{{\n  \"config\": {{ \"n_r\": {n_r}, \"n_s\": {n_s}, \"record_bytes\": {record_bytes}, \
+         \"partitions\": {partitions}, \"repeats\": {repeats}, \"quick\": {quick} }},\n  \
+         \"build_probe\": {{ \"legacy_records_per_sec\": {bp_legacy:.0}, \
+         \"zero_copy_records_per_sec\": {bp_fast:.0}, \"speedup\": {bp_speedup:.3} }},\n  \
+         \"partition_sweep\": {{ \"legacy_records_per_sec\": {sweep_legacy:.0}, \
+         \"zero_copy_records_per_sec\": {sweep_fast:.0}, \"speedup\": {sweep_speedup:.3} }}\n}}\n"
+    );
+    std::fs::write("BENCH_cpu.json", &json).expect("write BENCH_cpu.json");
+    println!("# wrote BENCH_cpu.json");
+}

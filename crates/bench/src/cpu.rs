@@ -1,0 +1,201 @@
+//! CPU-throughput kernels: the zero-copy hot paths next to their
+//! pre-refactor (allocation-heavy) counterparts.
+//!
+//! The NOCAP cost model separates I/O from CPU; on `SimDevice` the I/O is
+//! free, so these kernels measure exactly the CPU work the zero-copy record
+//! pipeline optimizes: partition routing (hash + buffer copy per record)
+//! and hash-table build/probe. The *legacy* kernels reproduce the
+//! pre-refactor implementation faithfully — `Record::read_from` per scanned
+//! record (one `Box<[u8]>` each) feeding a `HashMap<u64, Vec<Record>>`
+//! (SipHash, one `Vec` per key) or an owned-record `PartitionWriter::push`
+//! — so `exp_cpu_throughput` can report the speedup against the exact code
+//! the repository shipped before the arena refactor.
+//!
+//! Shared by the `join_throughput` criterion bench and the
+//! `exp_cpu_throughput` experiment binary (which emits `BENCH_cpu.json`).
+
+use std::collections::HashMap;
+
+use nocap_storage::device::DeviceRef;
+use nocap_storage::{
+    IoKind, JoinHashTable, PartitionWriter, Record, RecordLayout, Relation, Result,
+};
+
+/// The paper's fudge factor, used by every kernel.
+pub const FUDGE: f64 = 1.02;
+
+/// The pre-refactor build/probe structure: SipHash map keyed by join key
+/// with one owned-record `Vec` per key.
+pub struct LegacyHashTable {
+    map: HashMap<u64, Vec<Record>>,
+}
+
+impl Default for LegacyHashTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LegacyHashTable {
+    /// Creates an empty legacy table.
+    pub fn new() -> Self {
+        LegacyHashTable {
+            map: HashMap::new(),
+        }
+    }
+
+    /// Inserts an owned record (allocation already paid by the caller).
+    pub fn insert(&mut self, record: Record) {
+        self.map.entry(record.key()).or_default().push(record);
+    }
+
+    /// All records whose key equals `key`.
+    pub fn probe(&self, key: u64) -> &[Record] {
+        self.map.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+/// Builds the kernel workload: R with keys `0..n_r`, S with `n_s` records
+/// whose keys cycle through R's domain in a deterministically shuffled
+/// order. Returns `(r, s)` on the given device.
+pub fn build_input(
+    device: DeviceRef,
+    n_r: usize,
+    n_s: usize,
+    record_bytes: usize,
+    page_size: usize,
+) -> Result<(Relation, Relation)> {
+    let layout = RecordLayout::new(record_bytes.saturating_sub(RecordLayout::KEY_BYTES));
+    let payload = layout.payload_bytes();
+    let r = Relation::bulk_load(
+        device.clone(),
+        layout,
+        page_size,
+        (0..n_r as u64).map(|k| Record::with_fill(k, payload, 1)),
+    )?;
+    let s = Relation::bulk_load(
+        device,
+        layout,
+        page_size,
+        (0..n_s as u64).map(|i| {
+            // SplitMix-style scramble to avoid a sequential key stream.
+            let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            Record::with_fill(z % n_r as u64, payload, 2)
+        }),
+    )?;
+    Ok((r, s))
+}
+
+/// Zero-copy build + probe: R pages stream into the arena
+/// [`JoinHashTable`] via `insert_ref`, S pages probe via `probe_count` —
+/// no per-record allocation anywhere. Returns the join output count.
+pub fn build_probe_zero_copy(r: &Relation, s: &Relation) -> Result<u64> {
+    let mut table = JoinHashTable::new(r.layout(), r.page_size(), FUDGE);
+    let mut r_scan = r.scan();
+    while let Some(page) = r_scan.next_page()? {
+        for rec in page.record_refs() {
+            table.insert_ref(rec);
+        }
+    }
+    let mut output = 0u64;
+    let mut s_scan = s.scan();
+    while let Some(page) = s_scan.next_page()? {
+        for rec in page.record_refs() {
+            output += table.probe_count(rec.key());
+        }
+    }
+    Ok(output)
+}
+
+/// Pre-refactor build + probe: the owned-record iterator path
+/// (`Record::read_from` per record) into a [`LegacyHashTable`].
+pub fn build_probe_legacy(r: &Relation, s: &Relation) -> Result<u64> {
+    let mut table = LegacyHashTable::new();
+    for rec in r.scan() {
+        table.insert(rec?);
+    }
+    let mut output = 0u64;
+    for rec in s.scan() {
+        output += table.probe(rec?.key()).len() as u64;
+    }
+    Ok(output)
+}
+
+/// Zero-copy one-pass partition sweep: routes every record of `relation`
+/// into `m` spill partitions (hash, then `memcpy` into the partition's
+/// output buffer). Returns the number of records routed; the spill files
+/// are deleted before returning.
+pub fn partition_sweep_zero_copy(relation: &Relation, m: usize) -> Result<u64> {
+    let device = relation.device().clone();
+    let mut writers: Vec<PartitionWriter> = (0..m)
+        .map(|_| {
+            PartitionWriter::new(
+                device.clone(),
+                relation.layout(),
+                relation.page_size(),
+                IoKind::RandWrite,
+            )
+        })
+        .collect();
+    let mut routed = 0u64;
+    let mut scan = relation.scan();
+    while let Some(page) = scan.next_page()? {
+        for rec in page.record_refs() {
+            let p = (rec.key().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % m;
+            writers[p].push_ref(rec)?;
+            routed += 1;
+        }
+    }
+    for w in writers {
+        w.finish()?.delete()?;
+    }
+    Ok(routed)
+}
+
+/// Pre-refactor partition sweep: the owned-record iterator path
+/// (`Record::read_from` per record, `push(&Record)` per route).
+pub fn partition_sweep_legacy(relation: &Relation, m: usize) -> Result<u64> {
+    let device = relation.device().clone();
+    let mut writers: Vec<PartitionWriter> = (0..m)
+        .map(|_| {
+            PartitionWriter::new(
+                device.clone(),
+                relation.layout(),
+                relation.page_size(),
+                IoKind::RandWrite,
+            )
+        })
+        .collect();
+    let mut routed = 0u64;
+    for rec in relation.scan() {
+        let rec = rec?;
+        let p = (rec.key().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % m;
+        writers[p].push(&rec)?;
+        routed += 1;
+    }
+    for w in writers {
+        w.finish()?.delete()?;
+    }
+    Ok(routed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocap_storage::SimDevice;
+
+    #[test]
+    fn zero_copy_and_legacy_kernels_agree() {
+        let device = SimDevice::new_ref();
+        let (r, s) = build_input(device, 2_000, 8_000, 64, 4096).unwrap();
+        let fast = build_probe_zero_copy(&r, &s).unwrap();
+        let slow = build_probe_legacy(&r, &s).unwrap();
+        assert_eq!(fast, slow);
+        assert_eq!(fast, 8_000, "every S key hits exactly one R key");
+        let routed_fast = partition_sweep_zero_copy(&r, 16).unwrap();
+        let routed_slow = partition_sweep_legacy(&r, 16).unwrap();
+        assert_eq!(routed_fast, 2_000);
+        assert_eq!(routed_slow, 2_000);
+    }
+}

@@ -8,4 +8,5 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cpu;
 pub mod harness;

@@ -25,10 +25,11 @@ use std::time::Instant;
 
 use nocap_model::pairwise::smart_partition_join;
 use nocap_model::{JoinRunReport, JoinSpec, RoundedHashParams};
+use nocap_par::QuotaStager;
 use nocap_stats::{StatsCollector, StatsSummary};
 use nocap_storage::{
-    BufferPool, IoKind, JoinHashTable, PartitionHandle, PartitionWriter, Record, RecordLayout,
-    Relation,
+    BufferPool, IoKind, JoinHashTable, PartitionHandle, PartitionWriter, RecordBatch, RecordLayout,
+    RecordRef, Relation,
 };
 
 use crate::plan::NocapPlan;
@@ -176,19 +177,21 @@ impl NocapJoin {
             plan.estimated_rest_keys,
             self.config.planner.rh_params,
         );
-        for rec in r.scan() {
-            let rec = rec?;
-            if mem_set.contains(&rec.key()) {
-                ht_mem.insert(rec);
-            } else if let Some(&pid) = disk_map.get(&rec.key()) {
-                r_disk_writers[pid as usize].push(&rec)?;
-            } else {
-                rest.insert(rec)?;
+        let mut r_scan = r.scan();
+        while let Some(page) = r_scan.next_page()? {
+            for rec in page.record_refs() {
+                if mem_set.contains(&rec.key()) {
+                    ht_mem.insert_ref(rec);
+                } else if let Some(&pid) = disk_map.get(&rec.key()) {
+                    r_disk_writers[pid as usize].push_ref(rec)?;
+                } else {
+                    rest.insert(rec)?;
+                }
             }
         }
         let rest_build = rest.finish_build()?;
-        for rec in rest_build.staged_records {
-            ht_mem.insert(rec);
+        for rec in rest_build.staged_records.iter() {
+            ht_mem.insert_ref(rec);
         }
         let r_disk_handles: Vec<PartitionHandle> = r_disk_writers
             .into_iter()
@@ -221,25 +224,28 @@ impl NocapJoin {
                 })
             })
             .collect();
-        for rec in s.scan() {
-            let rec = rec?;
-            if let Some(&pid) = disk_map.get(&rec.key()) {
-                s_disk_writers[pid as usize].push(&rec)?;
-                continue;
+        let mut s_scan = s.scan();
+        while let Some(page) = s_scan.next_page()? {
+            for rec in page.record_refs() {
+                if let Some(&pid) = disk_map.get(&rec.key()) {
+                    s_disk_writers[pid as usize].push_ref(rec)?;
+                    continue;
+                }
+                let matches = ht_mem.probe_count(rec.key());
+                if matches > 0 {
+                    output += matches;
+                    continue;
+                }
+                let part = rest_build.rh.partition_of(rec.key());
+                if rest_build.pob[part] {
+                    s_rest_writers[part]
+                        .as_mut()
+                        .expect("writer exists for every destaged partition")
+                        .push_ref(rec)?;
+                }
+                // else: the partition stayed in memory and the key had no
+                // match.
             }
-            let matches = ht_mem.probe(rec.key());
-            if !matches.is_empty() {
-                output += matches.len() as u64;
-                continue;
-            }
-            let part = rest_build.rh.partition_of(rec.key());
-            if rest_build.pob[part] {
-                s_rest_writers[part]
-                    .as_mut()
-                    .expect("writer exists for every destaged partition")
-                    .push(&rec)?;
-            }
-            // else: the partition stayed in memory and the key had no match.
         }
         let partition_io = device.stats().since(&base_stats);
 
@@ -283,8 +289,8 @@ impl NocapJoin {
 /// What the residual partitioner hands back after the R pass.
 pub struct RestBuild {
     /// Records of partitions that stayed in memory (to be added to the
-    /// in-memory hash table).
-    pub staged_records: Vec<Record>,
+    /// in-memory hash table), held in one columnar arena.
+    pub staged_records: RecordBatch,
     /// Spilled R partitions, indexed by partition id (`None` if that
     /// partition stayed in memory).
     pub spilled: Vec<Option<PartitionHandle>>,
@@ -336,7 +342,9 @@ impl RestGeometry {
     }
 }
 
-/// Quota-destaging partitioner for the residual (non-MCV) keys.
+/// Quota-destaging partitioner for the residual (non-MCV) keys: the
+/// rounded-hash router of [`RestGeometry`] in front of the shared
+/// sequential [`QuotaStager`].
 ///
 /// Partitions start staged in memory. Each partition owns a fixed quota of
 /// staging pages carved from the residual budget ([`RestGeometry`]); the
@@ -353,16 +361,8 @@ impl RestGeometry {
 /// and parallel executors destage identical partition sets and the §4.1
 /// bound `Σ staged + spilled buffers ≤ m_rest` still holds at all times.
 pub struct RestPartitioner {
-    device: nocap_storage::device::DeviceRef,
-    spec: JoinSpec,
-    layout: RecordLayout,
     geometry: RestGeometry,
-    staged: Vec<Vec<Record>>,
-    staged_pages: Vec<usize>,
-    staged_pages_total: usize,
-    writers: Vec<Option<PartitionWriter>>,
-    pob: Vec<bool>,
-    spilled_count: usize,
+    stager: QuotaStager,
 }
 
 impl RestPartitioner {
@@ -388,95 +388,40 @@ impl RestPartitioner {
         layout: RecordLayout,
         geometry: RestGeometry,
     ) -> Self {
-        let num_partitions = geometry.num_partitions();
-        RestPartitioner {
-            device,
-            spec,
-            layout,
-            geometry,
-            staged: vec![Vec::new(); num_partitions],
-            staged_pages: vec![0; num_partitions],
-            staged_pages_total: 0,
-            writers: (0..num_partitions).map(|_| None).collect(),
-            pob: vec![false; num_partitions],
-            spilled_count: 0,
-        }
+        let stager = QuotaStager::new(device, spec, layout, geometry.caps.clone());
+        RestPartitioner { geometry, stager }
     }
 
     /// Number of residual partitions.
     pub fn num_partitions(&self) -> usize {
-        self.staged.len()
+        self.stager.num_partitions()
     }
 
     /// Number of partitions destaged to disk so far.
     pub fn spilled_partitions(&self) -> usize {
-        self.spilled_count
+        self.stager.spilled_partitions()
     }
 
     /// Current memory use in pages (staged data + spilled output buffers).
     pub fn pages_in_use(&self) -> usize {
-        self.staged_pages_total + self.spilled_count
+        self.stager.pages_in_use()
     }
 
-    /// Routes one R record to its residual partition.
-    pub fn insert(&mut self, rec: Record) -> nocap_storage::Result<()> {
+    /// Routes one borrowed R record to its residual partition (staging is a
+    /// key push plus payload `memcpy` into the partition's arena).
+    pub fn insert(&mut self, rec: RecordRef<'_>) -> nocap_storage::Result<()> {
         let p = self.geometry.rh.partition_of(rec.key());
-        if self.pob[p] {
-            self.writers[p]
-                .as_mut()
-                .expect("destaged partition has a writer")
-                .push(&rec)?;
-            return Ok(());
-        }
-        self.staged[p].push(rec);
-        let new_pages = self.spec.hash_table_pages(self.staged[p].len()).max(1);
-        self.staged_pages_total += new_pages - self.staged_pages[p];
-        self.staged_pages[p] = new_pages;
-        if new_pages > self.geometry.caps[p] {
-            self.destage(p)?;
-        }
-        Ok(())
-    }
-
-    /// Destages partition `p`: staged records drain into a fresh spill
-    /// writer and the partition's memory drops to the writer's single
-    /// output-buffer page.
-    fn destage(&mut self, p: usize) -> nocap_storage::Result<()> {
-        let mut writer = PartitionWriter::new(
-            self.device.clone(),
-            self.layout,
-            self.spec.page_size,
-            IoKind::RandWrite,
-        );
-        for rec in self.staged[p].drain(..) {
-            writer.push(&rec)?;
-        }
-        self.staged_pages_total -= self.staged_pages[p];
-        self.staged_pages[p] = 0;
-        self.writers[p] = Some(writer);
-        self.pob[p] = true;
-        self.spilled_count += 1;
-        Ok(())
+        self.stager.insert(p, rec)
     }
 
     /// Finishes the R pass: remaining staged records go to the caller's
     /// in-memory hash table, spilled partitions become handles.
     pub fn finish_build(self) -> nocap_storage::Result<RestBuild> {
-        let mut staged_records = Vec::new();
-        for records in self.staged {
-            staged_records.extend(records);
-        }
-        let mut spilled = Vec::with_capacity(self.writers.len());
-        for writer in self.writers {
-            spilled.push(match writer {
-                Some(w) => Some(w.finish()?),
-                None => None,
-            });
-        }
+        let build = self.stager.finish()?;
         Ok(RestBuild {
-            staged_records,
-            spilled,
-            pob: self.pob,
+            staged_records: build.staged_records,
+            spilled: build.spilled,
+            pob: build.pob,
             rh: self.geometry.rh,
         })
     }
@@ -485,7 +430,7 @@ impl RestPartitioner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nocap_storage::SimDevice;
+    use nocap_storage::{Record, SimDevice};
     use std::collections::HashMap;
 
     /// Builds R with keys `0..n_r` and S where key `k` appears `ct(k)` times.
@@ -543,7 +488,8 @@ mod tests {
             RoundedHashParams::default(),
         );
         for k in 0..5_000u64 {
-            rest.insert(Record::with_fill(k, 120, 0)).unwrap();
+            let rec = Record::with_fill(k, 120, 0);
+            rest.insert(rec.as_record_ref()).unwrap();
             assert!(
                 rest.pages_in_use() <= 8,
                 "rest partitioner exceeded its page budget"
@@ -571,7 +517,8 @@ mod tests {
             RoundedHashParams::default(),
         );
         for k in 0..1_000u64 {
-            rest.insert(Record::with_fill(k, 120, 0)).unwrap();
+            let rec = Record::with_fill(k, 120, 0);
+            rest.insert(rec.as_record_ref()).unwrap();
         }
         assert_eq!(rest.spilled_partitions(), 0);
         let build = rest.finish_build().unwrap();

@@ -121,28 +121,30 @@ impl NocapJoin {
         let r_shards = page_shards(r.num_pages(), threads);
         let stages = run_workers(threads, |w| {
             let mut stage = stager.worker_stage();
-            for rec in r.scan_range(r_shards[w].clone()) {
-                let rec = rec?;
-                if mem_set.contains(&rec.key()) {
-                    // R is the primary-key side: cached keys are rare, so
-                    // this lock is cold.
-                    ht_shared
-                        .lock()
-                        .expect("hash table lock poisoned")
-                        .insert(rec);
-                } else if let Some(&pid) = disk_map.get(&rec.key()) {
-                    r_disk.push(pid as usize, &rec)?;
-                } else {
-                    let p = geometry.rh.partition_of(rec.key());
-                    stager.insert(&mut stage, p, rec)?;
+            let mut scan = r.scan_range(r_shards[w].clone());
+            while let Some(page) = scan.next_page()? {
+                for rec in page.record_refs() {
+                    if mem_set.contains(&rec.key()) {
+                        // R is the primary-key side: cached keys are rare, so
+                        // this lock is cold.
+                        ht_shared
+                            .lock()
+                            .expect("hash table lock poisoned")
+                            .insert_ref(rec);
+                    } else if let Some(&pid) = disk_map.get(&rec.key()) {
+                        r_disk.push(pid as usize, rec)?;
+                    } else {
+                        let p = geometry.rh.partition_of(rec.key());
+                        stager.insert(&mut stage, p, rec)?;
+                    }
                 }
             }
             Ok(stage)
         })?;
         let rest_build = stager.finish(stages)?;
         let mut ht_mem = ht_shared.into_inner().expect("hash table lock poisoned");
-        for rec in rest_build.staged_records {
-            ht_mem.insert(rec);
+        for rec in rest_build.staged_records.iter() {
+            ht_mem.insert_ref(rec);
         }
         let r_disk_handles = r_disk.finish_dense()?;
 
@@ -166,23 +168,25 @@ impl NocapJoin {
         let pob = &rest_build.pob;
         let probe_counts = run_workers(threads, |w| {
             let mut output = 0u64;
-            for rec in s.scan_range(s_shards[w].clone()) {
-                let rec = rec?;
-                if let Some(&pid) = disk_map.get(&rec.key()) {
-                    s_disk.push(pid as usize, &rec)?;
-                    continue;
+            let mut scan = s.scan_range(s_shards[w].clone());
+            while let Some(page) = scan.next_page()? {
+                for rec in page.record_refs() {
+                    if let Some(&pid) = disk_map.get(&rec.key()) {
+                        s_disk.push(pid as usize, rec)?;
+                        continue;
+                    }
+                    let matches = ht_ref.probe_count(rec.key());
+                    if matches > 0 {
+                        output += matches;
+                        continue;
+                    }
+                    let part = geometry.rh.partition_of(rec.key());
+                    if pob[part] {
+                        s_rest.push(part, rec)?;
+                    }
+                    // else: the partition stayed in memory and the key had
+                    // no match.
                 }
-                let matches = ht_ref.probe(rec.key());
-                if !matches.is_empty() {
-                    output += matches.len() as u64;
-                    continue;
-                }
-                let part = geometry.rh.partition_of(rec.key());
-                if pob[part] {
-                    s_rest.push(part, &rec)?;
-                }
-                // else: the partition stayed in memory and the key had no
-                // match.
             }
             Ok(output)
         })?;

@@ -2,14 +2,26 @@
 //! (Algorithms 1 and 2 plus the heuristic skew optimization of §2.2).
 //!
 //! DHH hash-partitions R into `m_DHH = max(20, ⌈(‖R‖·F − B)/(B − 1)⌉)`
-//! partitions. Every partition starts *staged* in memory; whenever memory
-//! runs out the largest staged partition is destaged to disk and its
-//! page-out bit (POB) is set. After R is consumed, all still-staged
-//! partitions are folded into one in-memory hash table. While partitioning
-//! S, records whose key hits the in-memory table are joined immediately;
-//! records belonging to destaged partitions are spilled; the remaining
-//! records (staged partition, no match) are dropped. Finally the spilled
-//! partition pairs are joined pairwise.
+//! partitions. Every partition starts *staged* in memory; partitions that
+//! outgrow their memory share are destaged to disk and their page-out bit
+//! (POB) is set. After R is consumed, all still-staged partitions are
+//! folded into one in-memory hash table. While partitioning S, records
+//! whose key hits the in-memory table are joined immediately; records
+//! belonging to destaged partitions are spilled; the remaining records
+//! (staged partition, no match) are dropped. Finally the spilled partition
+//! pairs are joined pairwise.
+//!
+//! **Destaging policy.** The paper's Algorithm 1 destages *the largest
+//! staged partition* whenever the global budget overflows — a policy whose
+//! outcome depends on the order records arrive, which no sharded scan can
+//! reproduce. This implementation uses the same deterministic quota
+//! geometry NOCAP's residual partitioner adopted: every partition owns an
+//! even share of the staging budget ([`nocap_par::even_caps`]) and is
+//! destaged the moment its own staged footprint exceeds that share — a
+//! function of the partition's total record count only. The destaged set is
+//! therefore identical for any scan order or thread interleaving, which is
+//! what unblocks a future `DhhJoin::run_parallel`; total staged pages plus
+//! one output buffer per destaged partition still never exceed the budget.
 //!
 //! **Skew optimization.** Practical systems (PostgreSQL, Histojoin) add a
 //! small dedicated hash table for the most common values: if the tracked
@@ -24,11 +36,12 @@ use std::time::Instant;
 
 use nocap_model::pairwise::smart_partition_join;
 use nocap_model::{JoinRunReport, JoinSpec};
+use nocap_par::{even_caps, QuotaStager};
 use nocap_stats::StatsSummary;
 use nocap_storage::device::DeviceRef;
 use nocap_storage::{
-    BufferPool, IoKind, JoinHashTable, PartitionHandle, PartitionWriter, Record, RecordLayout,
-    Relation,
+    BufferPool, IoKind, JoinHashTable, PartitionHandle, PartitionWriter, RecordBatch, RecordLayout,
+    RecordRef, Relation,
 };
 
 /// SplitMix64 hash for partition routing.
@@ -146,18 +159,20 @@ impl DhhJoin {
         let mut partitioner =
             DhhPartitioner::new(device.clone(), *spec, r.layout(), pool.available(), m_dhh);
         let mut skew_table = JoinHashTable::new(r.layout(), spec.page_size, spec.fudge);
-        for rec in r.scan() {
-            let rec = rec?;
-            if skew_keys.contains(&rec.key()) {
-                skew_table.insert(rec);
-            } else {
-                partitioner.insert(rec)?;
+        let mut r_scan = r.scan();
+        while let Some(page) = r_scan.next_page()? {
+            for rec in page.record_refs() {
+                if skew_keys.contains(&rec.key()) {
+                    skew_table.insert_ref(rec);
+                } else {
+                    partitioner.insert(rec)?;
+                }
             }
         }
         let build = partitioner.finish()?;
         let mut ht_mem = skew_table;
-        for rec in build.staged_records {
-            ht_mem.insert(rec);
+        for rec in build.staged_records.iter() {
+            ht_mem.insert_ref(rec);
         }
 
         // ---- Partition / probe S (Algorithm 2) -----------------------------
@@ -176,19 +191,21 @@ impl DhhJoin {
                 })
             })
             .collect();
-        for rec in s.scan() {
-            let rec = rec?;
-            let matches = ht_mem.probe(rec.key());
-            if !matches.is_empty() {
-                output += matches.len() as u64;
-                continue;
-            }
-            let p = (hash_key(rec.key()) % build.pob.len() as u64) as usize;
-            if build.pob[p] {
-                s_writers[p]
-                    .as_mut()
-                    .expect("spilled partition has an S writer")
-                    .push(&rec)?;
+        let mut s_scan = s.scan();
+        while let Some(page) = s_scan.next_page()? {
+            for rec in page.record_refs() {
+                let matches = ht_mem.probe_count(rec.key());
+                if matches > 0 {
+                    output += matches;
+                    continue;
+                }
+                let p = (hash_key(rec.key()) % build.pob.len() as u64) as usize;
+                if build.pob[p] {
+                    s_writers[p]
+                        .as_mut()
+                        .expect("spilled partition has an S writer")
+                        .push_ref(rec)?;
+                }
             }
         }
         let partition_io = device.stats().since(&base);
@@ -250,23 +267,19 @@ impl DhhJoin {
 
 /// Outcome of DHH's R-partitioning phase.
 struct DhhBuild {
-    staged_records: Vec<Record>,
+    staged_records: RecordBatch,
     spilled: Vec<Option<PartitionHandle>>,
     pob: Vec<bool>,
 }
 
-/// The dynamic destaging partitioner of Algorithm 1.
+/// The destaging partitioner of Algorithm 1, ported from the paper's
+/// order-dependent "largest partition on global overflow" policy to the
+/// deterministic per-partition quota geometry (see the module docs): a
+/// modulo-hash router in front of the shared sequential
+/// [`QuotaStager`], with every partition owning `even_caps(budget, m)[p]`
+/// staging pages.
 struct DhhPartitioner {
-    device: DeviceRef,
-    spec: JoinSpec,
-    layout: RecordLayout,
-    budget_pages: usize,
-    staged: Vec<Vec<Record>>,
-    staged_pages: Vec<usize>,
-    staged_total: usize,
-    writers: Vec<Option<PartitionWriter>>,
-    pob: Vec<bool>,
-    spilled_count: usize,
+    stager: QuotaStager,
 }
 
 impl DhhPartitioner {
@@ -278,89 +291,28 @@ impl DhhPartitioner {
         num_partitions: usize,
     ) -> Self {
         let num_partitions = num_partitions.max(1);
+        let caps = even_caps(budget_pages.max(1), num_partitions);
         DhhPartitioner {
-            device,
-            spec,
-            layout,
-            budget_pages: budget_pages.max(1),
-            staged: vec![Vec::new(); num_partitions],
-            staged_pages: vec![0; num_partitions],
-            staged_total: 0,
-            writers: (0..num_partitions).map(|_| None).collect(),
-            pob: vec![false; num_partitions],
-            spilled_count: 0,
+            stager: QuotaStager::new(device, spec, layout, caps),
         }
     }
 
+    #[cfg(test)]
     fn pages_in_use(&self) -> usize {
-        self.staged_total + self.spilled_count
+        self.stager.pages_in_use()
     }
 
-    fn insert(&mut self, rec: Record) -> nocap_storage::Result<()> {
-        let p = (hash_key(rec.key()) % self.staged.len() as u64) as usize;
-        if self.pob[p] {
-            self.writers[p]
-                .as_mut()
-                .expect("destaged partition has a writer")
-                .push(&rec)?;
-            return Ok(());
-        }
-        self.staged[p].push(rec);
-        let pages = self.spec.hash_table_pages(self.staged[p].len()).max(1);
-        self.staged_total += pages - self.staged_pages[p];
-        self.staged_pages[p] = pages;
-        while self.pages_in_use() > self.budget_pages {
-            if !self.spill_largest()? {
-                break;
-            }
-        }
-        Ok(())
-    }
-
-    fn spill_largest(&mut self) -> nocap_storage::Result<bool> {
-        let victim = self
-            .staged
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| !v.is_empty())
-            .max_by_key(|(_, v)| v.len())
-            .map(|(i, _)| i);
-        let Some(victim) = victim else {
-            return Ok(false);
-        };
-        let mut writer = PartitionWriter::new(
-            self.device.clone(),
-            self.layout,
-            self.spec.page_size,
-            IoKind::RandWrite,
-        );
-        for rec in self.staged[victim].drain(..) {
-            writer.push(&rec)?;
-        }
-        self.staged_total -= self.staged_pages[victim];
-        self.staged_pages[victim] = 0;
-        self.writers[victim] = Some(writer);
-        self.pob[victim] = true;
-        self.spilled_count += 1;
-        Ok(true)
+    fn insert(&mut self, rec: RecordRef<'_>) -> nocap_storage::Result<()> {
+        let p = (hash_key(rec.key()) % self.stager.num_partitions() as u64) as usize;
+        self.stager.insert(p, rec)
     }
 
     fn finish(self) -> nocap_storage::Result<DhhBuild> {
-        let mut staged_records = Vec::new();
-        for records in self.staged {
-            staged_records.extend(records);
-        }
-        let mut spilled = Vec::with_capacity(self.writers.len());
-        for writer in self.writers {
-            spilled.push(match writer {
-                Some(w) => Some(w.finish()?),
-                None => None,
-            });
-        }
+        let build = self.stager.finish()?;
         Ok(DhhBuild {
-            staged_records,
-            spilled,
-            pob: self.pob,
+            staged_records: build.staged_records,
+            spilled: build.spilled,
+            pob: build.pob,
         })
     }
 }
@@ -370,7 +322,7 @@ mod tests {
     use super::*;
     use crate::naive::naive_join_count;
     use crate::testutil::{build_workload, mcvs};
-    use nocap_storage::SimDevice;
+    use nocap_storage::{Record, SimDevice};
 
     #[test]
     fn matches_naive_join_uniform() {
@@ -478,6 +430,40 @@ mod tests {
             sketched.total_ios(),
             oracle.total_ios()
         );
+    }
+
+    #[test]
+    fn quota_destaging_is_order_independent_and_respects_the_budget() {
+        let spec = JoinSpec::paper_synthetic(128, 16);
+        let budget = 10usize;
+        let parts = 5usize;
+        // Run the same multiset of keys through the partitioner in two very
+        // different orders; the destaged set must not change — that is the
+        // point of the quota port.
+        let run = |keys: &[u64]| {
+            let device = SimDevice::new_ref();
+            let mut p = DhhPartitioner::new(device.clone(), spec, spec.r_layout, budget, parts);
+            for &k in keys {
+                let rec = Record::with_fill(k, 120, 0);
+                p.insert(rec.as_record_ref()).unwrap();
+                assert!(
+                    p.pages_in_use() <= budget,
+                    "staged pages + spill buffers exceeded the budget"
+                );
+            }
+            let build = p.finish().unwrap();
+            let spilled: usize = build.spilled.iter().flatten().map(|h| h.records()).sum();
+            assert_eq!(spilled + build.staged_records.len(), keys.len());
+            (build.pob, device.stats().total())
+        };
+        let forward: Vec<u64> = (0..2_000).collect();
+        let mut shuffled = forward.clone();
+        shuffled.sort_by_key(|&k| crate::testutil::mix(k));
+        let a = run(&forward);
+        let b = run(&shuffled);
+        assert_eq!(a.0, b.0, "page-out bits must be order-independent");
+        assert_eq!(a.1, b.1, "I/O must be order-independent");
+        assert!(a.0.iter().any(|&s| s), "2K records cannot stay in 10 pages");
     }
 
     #[test]

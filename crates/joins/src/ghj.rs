@@ -122,10 +122,12 @@ impl GraceHashJoin {
                 );
                 let shards = page_shards(relation.num_pages(), threads);
                 run_workers(threads, |w| {
-                    for rec in relation.scan_range(shards[w].clone()) {
-                        let rec = rec?;
-                        let p = (level_hash(rec.key(), 0) % num_partitions as u64) as usize;
-                        writers.push(p, &rec)?;
+                    let mut scan = relation.scan_range(shards[w].clone());
+                    while let Some(page) = scan.next_page()? {
+                        for rec in page.record_refs() {
+                            let p = (level_hash(rec.key(), 0) % num_partitions as u64) as usize;
+                            writers.push(p, rec)?;
+                        }
                     }
                     Ok(())
                 })?;
@@ -212,10 +214,12 @@ fn partition_relation_scan(
             )
         })
         .collect();
-    for rec in relation.scan() {
-        let rec = rec?;
-        let p = (level_hash(rec.key(), level) % m as u64) as usize;
-        writers[p].push(&rec)?;
+    let mut scan = relation.scan();
+    while let Some(page) = scan.next_page()? {
+        for rec in page.record_refs() {
+            let p = (level_hash(rec.key(), level) % m as u64) as usize;
+            writers[p].push_ref(rec)?;
+        }
     }
     writers.into_iter().map(|w| w.finish()).collect()
 }
@@ -231,19 +235,22 @@ fn partition_handle(
 ) -> nocap_storage::Result<Vec<PartitionHandle>> {
     let mut writers: Vec<Option<PartitionWriter>> = (0..m).map(|_| None).collect();
     let mut layout = None;
-    for rec in handle.read(IoKind::SeqRead) {
-        let rec = rec?;
-        layout.get_or_insert(rec.layout());
-        let p = (level_hash(rec.key(), level) % m as u64) as usize;
-        let writer = writers[p].get_or_insert_with(|| {
-            PartitionWriter::new(
-                device.clone(),
-                rec.layout(),
-                spec.page_size,
-                IoKind::RandWrite,
-            )
-        });
-        writer.push(&rec)?;
+    let mut reader = handle.read(IoKind::SeqRead);
+    while let Some(page) = reader.next_page()? {
+        let page_layout = page.record_layout();
+        layout.get_or_insert(page_layout);
+        for rec in page.record_refs() {
+            let p = (level_hash(rec.key(), level) % m as u64) as usize;
+            let writer = writers[p].get_or_insert_with(|| {
+                PartitionWriter::new(
+                    device.clone(),
+                    page_layout,
+                    spec.page_size,
+                    IoKind::RandWrite,
+                )
+            });
+            writer.push_ref(rec)?;
+        }
     }
     let layout = layout.unwrap_or(spec.r_layout);
     writers

@@ -8,7 +8,8 @@
 //! unconditionally (no frequency trigger). In this reproduction Histojoin is
 //! therefore a thin configuration of the DHH executor, exactly as the paper
 //! treats it ("we also compare Histojoin by setting the trigger frequency
-//! threshold as zero").
+//! threshold as zero") — and it inherits DHH's zero-copy record pipeline
+//! and deterministic per-partition quota destaging (see [`crate::dhh`]).
 
 use nocap_model::{JoinRunReport, JoinSpec};
 use nocap_stats::StatsSummary;

@@ -8,6 +8,7 @@
 
 use std::time::Instant;
 
+use nocap_model::pairwise::ChunkLoader;
 use nocap_model::{JoinRunReport, JoinSpec};
 use nocap_storage::{BufferPool, JoinHashTable, Relation};
 
@@ -46,22 +47,18 @@ impl NestedBlockJoin {
         let base = device.stats();
         let mut output = 0u64;
         let mut inner_scan = inner.scan();
+        let mut loader = ChunkLoader::new();
         loop {
             let mut table = JoinHashTable::new(inner.layout(), spec.page_size, spec.fudge);
-            let mut loaded = 0usize;
-            for rec in inner_scan.by_ref() {
-                table.insert(rec?);
-                loaded += 1;
-                if loaded == chunk_records {
-                    break;
-                }
-            }
+            let loaded = loader.fill(&mut table, chunk_records, || inner_scan.next_page())?;
             if table.is_empty() {
                 break;
             }
-            for rec in outer.scan() {
-                let rec = rec?;
-                output += table.probe(rec.key()).len() as u64;
+            let mut outer_scan = outer.scan();
+            while let Some(page) = outer_scan.next_page()? {
+                for rec in page.record_refs() {
+                    output += table.probe_count(rec.key());
+                }
             }
             if loaded < chunk_records {
                 break;

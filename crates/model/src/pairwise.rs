@@ -11,8 +11,14 @@
 //! in-memory hash table sized to the full buffer budget and scans the S
 //! partition once per chunk, which reproduces the
 //! `⌈‖R_j‖·F/(B−2)⌉ · ‖S_j‖` term of the cost model exactly.
+//!
+//! The whole loop is zero-copy: pages are read once, records enter the
+//! chunk table as [`RecordRef`] arena copies and S records probe straight
+//! from their page buffer — no per-record allocation anywhere.
 
-use nocap_storage::{IoKind, JoinHashTable, PartitionHandle, Record};
+use std::sync::Arc;
+
+use nocap_storage::{IoKind, JoinHashTable, Page, PartitionHandle, RecordRef};
 
 use crate::report::JoinRunReport;
 use crate::spec::JoinSpec;
@@ -26,7 +32,7 @@ pub fn nbj_partition_join(
     r_partition: &PartitionHandle,
     s_partition: &PartitionHandle,
     spec: &JoinSpec,
-    mut on_output: impl FnMut(&Record, &Record),
+    mut on_output: impl FnMut(RecordRef<'_>, RecordRef<'_>),
 ) -> nocap_storage::Result<u64> {
     if r_partition.is_empty() || s_partition.is_empty() {
         return Ok(0);
@@ -43,26 +49,22 @@ pub fn nbj_partition_join(
 
     let mut output = 0u64;
     let mut reader = r_partition.read(IoKind::SeqRead);
+    let mut loader = ChunkLoader::new();
     loop {
         // Load the next chunk of R into a hash table.
         let mut table = JoinHashTable::new(spec.r_layout, spec.page_size, spec.fudge);
-        let mut loaded = 0usize;
-        for rec in reader.by_ref() {
-            table.insert(rec?);
-            loaded += 1;
-            if loaded == chunk_records {
-                break;
-            }
-        }
+        let loaded = loader.fill(&mut table, chunk_records, || reader.next_page())?;
         if table.is_empty() {
             break;
         }
         // Scan S once for this chunk.
-        for s_rec in s_partition.read(IoKind::SeqRead) {
-            let s_rec = s_rec?;
-            for r_rec in table.probe(s_rec.key()) {
-                on_output(r_rec, &s_rec);
-                output += 1;
+        let mut s_reader = s_partition.read(IoKind::SeqRead);
+        while let Some(page) = s_reader.next_page()? {
+            for s_rec in page.record_refs() {
+                for r_rec in table.probe(s_rec.key()) {
+                    on_output(r_rec, s_rec);
+                    output += 1;
+                }
             }
         }
         if loaded < chunk_records {
@@ -70,6 +72,54 @@ pub fn nbj_partition_join(
         }
     }
     Ok(output)
+}
+
+/// Incrementally fills chunk hash tables from a page stream, resuming a
+/// page whose records straddle a chunk boundary so every page is read
+/// exactly once — the same I/O accounting the owned-record iterator
+/// implementation produced. Shared by [`nbj_partition_join`] and the
+/// standalone NBJ executor.
+#[derive(Default)]
+pub struct ChunkLoader {
+    pending: Option<(Arc<Page>, usize)>,
+}
+
+impl ChunkLoader {
+    /// Creates a loader with no pending page.
+    pub fn new() -> Self {
+        ChunkLoader::default()
+    }
+
+    /// Loads up to `chunk_records` records from `next_page` into `table`,
+    /// returning how many were loaded (fewer than `chunk_records` iff the
+    /// page stream is exhausted).
+    pub fn fill(
+        &mut self,
+        table: &mut JoinHashTable,
+        chunk_records: usize,
+        mut next_page: impl FnMut() -> nocap_storage::Result<Option<Arc<Page>>>,
+    ) -> nocap_storage::Result<usize> {
+        let mut loaded = 0usize;
+        while loaded < chunk_records {
+            let (page, start) = match self.pending.take() {
+                Some(resume) => resume,
+                None => match next_page()? {
+                    Some(page) => (page, 0),
+                    None => break,
+                },
+            };
+            let count = page.record_count();
+            let take = (chunk_records - loaded).min(count - start);
+            for i in start..start + take {
+                table.insert_ref(page.get_ref(i)?);
+            }
+            loaded += take;
+            if start + take < count {
+                self.pending = Some((page, start + take));
+            }
+        }
+        Ok(loaded)
+    }
 }
 
 /// Convenience wrapper: joins a list of partition pairs, accumulating output
@@ -126,26 +176,30 @@ pub fn smart_partition_join(
     if nbj <= ghj {
         return nbj_partition_join(r_partition, s_partition, spec, |_, _| {});
     }
-    // Re-partition both sides and recurse.
+    // Re-partition both sides and recurse (zero-copy: records route straight
+    // from the source page into the sub-partition output buffers).
     let device = r_partition.device().clone();
     let m = spec.buffer_pages.saturating_sub(1).max(2);
     let repartition = |handle: &PartitionHandle| -> nocap_storage::Result<Vec<PartitionHandle>> {
         let mut writers: Vec<Option<nocap_storage::PartitionWriter>> =
             (0..m).map(|_| None).collect();
         let mut layout = None;
-        for rec in handle.read(IoKind::SeqRead) {
-            let rec = rec?;
-            layout.get_or_insert(rec.layout());
-            let p = (level_hash(rec.key(), depth) % m as u64) as usize;
-            let writer = writers[p].get_or_insert_with(|| {
-                nocap_storage::PartitionWriter::new(
-                    device.clone(),
-                    rec.layout(),
-                    spec.page_size,
-                    IoKind::RandWrite,
-                )
-            });
-            writer.push(&rec)?;
+        let mut reader = handle.read(IoKind::SeqRead);
+        while let Some(page) = reader.next_page()? {
+            let page_layout = page.record_layout();
+            layout.get_or_insert(page_layout);
+            for rec in page.record_refs() {
+                let p = (level_hash(rec.key(), depth) % m as u64) as usize;
+                let writer = writers[p].get_or_insert_with(|| {
+                    nocap_storage::PartitionWriter::new(
+                        device.clone(),
+                        page_layout,
+                        spec.page_size,
+                        IoKind::RandWrite,
+                    )
+                });
+                writer.push_ref(rec)?;
+            }
         }
         let layout = layout.unwrap_or(spec.r_layout);
         writers
@@ -177,7 +231,7 @@ pub fn smart_partition_join(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nocap_storage::{PartitionWriter, RecordLayout, SimDevice};
+    use nocap_storage::{PartitionWriter, Record, RecordLayout, SimDevice};
 
     fn make_partition(
         device: nocap_storage::device::DeviceRef,

@@ -26,6 +26,10 @@
 //!   outcome depends only on each partition's total record count — never on
 //!   thread interleaving — which is what makes `run_parallel(n)` produce
 //!   bit-identical I/O counts to the sequential executor.
+//! * [`quota_stage`] — [`QuotaStager`], the *sequential* twin of the above:
+//!   the quota-destaging mechanism shared by NOCAP's residual partitioner
+//!   and DHH's partitioner (columnar `RecordBatch` staging, zero-copy
+//!   inserts), with routing left to the caller.
 //!
 //! The crate is deliberately generic: routing (which partition a record
 //! belongs to) stays with the caller, so `nocap` (rounded-hash routing),
@@ -36,10 +40,12 @@
 
 pub mod pool;
 pub mod quota;
+pub mod quota_stage;
 pub mod shard;
 pub mod stage;
 
 pub use pool::{default_threads, run_workers, sum_tasks};
 pub use quota::even_caps;
+pub use quota_stage::{QuotaStager, QuotaStagerBuild};
 pub use shard::{page_shards, SharedPartitionWriter, SharedWriterSet};
 pub use stage::{ParallelStager, StagerBuild, WorkerStage};

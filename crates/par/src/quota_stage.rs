@@ -1,0 +1,202 @@
+//! Sequential quota-destaging staging — the single-threaded counterpart of
+//! the concurrent [`ParallelStager`](crate::stage::ParallelStager).
+//!
+//! Both NOCAP's residual partitioner and DHH's partitioner implement the
+//! same mechanism: partitions stage records in memory (columnar
+//! [`RecordBatch`] arenas), each partition owns a fixed quota of staging
+//! pages ([`crate::quota::even_caps`]), and the moment a partition's staged
+//! footprint — charged with the `hash_table_pages` formula — exceeds its
+//! quota, the partition is destaged into a spill writer and its page-out
+//! bit is set. Only the *routing* differs (rounded hash vs modulo hash),
+//! so the mechanism lives here once and the executors wrap it with their
+//! router.
+
+use nocap_model::JoinSpec;
+use nocap_storage::device::DeviceRef;
+use nocap_storage::{
+    IoKind, PartitionHandle, PartitionWriter, RecordBatch, RecordLayout, RecordRef, Result,
+};
+
+/// What the stager hands back after the build-side pass.
+pub struct QuotaStagerBuild {
+    /// Records of partitions that stayed in memory, merged into one
+    /// columnar arena (destined for the caller's in-memory hash table).
+    pub staged_records: RecordBatch,
+    /// Spilled partitions by partition id (`None` if the partition stayed
+    /// in memory).
+    pub spilled: Vec<Option<PartitionHandle>>,
+    /// Page-out bits, by partition id.
+    pub pob: Vec<bool>,
+}
+
+/// Deterministic sequential quota-destaging stager.
+///
+/// The caller routes each record to a partition id; the stager stages it
+/// (key push + payload `memcpy`, no per-record allocation) and destages the
+/// partition iff `hash_table_pages(n_p) > cap_p` — a function of the
+/// partition's total record count only, so the destaged set is independent
+/// of arrival order.
+pub struct QuotaStager {
+    device: DeviceRef,
+    spec: JoinSpec,
+    layout: RecordLayout,
+    caps: Vec<usize>,
+    staged: Vec<RecordBatch>,
+    staged_pages: Vec<usize>,
+    staged_pages_total: usize,
+    writers: Vec<Option<PartitionWriter>>,
+    pob: Vec<bool>,
+    spilled_count: usize,
+}
+
+impl QuotaStager {
+    /// Creates a stager for `caps.len()` partitions; `caps[p]` is partition
+    /// `p`'s staging quota in pages.
+    pub fn new(device: DeviceRef, spec: JoinSpec, layout: RecordLayout, caps: Vec<usize>) -> Self {
+        let num_partitions = caps.len();
+        QuotaStager {
+            device,
+            spec,
+            layout,
+            caps,
+            staged: vec![RecordBatch::new(layout); num_partitions],
+            staged_pages: vec![0; num_partitions],
+            staged_pages_total: 0,
+            writers: (0..num_partitions).map(|_| None).collect(),
+            pob: vec![false; num_partitions],
+            spilled_count: 0,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Number of partitions destaged to disk so far.
+    pub fn spilled_partitions(&self) -> usize {
+        self.spilled_count
+    }
+
+    /// Current memory use in pages (staged data + spilled output buffers).
+    pub fn pages_in_use(&self) -> usize {
+        self.staged_pages_total + self.spilled_count
+    }
+
+    /// Stages one borrowed record in partition `p` (a key push plus payload
+    /// `memcpy` into the partition's arena), destaging the partition if its
+    /// footprint now exceeds its quota.
+    pub fn insert(&mut self, p: usize, rec: RecordRef<'_>) -> Result<()> {
+        if self.pob[p] {
+            self.writers[p]
+                .as_mut()
+                .expect("destaged partition has a writer")
+                .push_ref(rec)?;
+            return Ok(());
+        }
+        self.staged[p].push(rec);
+        let new_pages = self.spec.hash_table_pages(self.staged[p].len()).max(1);
+        self.staged_pages_total += new_pages - self.staged_pages[p];
+        self.staged_pages[p] = new_pages;
+        if new_pages > self.caps[p] {
+            self.destage(p)?;
+        }
+        debug_assert!(
+            self.pages_in_use() <= self.caps.iter().sum::<usize>(),
+            "staged pages + spill buffers must stay within the quota sum"
+        );
+        Ok(())
+    }
+
+    /// Destages partition `p`: staged records drain into a fresh spill
+    /// writer and the partition's memory drops to the writer's single
+    /// output-buffer page.
+    fn destage(&mut self, p: usize) -> Result<()> {
+        let mut writer = PartitionWriter::new(
+            self.device.clone(),
+            self.layout,
+            self.spec.page_size,
+            IoKind::RandWrite,
+        );
+        for rec in self.staged[p].iter() {
+            writer.push_ref(rec)?;
+        }
+        self.staged[p].clear();
+        self.staged_pages_total -= self.staged_pages[p];
+        self.staged_pages[p] = 0;
+        self.writers[p] = Some(writer);
+        self.pob[p] = true;
+        self.spilled_count += 1;
+        Ok(())
+    }
+
+    /// Finishes the pass: remaining staged records merge into one arena for
+    /// the caller's in-memory hash table, spilled partitions become handles.
+    pub fn finish(self) -> Result<QuotaStagerBuild> {
+        let mut staged_records = RecordBatch::new(self.layout);
+        for mut batch in self.staged {
+            staged_records.append(&mut batch);
+        }
+        let mut spilled = Vec::with_capacity(self.writers.len());
+        for writer in self.writers {
+            spilled.push(match writer {
+                Some(w) => Some(w.finish()?),
+                None => None,
+            });
+        }
+        Ok(QuotaStagerBuild {
+            staged_records,
+            spilled,
+            pob: self.pob,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quota::even_caps;
+    use nocap_storage::{Record, SimDevice};
+
+    #[test]
+    fn destaging_depends_only_on_partition_counts() {
+        let spec = JoinSpec::paper_synthetic(128, 16);
+        let run = |keys: &[u64]| {
+            let device = SimDevice::new_ref();
+            let mut stager =
+                QuotaStager::new(device.clone(), spec, spec.r_layout, even_caps(10, 5));
+            for &k in keys {
+                let rec = Record::with_fill(k, 120, 0);
+                stager
+                    .insert((k % 5) as usize, rec.as_record_ref())
+                    .unwrap();
+                assert!(stager.pages_in_use() <= 10, "budget blown");
+            }
+            let build = stager.finish().unwrap();
+            let spilled: usize = build.spilled.iter().flatten().map(|h| h.records()).sum();
+            assert_eq!(spilled + build.staged_records.len(), keys.len());
+            (build.pob, device.stats().total())
+        };
+        let forward: Vec<u64> = (0..2_000).collect();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        assert_eq!(run(&forward), run(&reversed), "must be order-independent");
+    }
+
+    #[test]
+    fn small_partitions_stay_staged() {
+        let spec = JoinSpec::paper_synthetic(128, 64);
+        let device = SimDevice::new_ref();
+        let mut stager = QuotaStager::new(device.clone(), spec, spec.r_layout, even_caps(40, 4));
+        for k in 0..100u64 {
+            let rec = Record::with_fill(k, 120, 0);
+            stager
+                .insert((k % 4) as usize, rec.as_record_ref())
+                .unwrap();
+        }
+        assert_eq!(stager.spilled_partitions(), 0);
+        let build = stager.finish().unwrap();
+        assert_eq!(build.staged_records.len(), 100);
+        assert_eq!(device.stats().writes(), 0);
+    }
+}

@@ -20,7 +20,7 @@ use std::ops::Range;
 use std::sync::Mutex;
 
 use nocap_storage::device::DeviceRef;
-use nocap_storage::{IoKind, PartitionHandle, PartitionWriter, Record, RecordLayout, Result};
+use nocap_storage::{IoKind, PartitionHandle, PartitionWriter, RecordLayout, RecordRef, Result};
 
 /// Splits `0..num_pages` into `workers` contiguous ranges whose lengths
 /// differ by at most one page. Trailing ranges may be empty when there are
@@ -55,12 +55,13 @@ impl SharedPartitionWriter {
         }
     }
 
-    /// Appends one record, flushing the shared buffer page when full.
-    pub fn push(&self, record: &Record) -> Result<()> {
+    /// Appends one borrowed record, flushing the shared buffer page when
+    /// full. The lock is held for a single key store plus payload `memcpy`.
+    pub fn push(&self, record: RecordRef<'_>) -> Result<()> {
         self.inner
             .lock()
             .expect("writer lock poisoned")
-            .push(record)
+            .push_ref(record)
     }
 
     /// Records appended so far.
@@ -146,7 +147,7 @@ impl SharedWriterSet {
     ///
     /// Panics if partition `p` has no writer — routing a record to a masked
     /// -out partition is an executor logic error, not a runtime condition.
-    pub fn push(&self, p: usize, record: &Record) -> Result<()> {
+    pub fn push(&self, p: usize, record: RecordRef<'_>) -> Result<()> {
         self.writers[p]
             .as_ref()
             .expect("record routed to a partition without a writer")
@@ -186,7 +187,7 @@ impl SharedWriterSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nocap_storage::SimDevice;
+    use nocap_storage::{Record, SimDevice};
 
     fn layout() -> RecordLayout {
         RecordLayout::new(8)
@@ -221,9 +222,8 @@ mod tests {
                 let writer = &writer;
                 scope.spawn(move || {
                     for i in 0..per_worker {
-                        writer
-                            .push(&Record::with_fill(t * 1000 + i as u64, 8, 0))
-                            .unwrap();
+                        let rec = Record::with_fill(t * 1000 + i as u64, 8, 0);
+                        writer.push(rec.as_record_ref()).unwrap();
                     }
                 });
             }
@@ -247,8 +247,10 @@ mod tests {
             &[true, false, true],
         );
         assert_eq!(set.len(), 3);
-        set.push(0, &Record::with_fill(1, 8, 0)).unwrap();
-        set.push(2, &Record::with_fill(2, 8, 0)).unwrap();
+        let a = Record::with_fill(1, 8, 0);
+        let b = Record::with_fill(2, 8, 0);
+        set.push(0, a.as_record_ref()).unwrap();
+        set.push(2, b.as_record_ref()).unwrap();
         let handles = set.finish_all().unwrap();
         assert!(handles[0].is_some());
         assert!(handles[1].is_none());
@@ -260,8 +262,8 @@ mod tests {
         let dev = SimDevice::new_ref();
         let set = SharedWriterSet::new(dev.clone(), layout(), 128, IoKind::RandWrite, 4);
         for k in 0..100u64 {
-            set.push((k % 4) as usize, &Record::with_fill(k, 8, 0))
-                .unwrap();
+            let rec = Record::with_fill(k, 8, 0);
+            set.push((k % 4) as usize, rec.as_record_ref()).unwrap();
         }
         let handles = set.finish_dense().unwrap();
         let total: usize = handles.iter().map(PartitionHandle::records).sum();

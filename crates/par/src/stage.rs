@@ -36,7 +36,9 @@ use std::sync::Mutex;
 
 use nocap_model::JoinSpec;
 use nocap_storage::device::DeviceRef;
-use nocap_storage::{IoKind, PartitionHandle, PartitionWriter, Record, RecordLayout, Result};
+use nocap_storage::{
+    IoKind, PartitionHandle, PartitionWriter, RecordBatch, RecordLayout, RecordRef, Result,
+};
 
 struct PartShared {
     /// Records staged globally (stops growing once the partition destages).
@@ -49,16 +51,17 @@ struct PartShared {
 
 /// Per-worker staging state. Create one per worker with
 /// [`ParallelStager::worker_stage`]; it holds the worker's private staged
-/// records, so no lock is touched on the staging fast path.
+/// records in columnar [`RecordBatch`] arenas, so the staging fast path
+/// touches no lock and performs no per-record allocation.
 pub struct WorkerStage {
-    staged: Vec<Vec<Record>>,
+    staged: Vec<RecordBatch>,
 }
 
 /// What the stager hands back after all workers finished their scans.
 pub struct StagerBuild {
     /// Records of partitions that stayed in memory, merged across workers
     /// (destined for the executor's in-memory hash table).
-    pub staged_records: Vec<Record>,
+    pub staged_records: RecordBatch,
     /// Spilled partitions by partition id (`None` if the partition stayed
     /// in memory).
     pub spilled: Vec<Option<PartitionHandle>>,
@@ -104,7 +107,7 @@ impl ParallelStager {
     /// Creates the private staging state for one worker.
     pub fn worker_stage(&self) -> WorkerStage {
         WorkerStage {
-            staged: vec![Vec::new(); self.parts.len()],
+            staged: vec![RecordBatch::new(self.layout); self.parts.len()],
         }
     }
 
@@ -137,8 +140,9 @@ impl ParallelStager {
             .count()
     }
 
-    /// Routes one record of partition `p` through worker state `stage`.
-    pub fn insert(&self, stage: &mut WorkerStage, p: usize, rec: Record) -> Result<()> {
+    /// Routes one borrowed record of partition `p` through worker state
+    /// `stage` — a key push plus payload `memcpy` on the staging fast path.
+    pub fn insert(&self, stage: &mut WorkerStage, p: usize, rec: RecordRef<'_>) -> Result<()> {
         let part = &self.parts[p];
         if part.spilled.load(Ordering::Acquire) {
             // Already destaged: drain any of our leftovers, then append.
@@ -159,7 +163,7 @@ impl ParallelStager {
         &self,
         stage: &mut WorkerStage,
         p: usize,
-        extra: Option<Record>,
+        extra: Option<RecordRef<'_>>,
     ) -> Result<()> {
         let mut guard = self.parts[p].writer.lock().expect("stager lock poisoned");
         let writer = guard.get_or_insert_with(|| {
@@ -170,11 +174,12 @@ impl ParallelStager {
                 IoKind::RandWrite,
             )
         });
-        for rec in stage.staged[p].drain(..) {
-            writer.push(&rec)?;
+        for rec in stage.staged[p].iter() {
+            writer.push_ref(rec)?;
         }
+        stage.staged[p].clear();
         if let Some(rec) = extra {
-            writer.push(&rec)?;
+            writer.push_ref(rec)?;
         }
         Ok(())
     }
@@ -184,7 +189,7 @@ impl ParallelStager {
     /// partitions are flushed into their writers, which are then finished
     /// into partition handles.
     pub fn finish(self, mut stages: Vec<WorkerStage>) -> Result<StagerBuild> {
-        let mut staged_records = Vec::new();
+        let mut staged_records = RecordBatch::new(self.layout);
         let mut spilled = Vec::with_capacity(self.parts.len());
         let mut pob = Vec::with_capacity(self.parts.len());
         for (p, part) in self.parts.into_iter().enumerate() {
@@ -204,9 +209,10 @@ impl ParallelStager {
                         )
                     });
                 for stage in &mut stages {
-                    for rec in stage.staged[p].drain(..) {
-                        writer.push(&rec)?;
+                    for rec in stage.staged[p].iter() {
+                        writer.push_ref(rec)?;
                     }
+                    stage.staged[p].clear();
                 }
                 spilled.push(Some(writer.finish()?));
             } else {
@@ -229,7 +235,7 @@ mod tests {
     use super::*;
     use crate::pool::run_workers;
     use crate::quota::even_caps;
-    use nocap_storage::SimDevice;
+    use nocap_storage::{Record, SimDevice};
 
     fn spec() -> JoinSpec {
         JoinSpec::paper_synthetic(128, 16)
@@ -257,11 +263,8 @@ mod tests {
             let lo = (w * shard).min(keys.len());
             let hi = ((w + 1) * shard).min(keys.len());
             for &k in &keys[lo..hi] {
-                stager.insert(
-                    &mut stage,
-                    (k % parts as u64) as usize,
-                    Record::with_fill(k, 120, 0),
-                )?;
+                let rec = Record::with_fill(k, 120, 0);
+                stager.insert(&mut stage, (k % parts as u64) as usize, rec.as_record_ref())?;
                 assert!(stager.pages_in_use() <= budget + threads, "quota blown");
             }
             Ok(stage)

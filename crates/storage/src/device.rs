@@ -58,7 +58,12 @@ pub trait BlockDevice: Send + Sync {
 
     /// Reads the page at `index` from `file`, counting one I/O of the given
     /// kind.
-    fn read_page(&self, file: FileId, index: usize, kind: IoKind) -> Result<Page>;
+    ///
+    /// The page is returned behind an `Arc` so an in-memory device can hand
+    /// out its resident copy with a reference-count bump instead of a
+    /// page-sized `memcpy` — on `SimDevice` this makes a scan allocation-
+    /// free per page as well as per record.
+    fn read_page(&self, file: FileId, index: usize, kind: IoKind) -> Result<Arc<Page>>;
 
     /// Deletes `file` and releases its pages. Deleting an unknown file is an
     /// error; deletion itself is not counted as I/O (the paper's cost model
@@ -154,22 +159,19 @@ impl BlockDevice for SimDevice {
         Ok(pages.len() - 1)
     }
 
-    fn read_page(&self, file: FileId, index: usize, kind: IoKind) -> Result<Page> {
-        let arc = {
-            let files = self.files.read().expect("device lock poisoned");
-            let pages = files.get(&file).ok_or(StorageError::UnknownFile(file))?;
-            let arc = pages
-                .get(index)
-                .cloned()
-                .ok_or(StorageError::PageOutOfBounds {
-                    index,
-                    len: pages.len(),
-                })?;
-            self.stats.record(kind);
-            arc
-        };
-        // The page copy happens outside the lock.
-        Ok((*arc).clone())
+    fn read_page(&self, file: FileId, index: usize, kind: IoKind) -> Result<Arc<Page>> {
+        let files = self.files.read().expect("device lock poisoned");
+        let pages = files.get(&file).ok_or(StorageError::UnknownFile(file))?;
+        let arc = pages
+            .get(index)
+            .cloned()
+            .ok_or(StorageError::PageOutOfBounds {
+                index,
+                len: pages.len(),
+            })?;
+        self.stats.record(kind);
+        // No page copy at all: the caller shares the resident page.
+        Ok(arc)
     }
 
     fn delete_file(&self, file: FileId) -> Result<()> {
@@ -340,7 +342,7 @@ impl BlockDevice for FileDevice {
         Ok(meta.pages - 1)
     }
 
-    fn read_page(&self, file: FileId, index: usize, kind: IoKind) -> Result<Page> {
+    fn read_page(&self, file: FileId, index: usize, kind: IoKind) -> Result<Arc<Page>> {
         // Resolve metadata under the lock, then do the syscalls outside it so
         // concurrent readers of different offsets are not serialized.
         let (path, page_size, pages) = {
@@ -358,7 +360,7 @@ impl BlockDevice for FileDevice {
         let mut buf = vec![0u8; page_size];
         f.read_exact(&mut buf)
             .map_err(|e| StorageError::Io(e.to_string()))?;
-        Page::from_bytes(buf)
+        Page::from_bytes(buf).map(Arc::new)
     }
 
     fn delete_file(&self, file: FileId) -> Result<()> {

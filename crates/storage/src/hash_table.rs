@@ -6,21 +6,62 @@
 //! ask [`pages_required`](JoinHashTable::pages_required) how many buffer-pool
 //! pages the table occupies and reserve them from the
 //! [`BufferPool`](crate::BufferPool) before inserting.
-
-use std::collections::HashMap;
+//!
+//! # Layout
+//!
+//! The table is arena-backed — no per-record or per-key heap objects:
+//!
+//! ```text
+//! buckets: [ head+1 | 0 ... ]        power-of-two directory, Fibonacci hash
+//! keys:    [ k0, k1, k2, ... ]       unzipped key array (one u64 per record)
+//! next:    [ l0, l1, l2, ... ]       intra-bucket chain links (index + 1)
+//! payloads:[ p0 p1 p2 ............ ] contiguous payload arena (fixed width)
+//! ```
+//!
+//! Inserting a record is a bucket computation (one multiply, one shift), a
+//! key push and a payload `memcpy`; probing walks the bucket chain comparing
+//! keys and yields [`RecordRef`] views straight into the arena. This
+//! replaces the former `HashMap<u64, Vec<Record>>` (SipHash + a `Vec` per
+//! key + a `Box<[u8]>` per record), whose allocations dominated build-side
+//! CPU once I/O was overlapped.
+//!
+//! The *accounting* is unchanged and deliberately independent of the
+//! physical layout: `pages_required`/`pages_for`/`capacity_for_pages`
+//! implement the paper's `⌈n·rec·F/page⌉` and `⌊b·pages/F⌋` formulas (now in
+//! exact integer arithmetic — see [`JoinHashTable::pages_for`]).
 
 use crate::page::records_per_page;
-use crate::record::{Record, RecordLayout};
+use crate::record::{Record, RecordLayout, RecordRef};
+
+/// Multiplicative (Fibonacci) hashing constant: `2^64 / φ`, odd.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Parts-per-million scale used to carry the fudge factor in integers.
+const PPM: u128 = 1_000_000;
+
+/// The fudge factor as exact parts-per-million (`1.02 → 1_020_000`).
+fn fudge_ppm(fudge: f64) -> u128 {
+    (fudge * PPM as f64).round() as u128
+}
 
 /// An in-memory hash table mapping join keys to the (possibly multiple)
 /// records carrying that key.
 #[derive(Debug, Clone)]
 pub struct JoinHashTable {
-    map: HashMap<u64, Vec<Record>>,
+    /// Bucket directory: entry index + 1 of the chain head, 0 = empty.
+    buckets: Vec<u32>,
+    /// log2 shift turning a Fibonacci product into a bucket index.
+    shift: u32,
+    /// Unzipped key array, one entry per inserted record.
+    keys: Vec<u64>,
+    /// Chain links: `next[i]` is the next entry of `i`'s bucket + 1, 0 = end.
+    next: Vec<u32>,
+    /// Contiguous payload arena; entry `i`'s payload starts at
+    /// `i × payload_bytes`.
+    payloads: Vec<u8>,
     layout: RecordLayout,
     page_size: usize,
     fudge: f64,
-    records: usize,
 }
 
 impl JoinHashTable {
@@ -34,64 +75,158 @@ impl JoinHashTable {
             "the fudge factor is a space amplification, F >= 1"
         );
         JoinHashTable {
-            map: HashMap::new(),
+            buckets: Vec::new(),
+            shift: 64,
+            keys: Vec::new(),
+            next: Vec::new(),
+            payloads: Vec::new(),
             layout,
             page_size,
             fudge,
-            records: 0,
         }
     }
 
-    /// Inserts a record.
-    pub fn insert(&mut self, record: Record) {
-        self.map.entry(record.key()).or_default().push(record);
-        self.records += 1;
+    #[inline]
+    fn bucket_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(FIB) >> self.shift) as usize
     }
 
-    /// All records whose key equals `key` (empty slice if none).
-    pub fn probe(&self, key: u64) -> &[Record] {
-        self.map.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
+    /// Doubles the bucket directory and relinks every entry. Amortized O(1)
+    /// per insert; entries themselves (keys/payloads) never move.
+    #[cold]
+    fn grow(&mut self) {
+        let new_len = (self.buckets.len() * 2).max(16);
+        self.shift = 64 - new_len.trailing_zeros();
+        self.buckets.clear();
+        self.buckets.resize(new_len, 0);
+        for i in 0..self.keys.len() {
+            let b = self.bucket_of(self.keys[i]);
+            self.next[i] = self.buckets[b];
+            self.buckets[b] = i as u32 + 1;
+        }
+    }
+
+    /// Inserts an owned record (API-edge convenience; the hot paths use
+    /// [`insert_ref`](Self::insert_ref)).
+    pub fn insert(&mut self, record: Record) {
+        self.insert_ref(record.as_record_ref());
+    }
+
+    /// Inserts a borrowed record: bucket computation, key push, payload
+    /// `memcpy` into the arena — no allocation beyond amortized arena growth.
+    pub fn insert_ref(&mut self, record: RecordRef<'_>) {
+        debug_assert_eq!(
+            record.payload().len(),
+            self.layout.payload_bytes(),
+            "record layout must match the table's layout"
+        );
+        if self.keys.len() == self.buckets.len() {
+            self.grow();
+        }
+        let key = record.key();
+        let b = self.bucket_of(key);
+        let idx = self.keys.len() as u32;
+        self.keys.push(key);
+        self.payloads.extend_from_slice(record.payload());
+        self.next.push(self.buckets[b]);
+        self.buckets[b] = idx + 1;
+    }
+
+    #[inline]
+    fn entry(&self, i: usize) -> RecordRef<'_> {
+        let w = self.layout.payload_bytes();
+        RecordRef::new(self.keys[i], &self.payloads[i * w..(i + 1) * w])
+    }
+
+    /// All records whose key equals `key`, as borrowed views into the arena
+    /// (empty iterator if none). Duplicate keys are yielded in reverse
+    /// insertion order; callers must not rely on any particular order.
+    pub fn probe(&self, key: u64) -> ProbeIter<'_> {
+        let head = if self.buckets.is_empty() {
+            0
+        } else {
+            self.buckets[self.bucket_of(key)]
+        };
+        ProbeIter {
+            table: self,
+            key,
+            cur: head,
+        }
+    }
+
+    /// Number of records whose key equals `key` (the probe-loop fast path:
+    /// counting matches without materializing them).
+    #[inline]
+    pub fn probe_count(&self, key: u64) -> u64 {
+        self.probe(key).count() as u64
     }
 
     /// Returns `true` if at least one record with `key` is present.
     pub fn contains(&self, key: u64) -> bool {
-        self.map.contains_key(&key)
+        self.probe(key).next().is_some()
     }
 
     /// Number of records stored.
     pub fn num_records(&self) -> usize {
-        self.records
+        self.keys.len()
     }
 
     /// Number of distinct keys stored.
+    ///
+    /// Computed on demand (O(n) over the entries) so the insert hot path
+    /// stays a pure push + `memcpy`; this is a diagnostic, not an executor
+    /// primitive.
     pub fn num_keys(&self) -> usize {
-        self.map.len()
+        let mut distinct = 0;
+        for i in 0..self.keys.len() {
+            let key = self.keys[i];
+            // Entry `i` counts iff it is the first chain occurrence of its
+            // key (every entry is reachable from its bucket head).
+            let mut cur = self.buckets[self.bucket_of(key)];
+            loop {
+                let j = (cur - 1) as usize;
+                if self.keys[j] == key {
+                    if j == i {
+                        distinct += 1;
+                    }
+                    break;
+                }
+                cur = self.next[j];
+            }
+        }
+        distinct
     }
 
     /// Returns `true` if no records are stored.
     pub fn is_empty(&self) -> bool {
-        self.records == 0
+        self.keys.is_empty()
     }
 
     /// Buffer-pool pages charged for the current contents:
     /// `⌈ records × record_bytes × F / page_size ⌉`.
     pub fn pages_required(&self) -> usize {
-        Self::pages_for(self.records, self.layout, self.page_size, self.fudge)
+        Self::pages_for(self.keys.len(), self.layout, self.page_size, self.fudge)
     }
 
     /// Pages a table of `records` records would require (static helper used
     /// by planners before any record is actually inserted).
+    ///
+    /// Computed in exact integer arithmetic: the fudge factor is carried as
+    /// parts-per-million and the whole product fits in `u128`, so the result
+    /// is exact for any `records × record_bytes` — the former `f64` path
+    /// misrounded once the product left the 53-bit mantissa.
     pub fn pages_for(records: usize, layout: RecordLayout, page_size: usize, fudge: f64) -> usize {
         if records == 0 {
             return 0;
         }
-        let raw_bytes = records as f64 * layout.record_bytes() as f64;
-        ((raw_bytes * fudge) / page_size as f64).ceil() as usize
+        let inflated = records as u128 * layout.record_bytes() as u128 * fudge_ppm(fudge);
+        inflated.div_ceil(PPM * page_size as u128) as usize
     }
 
     /// Maximum number of records that fit in `pages` pages under the fudge
     /// factor, i.e. the paper's `c_R = ⌊ b_R · pages / F ⌋` when
-    /// `pages = B − 2`.
+    /// `pages = B − 2` (exact integer arithmetic, see
+    /// [`pages_for`](Self::pages_for)).
     pub fn capacity_for_pages(
         pages: usize,
         layout: RecordLayout,
@@ -99,18 +234,46 @@ impl JoinHashTable {
         fudge: f64,
     ) -> usize {
         let b = records_per_page(page_size, layout.record_bytes());
-        ((b * pages) as f64 / fudge).floor() as usize
+        ((b * pages) as u128 * PPM / fudge_ppm(fudge)) as usize
     }
 
-    /// Drains the table, returning every stored record grouped by key in an
-    /// unspecified order.
+    /// Drains the table, returning every stored record in an unspecified
+    /// order (allocates one `Record` each; API-edge use only).
     pub fn into_records(self) -> Vec<Record> {
-        self.map.into_values().flatten().collect()
+        (0..self.keys.len())
+            .map(|i| self.entry(i).to_record())
+            .collect()
     }
 
-    /// Iterates over all stored records.
-    pub fn iter(&self) -> impl Iterator<Item = &Record> {
-        self.map.values().flatten()
+    /// Iterates over all stored records as borrowed views, in insertion
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = RecordRef<'_>> {
+        (0..self.keys.len()).map(move |i| self.entry(i))
+    }
+}
+
+/// Iterator over the records matching one probe key (borrowed views into
+/// the table's arena).
+pub struct ProbeIter<'a> {
+    table: &'a JoinHashTable,
+    key: u64,
+    /// Current chain position: entry index + 1, 0 = end.
+    cur: u32,
+}
+
+impl<'a> Iterator for ProbeIter<'a> {
+    type Item = RecordRef<'a>;
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.cur != 0 {
+            let i = (self.cur - 1) as usize;
+            self.cur = self.table.next[i];
+            if self.table.keys[i] == self.key {
+                return Some(self.table.entry(i));
+            }
+        }
+        None
     }
 }
 
@@ -128,13 +291,42 @@ mod tests {
         ht.insert(Record::with_fill(1, 24, 0xA));
         ht.insert(Record::with_fill(1, 24, 0xB));
         ht.insert(Record::with_fill(2, 24, 0xC));
-        assert_eq!(ht.probe(1).len(), 2);
-        assert_eq!(ht.probe(2).len(), 1);
-        assert!(ht.probe(3).is_empty());
+        assert_eq!(ht.probe(1).count(), 2);
+        assert_eq!(ht.probe_count(1), 2);
+        assert_eq!(ht.probe(2).count(), 1);
+        assert_eq!(ht.probe(3).count(), 0);
         assert!(ht.contains(2));
         assert!(!ht.contains(99));
         assert_eq!(ht.num_records(), 3);
         assert_eq!(ht.num_keys(), 2);
+    }
+
+    #[test]
+    fn probe_returns_the_right_payloads() {
+        let mut ht = JoinHashTable::new(layout(), 4096, 1.02);
+        ht.insert(Record::with_fill(1, 24, 0xA));
+        ht.insert(Record::with_fill(1, 24, 0xB));
+        ht.insert(Record::with_fill(2, 24, 0xC));
+        let mut fills: Vec<u8> = ht.probe(1).map(|r| r.payload()[0]).collect();
+        fills.sort_unstable();
+        assert_eq!(fills, vec![0xA, 0xB]);
+        assert!(ht.probe(1).all(|r| r.key() == 1));
+    }
+
+    #[test]
+    fn survives_growth_across_many_keys() {
+        let mut ht = JoinHashTable::new(RecordLayout::new(8), 4096, 1.02);
+        for k in 0..10_000u64 {
+            ht.insert(Record::new(k, k.to_le_bytes().to_vec()));
+        }
+        assert_eq!(ht.num_records(), 10_000);
+        assert_eq!(ht.num_keys(), 10_000);
+        for k in (0..10_000u64).step_by(997) {
+            let matches: Vec<_> = ht.probe(k).collect();
+            assert_eq!(matches.len(), 1, "key {k}");
+            assert_eq!(matches[0].payload(), &k.to_le_bytes());
+        }
+        assert!(!ht.contains(10_000));
     }
 
     #[test]
@@ -159,6 +351,61 @@ mod tests {
         }
     }
 
+    /// The integer accounting must agree with the former `f64` formulas
+    /// everywhere the floats were exact — these are the boundary cases the
+    /// old implementation was pinned at.
+    #[test]
+    fn integer_accounting_matches_the_float_formula_at_old_boundaries() {
+        let float_pages = |records: usize, rec_bytes: usize, page: usize, fudge: f64| -> usize {
+            let raw = records as f64 * rec_bytes as f64;
+            ((raw * fudge) / page as f64).ceil() as usize
+        };
+        let float_cap = |pages: usize, rec_bytes: usize, page: usize, fudge: f64| -> usize {
+            let b = records_per_page(page, rec_bytes);
+            ((b * pages) as f64 / fudge).floor() as usize
+        };
+        for fudge in [1.0, 1.02, 1.5, 2.0] {
+            for rec_bytes in [32usize, 128, 1024] {
+                let l = RecordLayout::new(rec_bytes - 8);
+                // Exact-multiple boundaries and their neighbours.
+                let b = records_per_page(4096, rec_bytes);
+                for records in [1usize, b, b + 1, 51, 50 * b, 51 * b, 100_000] {
+                    assert_eq!(
+                        JoinHashTable::pages_for(records, l, 4096, fudge),
+                        float_pages(records, rec_bytes, 4096, fudge),
+                        "pages_for({records}, {rec_bytes}B, F={fudge})"
+                    );
+                }
+                for pages in [1usize, 2, 46, 51, 318, 1000] {
+                    assert_eq!(
+                        JoinHashTable::capacity_for_pages(pages, l, 4096, fudge),
+                        float_cap(pages, rec_bytes, 4096, fudge),
+                        "capacity_for_pages({pages}, {rec_bytes}B, F={fudge})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Beyond the 53-bit mantissa the old float path misrounds; the integer
+    /// path stays exact.
+    #[test]
+    fn integer_accounting_is_exact_beyond_f64_precision() {
+        let l = RecordLayout::new(120); // 128-byte records
+                                        // 2^52 + 14 records × 128 bytes × 1.02 overflows the f64 mantissa:
+                                        // the float formula yields 143_552_238_122_435, one page short.
+        let records = (1usize << 52) + 14;
+        let exact = (records as u128 * 128 * 1_020_000).div_ceil(1_000_000u128 * 4096) as usize;
+        assert_eq!(exact, 143_552_238_122_436);
+        assert_eq!(JoinHashTable::pages_for(records, l, 4096, 1.02), exact);
+        // And the exact value is NOT what the float formula produces.
+        let float = ((records as f64 * 128.0 * 1.02) / 4096.0).ceil() as usize;
+        assert_eq!(
+            float, 143_552_238_122_435,
+            "this case was chosen because the f64 path misrounds it"
+        );
+    }
+
     #[test]
     fn empty_table_needs_no_pages() {
         let ht = JoinHashTable::new(layout(), 4096, 1.02);
@@ -172,6 +419,7 @@ mod tests {
         for k in 0..10u64 {
             ht.insert(Record::with_fill(k, 24, 0));
         }
+        assert_eq!(ht.iter().count(), 10);
         let mut keys: Vec<u64> = ht.into_records().iter().map(|r| r.key()).collect();
         keys.sort_unstable();
         assert_eq!(keys, (0..10).collect::<Vec<u64>>());

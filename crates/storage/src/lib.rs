@@ -61,10 +61,10 @@ pub mod spill;
 pub use bloom::BloomFilter;
 pub use buffer::{BufferPool, Reservation};
 pub use device::{BlockDevice, FileDevice, FileId, SimDevice};
-pub use hash_table::JoinHashTable;
+pub use hash_table::{JoinHashTable, ProbeIter};
 pub use iostats::{AtomicIoStats, DeviceProfile, IoKind, IoStats};
 pub use page::{Page, DEFAULT_PAGE_SIZE};
-pub use record::{Record, RecordLayout};
+pub use record::{Record, RecordBatch, RecordLayout, RecordRef};
 pub use relation::{Relation, RelationBuilder, RelationScan};
 pub use sort::ExternalSorter;
 pub use spill::{PartitionHandle, PartitionReader, PartitionWriter};

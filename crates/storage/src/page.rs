@@ -16,7 +16,7 @@
 //! (`record_size`); this mirrors the paper's fixed 1 KB records and keeps the
 //! per-page record count (`b_R`, `b_S`) exact.
 
-use crate::record::{Record, RecordLayout};
+use crate::record::{Record, RecordLayout, RecordRef};
 use crate::{Result, StorageError};
 
 /// Default page size used throughout the reproduction (matches the paper).
@@ -117,6 +117,13 @@ impl Page {
     /// `Ok(true)` on success, and an error if the record's serialized size
     /// does not match the page's record size.
     pub fn push(&mut self, record: &Record) -> Result<bool> {
+        self.push_ref(record.as_record_ref())
+    }
+
+    /// Appends a borrowed record to the page — the zero-copy twin of
+    /// [`push`](Self::push): one length check, one key store, one payload
+    /// `memcpy`, no allocation.
+    pub fn push_ref(&mut self, record: RecordRef<'_>) -> Result<bool> {
         let rec_size = self.record_size();
         if record.serialized_len() != rec_size {
             return Err(StorageError::RecordTooLarge {
@@ -124,18 +131,27 @@ impl Page {
                 page_capacity: rec_size,
             });
         }
-        if self.is_full() {
-            return Ok(false);
-        }
         let count = self.record_count();
         let offset = PAGE_HEADER_BYTES + count * rec_size;
+        // Fullness check without the division `capacity()` performs: the
+        // next slot must fit inside the page (`rec_size > 0` is implied by
+        // the size match above, records are at least the 8-byte key).
+        if offset + rec_size > self.data.len() {
+            return Ok(false);
+        }
         record.write_to(&mut self.data[offset..offset + rec_size]);
         self.set_record_count(count + 1);
         Ok(true)
     }
 
-    /// Reads the record at slot `idx`.
+    /// Reads the record at slot `idx` into an owned [`Record`] (allocates;
+    /// API-edge use only — hot paths use [`get_ref`](Self::get_ref)).
     pub fn get(&self, idx: usize) -> Result<Record> {
+        Ok(self.get_ref(idx)?.to_record())
+    }
+
+    /// Borrows the record at slot `idx` straight out of the page buffer.
+    pub fn get_ref(&self, idx: usize) -> Result<RecordRef<'_>> {
         let count = self.record_count();
         if idx >= count {
             return Err(StorageError::PageOutOfBounds {
@@ -145,12 +161,31 @@ impl Page {
         }
         let rec_size = self.record_size();
         let offset = PAGE_HEADER_BYTES + idx * rec_size;
-        Record::read_from(&self.data[offset..offset + rec_size])
+        RecordRef::parse(&self.data[offset..offset + rec_size])
     }
 
-    /// Iterates over all records stored in the page.
+    /// Iterates over all records stored in the page as owned [`Record`]s
+    /// (allocates per record; API-edge use only).
     pub fn records(&self) -> impl Iterator<Item = Record> + '_ {
-        (0..self.record_count()).map(move |i| self.get(i).expect("index < record_count"))
+        self.record_refs().map(|r| r.to_record())
+    }
+
+    /// Iterates over all records as borrowed views into the page buffer —
+    /// the zero-copy scan primitive every hot loop is built on. The header
+    /// is decoded once for the whole page, not once per record.
+    pub fn record_refs(&self) -> impl Iterator<Item = RecordRef<'_>> {
+        let rec_size = self.record_size();
+        let count = self.record_count();
+        let body = &self.data[PAGE_HEADER_BYTES..];
+        (0..count).map(move |i| {
+            RecordRef::parse(&body[i * rec_size..(i + 1) * rec_size])
+                .expect("record slots hold at least the key")
+        })
+    }
+
+    /// The layout of the records stored in this page.
+    pub fn record_layout(&self) -> RecordLayout {
+        RecordLayout::new(self.record_size().saturating_sub(RecordLayout::KEY_BYTES))
     }
 
     /// Removes all records (the record size is preserved).
@@ -275,6 +310,38 @@ mod tests {
         let per_page = records_per_page(4096, 32);
         assert_eq!(pages_for_records(per_page, 4096, 32), 1);
         assert_eq!(pages_for_records(per_page + 1, 4096, 32), 2);
+    }
+
+    #[test]
+    fn ref_push_and_get_match_the_owned_path() {
+        let mut owned = Page::empty(256, layout());
+        let mut borrowed = Page::empty(256, layout());
+        let r1 = Record::with_fill(42, 24, 0xAB);
+        let r2 = Record::with_fill(7, 24, 0xCD);
+        assert!(owned.push(&r1).unwrap() && owned.push(&r2).unwrap());
+        assert!(borrowed.push_ref(r1.as_record_ref()).unwrap());
+        assert!(borrowed.push_ref(r2.as_record_ref()).unwrap());
+        assert_eq!(owned, borrowed);
+        let views: Vec<_> = borrowed.record_refs().collect();
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0].key(), 42);
+        assert_eq!(views[1].key(), 7);
+        // The views alias the page buffer.
+        let base = borrowed.as_bytes().as_ptr() as usize;
+        let p0 = views[0].payload().as_ptr() as usize;
+        assert!(p0 > base && p0 < base + borrowed.size());
+        assert_eq!(borrowed.get_ref(1).unwrap().to_record(), r2);
+        assert_eq!(borrowed.record_layout(), layout());
+    }
+
+    #[test]
+    fn push_ref_rejects_wrong_record_size() {
+        let mut p = Page::empty(256, layout());
+        let wrong = Record::with_fill(1, 8, 0);
+        assert!(matches!(
+            p.push_ref(wrong.as_record_ref()),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
     }
 
     #[test]

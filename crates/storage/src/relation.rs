@@ -13,10 +13,12 @@
 //! [`BlockDevice::reset_stats`] after loading; the experiment harness in
 //! `nocap-bench` does exactly that.
 
+use std::sync::Arc;
+
 use crate::device::{DeviceRef, FileId};
 use crate::iostats::IoKind;
 use crate::page::{records_per_page, Page};
-use crate::record::{Record, RecordLayout};
+use crate::record::{Record, RecordLayout, RecordRef};
 use crate::Result;
 
 /// A stored relation: metadata plus the device file holding its pages.
@@ -105,7 +107,7 @@ impl Relation {
             relation: self.clone(),
             next_page: pages.start.min(end),
             end_page: end,
-            current: Vec::new(),
+            current: None,
             current_pos: 0,
         }
     }
@@ -166,9 +168,14 @@ impl RelationBuilder {
 
     /// Appends one record.
     pub fn push(&mut self, record: &Record) -> Result<()> {
-        if !self.page.push(record)? {
+        self.push_ref(record.as_record_ref())
+    }
+
+    /// Appends one borrowed record (no allocation).
+    pub fn push_ref(&mut self, record: RecordRef<'_>) -> Result<()> {
+        if !self.page.push_ref(record)? {
             self.flush_page()?;
-            let pushed = self.page.push(record)?;
+            let pushed = self.page.push_ref(record)?;
             debug_assert!(pushed, "freshly cleared page must accept a record");
         }
         self.num_records += 1;
@@ -200,27 +207,52 @@ impl RelationBuilder {
 }
 
 /// Record iterator over a stored relation (page-at-a-time sequential reads).
+///
+/// Two consumption modes share the same I/O accounting (one sequential read
+/// per page, each page read exactly once):
+///
+/// * [`next_page`](Self::next_page) — the **zero-copy** mode: hands back
+///   each page so the caller iterates [`Page::record_refs`] without any
+///   per-record allocation. Every hot executor loop uses this.
+/// * the [`Iterator`] impl — the **owned** mode yielding `Result<Record>`
+///   (one allocation per record); kept for API edges such as
+///   [`Relation::read_all`], statistics collection and the external sorter.
+///
+/// The two modes may be interleaved: the iterator simply drains whatever
+/// page [`next_page`] would return next.
 pub struct RelationScan {
     relation: Relation,
     next_page: usize,
     end_page: usize,
-    current: Vec<Record>,
+    current: Option<Arc<Page>>,
     current_pos: usize,
 }
 
 impl RelationScan {
-    fn load_next_page(&mut self) -> Result<bool> {
+    /// Reads the next page of the scan (one sequential read), or `None` when
+    /// the page range is exhausted. The returned page is owned by the caller;
+    /// iterate it with [`Page::record_refs`] for the zero-copy record view.
+    pub fn next_page(&mut self) -> Result<Option<Arc<Page>>> {
         if self.next_page >= self.end_page {
-            return Ok(false);
+            return Ok(None);
         }
         let page =
             self.relation
                 .device
                 .read_page(self.relation.file, self.next_page, IoKind::SeqRead)?;
         self.next_page += 1;
-        self.current = page.records().collect();
-        self.current_pos = 0;
-        Ok(true)
+        Ok(Some(page))
+    }
+
+    fn load_next_page(&mut self) -> Result<bool> {
+        match self.next_page()? {
+            Some(page) => {
+                self.current = Some(page);
+                self.current_pos = 0;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
     }
 }
 
@@ -229,10 +261,12 @@ impl Iterator for RelationScan {
 
     fn next(&mut self) -> Option<Self::Item> {
         loop {
-            if self.current_pos < self.current.len() {
-                let rec = self.current[self.current_pos].clone();
-                self.current_pos += 1;
-                return Some(Ok(rec));
+            if let Some(page) = &self.current {
+                if self.current_pos < page.record_count() {
+                    let rec = page.get(self.current_pos);
+                    self.current_pos += 1;
+                    return Some(rec);
+                }
             }
             match self.load_next_page() {
                 Ok(true) => continue,
@@ -320,6 +354,24 @@ mod tests {
             .collect();
         all.sort_unstable();
         assert_eq!(all, (0..50).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn page_mode_scan_visits_every_record_with_one_read_per_page() {
+        let dev = SimDevice::new_ref();
+        let layout = RecordLayout::new(8);
+        let rel = Relation::bulk_load(dev.clone(), layout, 128, records(50, 8)).unwrap();
+        dev.reset_stats();
+        let mut keys = Vec::new();
+        let mut scan = rel.scan();
+        while let Some(page) = scan.next_page().unwrap() {
+            for rec in page.record_refs() {
+                keys.push(rec.key());
+            }
+        }
+        assert_eq!(keys, (0..50).collect::<Vec<u64>>());
+        assert_eq!(dev.stats().seq_reads as usize, rel.num_pages());
+        assert_eq!(dev.stats().writes(), 0);
     }
 
     #[test]

@@ -8,10 +8,12 @@
 //! weighted cost in the paper's model. Reading a partition back during the
 //! probe phase is a sequential scan of its pages.
 
+use std::sync::Arc;
+
 use crate::device::{DeviceRef, FileId};
 use crate::iostats::IoKind;
 use crate::page::Page;
-use crate::record::{Record, RecordLayout};
+use crate::record::{Record, RecordLayout, RecordRef};
 use crate::Result;
 
 /// Writer for one spill partition.
@@ -49,9 +51,16 @@ impl PartitionWriter {
 
     /// Appends a record, flushing the output buffer to the device if full.
     pub fn push(&mut self, record: &Record) -> Result<()> {
-        if !self.page.push(record)? {
+        self.push_ref(record.as_record_ref())
+    }
+
+    /// Appends a borrowed record (no allocation), flushing the output buffer
+    /// to the device if full. This is the partition-routing hot path: one
+    /// key store plus one payload `memcpy` into the buffer page.
+    pub fn push_ref(&mut self, record: RecordRef<'_>) -> Result<()> {
+        if !self.page.push_ref(record)? {
             self.flush()?;
-            let pushed = self.page.push(record)?;
+            let pushed = self.page.push_ref(record)?;
             debug_assert!(pushed, "freshly flushed page must accept a record");
         }
         self.records += 1;
@@ -132,7 +141,7 @@ impl PartitionHandle {
             handle: self.clone(),
             read_kind,
             next_page: 0,
-            current: Vec::new(),
+            current: None,
             current_pos: 0,
         }
     }
@@ -163,27 +172,44 @@ impl std::fmt::Debug for PartitionHandle {
 }
 
 /// Iterator over the records of a finished partition.
+///
+/// Like [`RelationScan`](crate::RelationScan), two consumption modes share
+/// one I/O accounting: [`next_page`](Self::next_page) for the zero-copy
+/// page-at-a-time loops of the probe phase, and the [`Iterator`] impl
+/// yielding owned `Result<Record>` for API edges.
 pub struct PartitionReader {
     handle: PartitionHandle,
     read_kind: IoKind,
     next_page: usize,
-    current: Vec<Record>,
+    current: Option<Arc<Page>>,
     current_pos: usize,
 }
 
 impl PartitionReader {
-    fn load_next_page(&mut self) -> Result<bool> {
+    /// Reads the next page of the partition (one I/O of the reader's kind),
+    /// or `None` when exhausted. Iterate the returned page with
+    /// [`Page::record_refs`](crate::Page::record_refs) for zero-copy access.
+    pub fn next_page(&mut self) -> Result<Option<Arc<Page>>> {
         if self.next_page >= self.handle.pages {
-            return Ok(false);
+            return Ok(None);
         }
         let page =
             self.handle
                 .device
                 .read_page(self.handle.file, self.next_page, self.read_kind)?;
         self.next_page += 1;
-        self.current = page.records().collect();
-        self.current_pos = 0;
-        Ok(true)
+        Ok(Some(page))
+    }
+
+    fn load_next_page(&mut self) -> Result<bool> {
+        match self.next_page()? {
+            Some(page) => {
+                self.current = Some(page);
+                self.current_pos = 0;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
     }
 }
 
@@ -192,10 +218,12 @@ impl Iterator for PartitionReader {
 
     fn next(&mut self) -> Option<Self::Item> {
         loop {
-            if self.current_pos < self.current.len() {
-                let rec = self.current[self.current_pos].clone();
-                self.current_pos += 1;
-                return Some(Ok(rec));
+            if let Some(page) = &self.current {
+                if self.current_pos < page.record_count() {
+                    let rec = page.get(self.current_pos);
+                    self.current_pos += 1;
+                    return Some(rec);
+                }
             }
             match self.load_next_page() {
                 Ok(true) => continue,
@@ -241,6 +269,28 @@ mod tests {
         let handle = w.finish().unwrap();
         assert_eq!(dev.stats().rand_writes as usize, handle.pages());
         assert_eq!(dev.stats().seq_writes, 0);
+    }
+
+    #[test]
+    fn ref_write_and_page_read_match_the_owned_path() {
+        let dev = SimDevice::new_ref();
+        let mut w = PartitionWriter::new(dev.clone(), layout(), 128, IoKind::RandWrite);
+        for k in 0..100u64 {
+            let rec = Record::with_fill(k, 8, 3);
+            w.push_ref(rec.as_record_ref()).unwrap();
+        }
+        let handle = w.finish().unwrap();
+        assert_eq!(handle.records(), 100);
+        dev.reset_stats();
+        let mut keys = Vec::new();
+        let mut reader = handle.read(IoKind::SeqRead);
+        while let Some(page) = reader.next_page().unwrap() {
+            for rec in page.record_refs() {
+                keys.push(rec.key());
+            }
+        }
+        assert_eq!(keys, (0..100).collect::<Vec<u64>>());
+        assert_eq!(dev.stats().seq_reads as usize, handle.pages());
     }
 
     #[test]

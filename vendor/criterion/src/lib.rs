@@ -22,20 +22,29 @@ pub fn black_box<T>(x: T) -> T {
 pub struct Criterion {
     /// Iterations per benchmark (overridable per group via `sample_size`).
     sample_size: usize,
+    /// `--test` smoke mode: run every benchmark body exactly once so CI can
+    /// catch bench bitrot without paying for timing runs (mirrors real
+    /// criterion's `--test` behaviour).
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        Criterion {
+            sample_size: 20,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
     }
 }
 
 impl Criterion {
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             name: name.into(),
             sample_size: self.sample_size,
+            test_mode,
             _criterion: self,
         }
     }
@@ -45,6 +54,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    test_mode: bool,
     _criterion: &'a mut Criterion,
 }
 
@@ -79,11 +89,20 @@ impl BenchmarkGroup<'_> {
     }
 
     fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let iters = if self.test_mode {
+            1
+        } else {
+            self.sample_size as u64
+        };
         let mut bencher = Bencher {
-            iters: self.sample_size as u64,
+            iters,
             elapsed: Duration::ZERO,
         };
         f(&mut bencher);
+        if self.test_mode {
+            println!("{}/{id}: ok (smoke, 1 iter)", self.name);
+            return;
+        }
         let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters.max(1) as f64;
         println!(
             "{}/{id}: {:.3} ms/iter ({} iters)",
@@ -152,11 +171,9 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            // `cargo test` runs bench executables with `--test`; benches are
-            // not tests, so bail out quickly in that mode.
-            if std::env::args().any(|a| a == "--test") {
-                return;
-            }
+            // `--test` selects smoke mode: every benchmark body runs exactly
+            // once (no timing), so bench bitrot fails CI instead of being
+            // skipped (see `Criterion::default`).
             $( $group(); )+
         }
     };
