@@ -1,10 +1,13 @@
-//! Wall-clock scaling of the parallel NOCAP executor.
+//! Wall-clock scaling of the parallel execution surface: NOCAP, DHH and
+//! sharded statistics collection.
 //!
-//! Runs the Zipf(1.0) synthetic workload through `run_parallel` at 1, 2, 4
-//! and 8 workers and reports wall-clock speedup relative to one worker,
+//! Runs the Zipf(1.0) synthetic workload through `NocapJoin::run_parallel`,
+//! `DhhJoin::run_parallel` and `StatsCollector::collect_parallel` at 1, 2,
+//! 4 and 8 workers and reports wall-clock speedup relative to one worker,
 //! verifying at every point that the modeled I/O trace and the join output
-//! are identical to the sequential executor — the engine's core contract:
-//! parallelism changes *when* the work happens, never *what* work happens.
+//! (or the statistics summary) are identical to the sequential path — the
+//! engine's core contract: parallelism changes *when* the work happens,
+//! never *what* work happens.
 //!
 //! On `SimDevice` the partitioning passes are pure CPU (hashing, routing,
 //! page packing), so the speedup measures the engine itself rather than a
@@ -16,9 +19,71 @@
 use std::time::Instant;
 
 use nocap::{NocapConfig, NocapJoin};
-use nocap_model::JoinSpec;
+use nocap_joins::DhhJoin;
+use nocap_model::{JoinRunReport, JoinSpec};
+use nocap_stats::{StatsCollector, StatsConfig};
 use nocap_storage::SimDevice;
-use nocap_workload::{synthetic, Correlation, SyntheticConfig};
+use nocap_workload::{synthetic, Correlation, GeneratedWorkload, SyntheticConfig};
+
+/// The shared timing protocol of every table below: runs `run(threads)`
+/// best-of-`repeats` at 1/2/4/8 workers and hands each thread count's best
+/// wall-clock, speedup vs one worker and last artifact to `row`.
+fn scaling_rows<T>(
+    repeats: usize,
+    run: impl Fn(usize) -> T,
+    mut row: impl FnMut(usize, f64, f64, T),
+) {
+    let mut base_secs = None;
+    for threads in [1usize, 2, 4, 8] {
+        let mut best = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..repeats {
+            let started = Instant::now();
+            let r = run(threads);
+            let secs = started.elapsed().as_secs_f64();
+            if secs < best {
+                best = secs;
+            }
+            result = Some(r);
+        }
+        let result = result.expect("at least one run");
+        let base = *base_secs.get_or_insert(best);
+        row(threads, best, base / best, result);
+    }
+}
+
+/// Times `run(threads)` and checks its report against the sequential
+/// baseline, printing one CSV row per thread count.
+fn scaling_table(
+    algo: &str,
+    sequential: &JoinRunReport,
+    repeats: usize,
+    device: &nocap_storage::device::DeviceRef,
+    run: impl Fn(usize) -> JoinRunReport,
+) {
+    println!("# {algo} scaling");
+    println!("threads,wall_secs,speedup_vs_1,total_ios,io_identical_to_sequential");
+    scaling_rows(
+        repeats,
+        |threads| {
+            device.reset_stats();
+            run(threads)
+        },
+        |threads, best, speedup, report| {
+            assert_eq!(report.output_records, sequential.output_records);
+            let io_identical = report.partition_io == sequential.partition_io
+                && report.probe_io == sequential.probe_io;
+            assert!(
+                io_identical,
+                "{algo}: parallel I/O diverged at {threads} threads"
+            );
+            println!(
+                "{threads},{best:.4},{speedup:.2},{},{io_identical}",
+                report.total_ios()
+            );
+        },
+    );
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -48,43 +113,48 @@ fn main() {
         mcv_count: n_r / 20,
         seed: 0x0CA9,
     };
-    let wl = synthetic::generate(device.clone(), &config).expect("workload generation");
+    let wl: GeneratedWorkload =
+        synthetic::generate(device.clone(), &config).expect("workload generation");
     let spec = JoinSpec::paper_synthetic(record_bytes, buffer_pages);
-    let join = NocapJoin::new(spec, NocapConfig::default());
 
-    // Sequential baseline: the reference for output and I/O equality.
+    // ---- NOCAP --------------------------------------------------------
+    let join = NocapJoin::new(spec, NocapConfig::default());
     device.reset_stats();
     let sequential = join.run(&wl.r, &wl.s, &wl.mcvs).expect("sequential run");
     assert_eq!(sequential.output_records, wl.expected_join_output());
+    scaling_table("NOCAP", &sequential, repeats, &device, |threads| {
+        join.run_parallel(&wl.r, &wl.s, &wl.mcvs, threads)
+            .expect("parallel run")
+    });
 
-    println!("threads,wall_secs,speedup_vs_1,total_ios,io_identical_to_sequential");
-    let mut base_secs = None;
-    for threads in [1usize, 2, 4, 8] {
-        let mut best = f64::INFINITY;
-        let mut report = None;
-        for _ in 0..repeats {
-            device.reset_stats();
-            let started = Instant::now();
-            let run = join
-                .run_parallel(&wl.r, &wl.s, &wl.mcvs, threads)
-                .expect("parallel run");
-            let secs = started.elapsed().as_secs_f64();
-            if secs < best {
-                best = secs;
-            }
-            report = Some(run);
-        }
-        let report = report.expect("at least one run");
-        assert_eq!(report.output_records, sequential.output_records);
-        let io_identical = report.partition_io == sequential.partition_io
-            && report.probe_io == sequential.probe_io;
-        assert!(io_identical, "parallel I/O diverged at {threads} threads");
-        let base = *base_secs.get_or_insert(best);
-        println!(
-            "{threads},{best:.4},{:.2},{},{}",
-            base / best,
-            report.total_ios(),
-            io_identical
-        );
-    }
+    // ---- DHH (the strongest baseline, now also parallel) --------------
+    let dhh = DhhJoin::with_defaults(spec);
+    device.reset_stats();
+    let dhh_sequential = dhh.run(&wl.r, &wl.s, &wl.mcvs).expect("sequential DHH");
+    assert_eq!(dhh_sequential.output_records, wl.expected_join_output());
+    scaling_table("DHH", &dhh_sequential, repeats, &device, |threads| {
+        dhh.run_parallel(&wl.r, &wl.s, &wl.mcvs, threads)
+            .expect("parallel DHH")
+    });
+
+    // ---- Sharded statistics collection --------------------------------
+    // The summary must be bit-identical at every thread count; the table
+    // reports the wall-clock of the sharded S scan.
+    let stats_config = StatsConfig::for_budget_pages(4, spec.page_size);
+    let baseline_summary =
+        StatsCollector::collect_parallel(stats_config, &wl.s, 1).expect("collection");
+    println!("# stats collection scaling (sharded S scan, 4-page sketch budget)");
+    println!("threads,wall_secs,speedup_vs_1,summary_identical_to_1_thread");
+    scaling_rows(
+        repeats,
+        |threads| {
+            StatsCollector::collect_parallel(stats_config, &wl.s, threads)
+                .expect("parallel collection")
+        },
+        |threads, best, speedup, summary| {
+            let identical = summary == baseline_summary;
+            assert!(identical, "summary diverged at {threads} threads");
+            println!("{threads},{best:.4},{speedup:.2},{identical}");
+        },
+    );
 }

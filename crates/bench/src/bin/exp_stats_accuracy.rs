@@ -188,4 +188,59 @@ fn main() {
             .expect("histojoin sketch");
         row("Histojoin", o, s);
     }
+
+    // ---- Sharded parallel collection: determinism + plan quality ---------
+    // The summary folded from the fixed shard grid must be bit-identical at
+    // every thread count, and the join it plans must stay as close to the
+    // oracle as the sequential single-sketch collection above.
+    println!("\n# sharded parallel collection (collect_parallel, 2% of ||R|| budget)");
+    println!("correlation,threads,sketch_ios,oracle_ios,ratio,summary_identical_to_1_thread");
+    for (name, correlation) in correlations {
+        let device = SimDevice::new_ref();
+        let config = SyntheticConfig {
+            n_r,
+            n_s,
+            record_bytes,
+            correlation,
+            mcv_count: n_r / 20,
+            seed: 0x0CA9,
+        };
+        let wl = synthetic::generate(device.clone(), &config).expect("workload generation");
+        let spec = JoinSpec::paper_synthetic(record_bytes, buffer_pages);
+        let budget = (spec.pages_r(n_r) / 50).clamp(1, buffer_pages / 8);
+        let nocap = NocapJoin::new(spec, NocapConfig::default());
+
+        device.reset_stats();
+        let oracle_ios = nocap
+            .run(&wl.r, &wl.s, &wl.mcvs)
+            .expect("oracle run")
+            .total_ios();
+
+        let collect_par = |threads: usize| {
+            let pool = BufferPool::new(spec.buffer_pages);
+            StatsCollector::collect_parallel_with_budget(
+                &pool,
+                budget,
+                spec.page_size,
+                &wl.s,
+                threads,
+            )
+            .expect("sharded collection")
+        };
+        let baseline = collect_par(1);
+        for threads in [1usize, 2, 4, 8] {
+            let summary = collect_par(threads);
+            let identical = summary == baseline;
+            assert!(identical, "{name}: summary diverged at {threads} threads");
+            device.reset_stats();
+            let report = nocap
+                .run_with_collected_stats(&wl.r, &wl.s, &summary)
+                .expect("sketch run");
+            println!(
+                "{name},{threads},{},{oracle_ios},{:.3},{identical}",
+                report.total_ios(),
+                report.total_ios() as f64 / oracle_ios.max(1) as f64,
+            );
+        }
+    }
 }

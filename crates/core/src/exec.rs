@@ -112,13 +112,24 @@ impl NocapJoin {
     }
 
     /// The fully self-contained path: scans S once to collect sketch
-    /// statistics under `stats_pages` pages (charged against the spec's
-    /// buffer budget), then plans and executes from that summary alone.
+    /// statistics (charged against the spec's buffer budget), then plans
+    /// and executes from that summary alone.
+    ///
+    /// Collection runs through the sharded deterministic collector
+    /// ([`StatsCollector::collect_parallel_with_budget`]) at one thread, so
+    /// this is exactly the `threads = 1` instance of
+    /// [`collect_and_run_parallel`](Self::collect_and_run_parallel): the
+    /// whole sketch-plan-execute pipeline produces identical output, plans
+    /// and per-phase I/O at every thread count. `stats_pages` is the
+    /// per-shard-collector budget; the fixed
+    /// [`STATS_SHARDS`](nocap_stats::STATS_SHARDS)-way shard geometry
+    /// multiplies the resident charge (determinism fixes the number of
+    /// sketch sets by the data, not by the worker count).
     ///
     /// The extra sequential scan of S shows up in the device's I/O trace —
     /// statistics are not free, and experiments that account for them should
     /// use this entry point. Requesting more statistics memory than the
-    /// spec's buffer budget fails with
+    /// spec's buffer budget can hold fails with
     /// [`OutOfMemory`](nocap_storage::StorageError::OutOfMemory) rather than
     /// being silently clamped.
     pub fn collect_and_run(
@@ -128,9 +139,13 @@ impl NocapJoin {
         stats_pages: usize,
     ) -> nocap_storage::Result<JoinRunReport> {
         let pool = BufferPool::new(self.spec.buffer_pages);
-        let mut collector = StatsCollector::with_budget(&pool, stats_pages, self.spec.page_size)?;
-        collector.consume(s.scan())?;
-        let summary = collector.finish();
+        let summary = StatsCollector::collect_parallel_with_budget(
+            &pool,
+            stats_pages,
+            self.spec.page_size,
+            s,
+            1,
+        )?;
         drop(pool);
         self.run_with_collected_stats(r, s, &summary)
     }

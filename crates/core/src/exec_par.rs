@@ -37,6 +37,7 @@ use std::time::Instant;
 use nocap_model::pairwise::smart_partition_join;
 use nocap_model::JoinRunReport;
 use nocap_par::{page_shards, run_workers, sum_tasks, ParallelStager, SharedWriterSet};
+use nocap_stats::StatsCollector;
 use nocap_storage::{BufferPool, IoKind, JoinHashTable, PartitionHandle, Relation, Reservation};
 
 use crate::exec::{NocapJoin, RestGeometry};
@@ -65,6 +66,60 @@ impl NocapJoin {
             &self.config().planner,
         );
         self.run_parallel_with_plan(r, s, &plan, threads)
+    }
+
+    /// Plans from a one-pass sketch summary and executes on `threads`
+    /// worker threads — the parallel twin of
+    /// [`run_with_collected_stats`](Self::run_with_collected_stats)
+    /// (identical plan, since the summary is the same artifact; identical
+    /// output and per-phase I/O for every thread count).
+    pub fn run_parallel_with_collected_stats(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        stats: &nocap_stats::StatsSummary,
+        threads: usize,
+    ) -> nocap_storage::Result<JoinRunReport> {
+        let mcvs = stats.planner_mcvs();
+        let plan = plan_nocap(
+            &mcvs,
+            r.num_records(),
+            stats.stream_len(),
+            self.spec(),
+            &self.config().planner,
+        );
+        self.run_parallel_with_plan(r, s, &plan, threads)
+    }
+
+    /// The fully self-contained multi-threaded pipeline: sharded sketch
+    /// collection over S ([`StatsCollector::collect_parallel_with_budget`]),
+    /// planning from the summary alone, and parallel execution — every
+    /// stage on `threads` workers.
+    ///
+    /// Because the sharded collector's summary is bit-identical for every
+    /// thread count, the plan — and therefore the executor's output *and*
+    /// per-phase modeled I/O — is identical to the sequential
+    /// [`collect_and_run`](Self::collect_and_run) for every `threads`,
+    /// including the statistics scan itself (each page of S is read exactly
+    /// once). `stats_pages` is the per-shard-collector budget, as in
+    /// `collect_and_run`.
+    pub fn collect_and_run_parallel(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        stats_pages: usize,
+        threads: usize,
+    ) -> nocap_storage::Result<JoinRunReport> {
+        let pool = BufferPool::new(self.spec().buffer_pages);
+        let summary = StatsCollector::collect_parallel_with_budget(
+            &pool,
+            stats_pages,
+            self.spec().page_size,
+            s,
+            threads,
+        )?;
+        drop(pool);
+        self.run_parallel_with_collected_stats(r, s, &summary, threads)
     }
 
     /// Executes a pre-computed plan on `threads` worker threads (see
@@ -323,6 +378,53 @@ mod tests {
         assert_eq!(
             sim.file_pages(r.file()).unwrap() + sim.file_pages(s.file()).unwrap(),
             r.num_pages() + s.num_pages()
+        );
+    }
+
+    #[test]
+    fn sketch_pipeline_is_identical_at_every_thread_count() {
+        // collect_and_run_parallel(n) must reproduce collect_and_run (its
+        // n = 1 instance) exactly: the sharded summary is thread-count
+        // invariant, so the plan, the output and the per-phase I/O all are.
+        let spec = JoinSpec::paper_synthetic(128, 48);
+        let counts = |k: u64| if k < 12 { 180 } else { 3 };
+        let join = NocapJoin::new(spec, NocapConfig::default());
+        let (r, s, _) = build(2_500, counts, &spec);
+        let sequential = join.collect_and_run(&r, &s, 4).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let (r, s, _) = build(2_500, counts, &spec);
+            let parallel = join.collect_and_run_parallel(&r, &s, 4, threads).unwrap();
+            assert_eq!(
+                parallel.output_records, sequential.output_records,
+                "pipeline output differs at {threads} threads"
+            );
+            assert_eq!(
+                parallel.partition_io, sequential.partition_io,
+                "pipeline partition I/O differs at {threads} threads"
+            );
+            assert_eq!(
+                parallel.probe_io, sequential.probe_io,
+                "pipeline probe I/O differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_sketch_collection_reads_s_exactly_once() {
+        let spec = JoinSpec::paper_synthetic(128, 48);
+        let counts = |k: u64| (k % 6) + 1;
+        let join = NocapJoin::new(spec, NocapConfig::default());
+        let (r, s, _) = build(2_000, counts, &spec);
+        let device = r.device().clone();
+        device.reset_stats();
+        let report = join.collect_and_run_parallel(&r, &s, 4, 4).unwrap();
+        let device_ios = device.stats().reads() + device.stats().writes();
+        // The statistics scan costs exactly ||S|| sequential reads on top
+        // of the join's own modeled I/O, sharded or not.
+        assert_eq!(
+            device_ios,
+            report.total_ios() + s.num_pages() as u64,
+            "sharded stats collection must read each S page exactly once"
         );
     }
 

@@ -32,16 +32,20 @@
 //! reproduced.
 
 use std::collections::HashSet;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use nocap_model::pairwise::smart_partition_join;
 use nocap_model::{JoinRunReport, JoinSpec};
-use nocap_par::{even_caps, QuotaStager};
+use nocap_par::{
+    default_threads, even_caps, page_shards, run_workers, sum_tasks, ParallelStager, QuotaStager,
+    SharedWriterSet,
+};
 use nocap_stats::StatsSummary;
 use nocap_storage::device::DeviceRef;
 use nocap_storage::{
     BufferPool, IoKind, JoinHashTable, PartitionHandle, PartitionWriter, RecordBatch, RecordLayout,
-    RecordRef, Relation,
+    RecordRef, Relation, Reservation,
 };
 
 /// SplitMix64 hash for partition routing.
@@ -235,6 +239,175 @@ impl DhhJoin {
         Ok(report)
     }
 
+    /// Executes `r ⋈ s` on `threads` worker threads.
+    ///
+    /// `threads == 0` selects [`nocap_par::default_threads`] (the
+    /// `NOCAP_THREADS` environment variable, falling back to the machine's
+    /// parallelism). For every thread count the result — output cardinality
+    /// and the full per-phase modeled I/O trace — is **identical** to the
+    /// sequential [`run`](Self::run):
+    ///
+    /// * both scans are sharded over disjoint page ranges
+    ///   ([`page_shards`]), costing the same `‖R‖ + ‖S‖` sequential reads;
+    /// * R partitioning drives DHH's modulo router over a
+    ///   [`ParallelStager`] with the same per-partition quotas
+    ///   ([`even_caps`]) the sequential [`QuotaStager`] uses, so the
+    ///   destaged partition set and per-partition spill page counts depend
+    ///   only on each partition's total record count — never on thread
+    ///   interleaving;
+    /// * every spilled S partition funnels through one shared
+    ///   output-buffer page ([`SharedWriterSet`]), flushing exactly
+    ///   `⌈n / b⌉` pages like the sequential writer;
+    /// * the spilled partition pairs are claimed from a work queue and
+    ///   joined with the same [`smart_partition_join`], whose per-pair I/O
+    ///   is independent of claim order.
+    ///
+    /// This gives the paper's strongest baseline the same multi-threaded
+    /// execution surface as NOCAP/GHJ, pinned by the shared differential
+    /// harness in `tests/parallel_determinism.rs`.
+    pub fn run_parallel(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        mcvs: &[(u64, u64)],
+        threads: usize,
+    ) -> nocap_storage::Result<JoinRunReport> {
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        let spec = &self.spec;
+        let device = r.device().clone();
+        let started = Instant::now();
+        let base = device.stats();
+        let pool = BufferPool::new(spec.buffer_pages);
+        let _io_pages = pool.reserve(2)?;
+
+        // ---- Skew optimization: identical key selection to `run` ---------
+        let skew_keys = self.select_skew_keys(mcvs, s.num_records() as u64);
+        let skew_pages = spec.hash_table_pages(skew_keys.len());
+        let _skew_reservation = pool.reserve(skew_pages.min(pool.available()))?;
+
+        // ---- Partition R (Algorithm 1, sharded) --------------------------
+        // Same geometry derivation as the sequential path: partition count
+        // and quotas are fixed before any record is routed.
+        let m_dhh = spec
+            .m_dhh(r.num_records())
+            .min(pool.available().saturating_sub(1).max(1));
+        let caps = DhhPartitioner::caps(pool.available(), m_dhh);
+        // Make the quota carving visible to the pool, one reservation per
+        // partition covering exactly the staging budget.
+        let _quotas: Vec<Reservation> = pool.carve_remaining(caps.len());
+
+        let stager = ParallelStager::new(device.clone(), r.layout(), *spec, caps);
+        let ht_shared = Mutex::new(JoinHashTable::new(r.layout(), spec.page_size, spec.fudge));
+        let r_shards = page_shards(r.num_pages(), threads);
+        let stages = run_workers(threads, |w| {
+            let mut stage = stager.worker_stage();
+            let mut scan = r.scan_range(r_shards[w].clone());
+            while let Some(page) = scan.next_page()? {
+                for rec in page.record_refs() {
+                    if skew_keys.contains(&rec.key()) {
+                        // R is the primary-key side: each skew key appears
+                        // once in R, so this lock is cold.
+                        ht_shared
+                            .lock()
+                            .expect("skew table lock poisoned")
+                            .insert_ref(rec);
+                    } else {
+                        let p = (hash_key(rec.key()) % stager.num_partitions() as u64) as usize;
+                        stager.insert(&mut stage, p, rec)?;
+                    }
+                }
+            }
+            Ok(stage)
+        })?;
+        let build = stager.finish(stages)?;
+        let mut ht_mem = ht_shared.into_inner().expect("skew table lock poisoned");
+        for rec in build.staged_records.iter() {
+            ht_mem.insert_ref(rec);
+        }
+
+        // ---- Partition / probe S (Algorithm 2, sharded) ------------------
+        let s_writers = SharedWriterSet::new_masked(
+            device.clone(),
+            s.layout(),
+            spec.page_size,
+            IoKind::RandWrite,
+            &build.pob,
+        );
+        let s_shards = page_shards(s.num_pages(), threads);
+        let ht_ref = &ht_mem;
+        let pob = &build.pob;
+        let probe_counts = run_workers(threads, |w| {
+            let mut output = 0u64;
+            let mut scan = s.scan_range(s_shards[w].clone());
+            while let Some(page) = scan.next_page()? {
+                for rec in page.record_refs() {
+                    let matches = ht_ref.probe_count(rec.key());
+                    if matches > 0 {
+                        output += matches;
+                        continue;
+                    }
+                    let p = (hash_key(rec.key()) % pob.len() as u64) as usize;
+                    if pob[p] {
+                        s_writers.push(p, rec)?;
+                    }
+                }
+            }
+            Ok(output)
+        })?;
+        let mut output: u64 = probe_counts.into_iter().sum();
+        let partition_io = device.stats().since(&base);
+
+        // ---- Probe the spilled partition pairs, fanned out ---------------
+        // Partial S output-buffer pages flush inside this window, exactly
+        // where the sequential executor flushes them.
+        let probe_base = device.stats();
+        let s_handles = s_writers.finish_all()?;
+        let mut pairs: Vec<(PartitionHandle, PartitionHandle)> = Vec::new();
+        for (maybe_r, maybe_s) in build.spilled.iter().zip(s_handles.iter()) {
+            if let (Some(r_part), Some(s_part)) = (maybe_r, maybe_s) {
+                pairs.push((r_part.clone(), s_part.clone()));
+            }
+        }
+        output += sum_tasks(threads, pairs.len(), |i| {
+            smart_partition_join(&pairs[i].0, &pairs[i].1, spec, 1)
+        })?;
+        let probe_io = device.stats().since(&probe_base);
+
+        // Clean up spill files (not counted as I/O).
+        for h in build.spilled.into_iter().flatten() {
+            h.delete()?;
+        }
+        for h in s_handles.into_iter().flatten() {
+            h.delete()?;
+        }
+
+        let mut report = JoinRunReport::new("DHH");
+        report.output_records = output;
+        report.partition_io = partition_io;
+        report.probe_io = probe_io;
+        report.cpu_seconds = started.elapsed().as_secs_f64();
+        Ok(report)
+    }
+
+    /// The sketch-driven parallel path: plan the skew optimization from a
+    /// one-pass [`StatsSummary`] (see
+    /// [`run_with_collected_stats`](Self::run_with_collected_stats)) and
+    /// execute on `threads` workers. Output and per-phase I/O are identical
+    /// to the sequential sketch-driven run for every thread count.
+    pub fn run_parallel_with_collected_stats(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        stats: &StatsSummary,
+        threads: usize,
+    ) -> nocap_storage::Result<JoinRunReport> {
+        self.run_parallel(r, s, &stats.planner_mcvs(), threads)
+    }
+
     /// Chooses which MCV keys are pinned in the skew hash table.
     fn select_skew_keys(&self, mcvs: &[(u64, u64)], n_s: u64) -> HashSet<u64> {
         let mut selected = HashSet::new();
@@ -283,6 +456,13 @@ struct DhhPartitioner {
 }
 
 impl DhhPartitioner {
+    /// The per-partition staging quotas of DHH's quota geometry — shared by
+    /// the sequential partitioner and [`DhhJoin::run_parallel`], so both
+    /// paths destage exactly the same partition set by construction.
+    fn caps(budget_pages: usize, num_partitions: usize) -> Vec<usize> {
+        even_caps(budget_pages.max(1), num_partitions.max(1))
+    }
+
     fn new(
         device: DeviceRef,
         spec: JoinSpec,
@@ -290,8 +470,7 @@ impl DhhPartitioner {
         budget_pages: usize,
         num_partitions: usize,
     ) -> Self {
-        let num_partitions = num_partitions.max(1);
-        let caps = even_caps(budget_pages.max(1), num_partitions);
+        let caps = Self::caps(budget_pages, num_partitions);
         DhhPartitioner {
             stager: QuotaStager::new(device, spec, layout, caps),
         }
@@ -464,6 +643,120 @@ mod tests {
         assert_eq!(a.0, b.0, "page-out bits must be order-independent");
         assert_eq!(a.1, b.1, "I/O must be order-independent");
         assert!(a.0.iter().any(|&s| s), "2K records cannot stay in 10 pages");
+    }
+
+    #[test]
+    fn run_parallel_matches_run_exactly_on_a_skewed_workload() {
+        let spec = JoinSpec::paper_synthetic(128, 48);
+        let counts = |k: u64| if k < 8 { 300 } else { 1 };
+        let stats = mcvs(2_000, counts, 100);
+        crate::testutil::assert_parallel_equivalence(
+            "dhh/skewed",
+            &[1, 2, 4, 8],
+            || {
+                let dev = SimDevice::new_ref();
+                let (r, s) = build_workload(dev, &spec, 2_000, counts);
+                DhhJoin::with_defaults(spec).run(&r, &s, &stats).unwrap()
+            },
+            |threads| {
+                let dev = SimDevice::new_ref();
+                let (r, s) = build_workload(dev, &spec, 2_000, counts);
+                DhhJoin::with_defaults(spec)
+                    .run_parallel(&r, &s, &stats, threads)
+                    .unwrap()
+            },
+        );
+    }
+
+    #[test]
+    fn run_parallel_matches_run_without_the_skew_optimization() {
+        let spec = JoinSpec::paper_synthetic(128, 24);
+        let counts = |_k: u64| 3u64;
+        let stats = mcvs(3_000, counts, 100);
+        crate::testutil::assert_parallel_equivalence(
+            "dhh/no-skew",
+            &[1, 2, 4],
+            || {
+                let dev = SimDevice::new_ref();
+                let (r, s) = build_workload(dev, &spec, 3_000, counts);
+                DhhJoin::new(spec, DhhConfig::no_skew())
+                    .run(&r, &s, &stats)
+                    .unwrap()
+            },
+            |threads| {
+                let dev = SimDevice::new_ref();
+                let (r, s) = build_workload(dev, &spec, 3_000, counts);
+                DhhJoin::new(spec, DhhConfig::no_skew())
+                    .run_parallel(&r, &s, &stats, threads)
+                    .unwrap()
+            },
+        );
+    }
+
+    #[test]
+    fn run_parallel_zero_threads_selects_a_default_and_stays_correct() {
+        let dev = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(128, 64);
+        let counts = |k: u64| (k % 4) + 1;
+        let (r, s) = build_workload(dev.clone(), &spec, 1_500, counts);
+        let expected = naive_join_count(&r, &s).unwrap();
+        dev.reset_stats();
+        let report = DhhJoin::with_defaults(spec)
+            .run_parallel(&r, &s, &mcvs(1_500, counts, 50), 0)
+            .unwrap();
+        assert_eq!(report.output_records, expected);
+    }
+
+    #[test]
+    fn run_parallel_cleans_up_all_spill_files() {
+        let dev = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(128, 24);
+        let counts = |_k: u64| 3u64;
+        let (r, s) = build_workload(dev.clone(), &spec, 4_000, counts);
+        let report = DhhJoin::with_defaults(spec)
+            .run_parallel(&r, &s, &mcvs(4_000, counts, 100), 3)
+            .unwrap();
+        assert!(
+            report.partition_io.writes() > 0,
+            "a tiny budget must spill (otherwise this tests nothing)"
+        );
+        // Only the two base relations should remain on the device.
+        assert_eq!(
+            dev.file_pages(r.file()).unwrap() + dev.file_pages(s.file()).unwrap(),
+            r.num_pages() + s.num_pages()
+        );
+    }
+
+    #[test]
+    fn sketch_driven_run_parallel_matches_the_sequential_sketch_run() {
+        use nocap_stats::{StatsCollector, StatsConfig};
+        let spec = JoinSpec::paper_synthetic(128, 48);
+        let counts = |k: u64| if k < 10 { 250 } else { 2 };
+        let collect = || {
+            let dev = SimDevice::new_ref();
+            let (r, s) = build_workload(dev, &spec, 2_500, counts);
+            let mut collector = StatsCollector::new(StatsConfig::default());
+            collector.consume(s.scan()).unwrap();
+            (r, s, collector.finish())
+        };
+        crate::testutil::assert_parallel_equivalence(
+            "dhh/sketch-driven",
+            &[1, 2, 4],
+            || {
+                let (r, s, summary) = collect();
+                r.device().reset_stats();
+                DhhJoin::with_defaults(spec)
+                    .run_with_collected_stats(&r, &s, &summary)
+                    .unwrap()
+            },
+            |threads| {
+                let (r, s, summary) = collect();
+                r.device().reset_stats();
+                DhhJoin::with_defaults(spec)
+                    .run_parallel_with_collected_stats(&r, &s, &summary, threads)
+                    .unwrap()
+            },
+        );
     }
 
     #[test]

@@ -72,6 +72,22 @@ impl HistoJoin {
         report.algorithm = "Histojoin".to_string();
         Ok(report)
     }
+
+    /// Executes `r ⋈ s` on `threads` worker threads; inherits
+    /// [`DhhJoin::run_parallel`]'s guarantee of output and per-phase I/O
+    /// identical to the sequential [`run`](Self::run) for every thread
+    /// count.
+    pub fn run_parallel(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        mcvs: &[(u64, u64)],
+        threads: usize,
+    ) -> nocap_storage::Result<JoinRunReport> {
+        let mut report = self.inner.run_parallel(r, s, mcvs, threads)?;
+        report.algorithm = "Histojoin".to_string();
+        Ok(report)
+    }
 }
 
 #[cfg(test)]

@@ -36,8 +36,7 @@ pub mod naive;
 pub mod nbj;
 pub mod smj;
 
-#[cfg(test)]
-pub(crate) mod testutil;
+pub mod testutil;
 
 pub use dhh::{DhhConfig, DhhJoin};
 pub use ghj::GraceHashJoin;

@@ -1,20 +1,63 @@
-//! Shared helpers for the baseline-join unit tests.
+//! Shared test support: deterministic workload builders and the
+//! **differential determinism harness** — the run-vs-`run_parallel`
+//! comparator every parallel executor in the workspace is pinned by.
+//!
+//! The module is compiled into the library (not `#[cfg(test)]`) so the
+//! top-level integration suites (`tests/parallel_determinism.rs`,
+//! `tests/zero_copy_equivalence.rs`) and the benches can drive the same
+//! comparator the unit tests use. It contains assertions and O(n log n)
+//! workload builders only — nothing here belongs on a production code path.
 
-use nocap_model::JoinSpec;
+use nocap_model::{JoinRunReport, JoinSpec};
 use nocap_storage::device::DeviceRef;
 use nocap_storage::{Record, Relation};
 
 /// SplitMix64, used for deterministic shuffling in tests.
-pub(crate) fn mix(key: u64) -> u64 {
+pub fn mix(key: u64) -> u64 {
     let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
 
+/// Asserts that a parallel executor reproduces its sequential counterpart
+/// **exactly** — identical join output and identical per-phase modeled I/O
+/// — for every thread count in `threads`.
+///
+/// `sequential` runs once to establish the baseline; `parallel(n)` runs for
+/// each entry of `threads`. Both closures are responsible for building
+/// their own workload/device state (typically regenerating it from a fixed
+/// seed so every run starts from identical relations and clean I/O
+/// counters). This is the workspace's core engine contract in executable
+/// form: parallelism may change *when* work happens, never *what* work
+/// happens.
+pub fn assert_parallel_equivalence(
+    label: &str,
+    threads: &[usize],
+    sequential: impl Fn() -> JoinRunReport,
+    parallel: impl Fn(usize) -> JoinRunReport,
+) {
+    let baseline = sequential();
+    for &n in threads {
+        let run = parallel(n);
+        assert_eq!(
+            run.output_records, baseline.output_records,
+            "{label}: join output differs at {n} threads"
+        );
+        assert_eq!(
+            run.partition_io, baseline.partition_io,
+            "{label}: partition-phase I/O differs at {n} threads"
+        );
+        assert_eq!(
+            run.probe_io, baseline.probe_io,
+            "{label}: probe-phase I/O differs at {n} threads"
+        );
+    }
+}
+
 /// Builds an (R, S) pair where R has keys `0..n_r` and key `k` appears
 /// `counts(k)` times in S, with S shuffled deterministically.
-pub(crate) fn build_workload(
+pub fn build_workload(
     device: DeviceRef,
     spec: &JoinSpec,
     n_r: u64,
@@ -48,12 +91,12 @@ pub(crate) fn build_workload(
 }
 
 /// Expected output cardinality of the workload built by [`build_workload`].
-pub(crate) fn expected_output(n_r: u64, counts: impl Fn(u64) -> u64) -> u64 {
+pub fn expected_output(n_r: u64, counts: impl Fn(u64) -> u64) -> u64 {
     (0..n_r).map(counts).sum()
 }
 
 /// MCV statistics (exact top-k counts) for the workload.
-pub(crate) fn mcvs(n_r: u64, counts: impl Fn(u64) -> u64, k: usize) -> Vec<(u64, u64)> {
+pub fn mcvs(n_r: u64, counts: impl Fn(u64) -> u64, k: usize) -> Vec<(u64, u64)> {
     let mut all: Vec<(u64, u64)> = (0..n_r).map(|key| (key, counts(key))).collect();
     all.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
     all.truncate(k);

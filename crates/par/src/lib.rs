@@ -33,7 +33,13 @@
 //!
 //! The crate is deliberately generic: routing (which partition a record
 //! belongs to) stays with the caller, so `nocap` (rounded-hash routing),
-//! GHJ (plain hash) and any future operator reuse the same machinery.
+//! GHJ (plain hash), DHH (modulo hash over the shared quota geometry) and
+//! any future operator reuse the same machinery. The same worker pool and
+//! page sharding also drive `nocap-stats`' sharded parallel collection
+//! (`StatsCollector::collect_parallel`), whose fixed shard grid plays the
+//! role the per-partition quotas play here: a decomposition fixed by the
+//! data, never by the worker count, so every thread count computes the
+//! same artifact.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -320,6 +320,52 @@ mod tests {
     }
 
     #[test]
+    fn parallel_stager_matches_the_sequential_quota_stager_exactly() {
+        // The determinism bridge both DHH and NOCAP stand on: the same keys
+        // through the same quotas must produce identical page-out bits,
+        // identical per-partition spill pages and identical total I/O,
+        // whether staged by the sequential QuotaStager (the `run` path) or
+        // by the ParallelStager at any worker count (the `run_parallel`
+        // path).
+        let spec = spec();
+        let parts = 6usize;
+        let budget = 10usize;
+        let mut keys: Vec<u64> = (0..2_500u64).collect();
+        keys.extend((0..1_200u64).map(|k| k * parts as u64)); // skew partition 0
+        let sequential = {
+            let device = SimDevice::new_ref();
+            let mut stager = crate::quota_stage::QuotaStager::new(
+                device.clone(),
+                spec,
+                spec.r_layout,
+                even_caps(budget, parts),
+            );
+            for &k in &keys {
+                let rec = Record::with_fill(k, 120, 0);
+                stager
+                    .insert((k % parts as u64) as usize, rec.as_record_ref())
+                    .unwrap();
+            }
+            let build = stager.finish().unwrap();
+            let pages: Vec<usize> = build
+                .spilled
+                .iter()
+                .map(|h| h.as_ref().map_or(0, PartitionHandle::pages))
+                .collect();
+            (build.pob, pages, device.stats().total())
+        };
+        for threads in [1usize, 2, 4] {
+            let parallel = run_stager(threads, budget, parts, &keys);
+            assert_eq!(parallel.0, sequential.0, "pob differs at {threads} workers");
+            assert_eq!(
+                parallel.1, sequential.1,
+                "spill pages differ at {threads} workers"
+            );
+            assert_eq!(parallel.2, sequential.2, "I/O differs at {threads} workers");
+        }
+    }
+
+    #[test]
     fn oversized_partitions_destage_exactly() {
         // One partition receives everything; its quota cannot hold it.
         let keys: Vec<u64> = (0..4_000).map(|k| k * 4).collect(); // all ≡ 0 mod 4

@@ -13,8 +13,12 @@
 //! [`McvEstimate`]s with error bounds, the exact stream length, a distinct
 //! count estimate and the retained sketches for point queries.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use nocap_model::McvEstimate;
-use nocap_storage::{BufferPool, Record, RelationScan, Reservation, Result};
+use nocap_par::{default_threads, page_shards, run_workers};
+use nocap_storage::{BufferPool, Record, Relation, RelationScan, Reservation, Result};
 
 use crate::countmin::CountMinSketch;
 use crate::distinct::KmvSketch;
@@ -167,6 +171,62 @@ impl StatsCollector {
         Ok(collector)
     }
 
+    /// Creates a **shard** collector: identical sketch sizing to
+    /// [`StatsCollector::new`], but the fallback histogram uses the
+    /// pinned-anchor adaptive mode
+    /// ([`EquiWidthHistogram::adaptive_pinned`]) instead of first-key
+    /// anchoring (unless the config fixes a `key_domain`, which is already
+    /// order-insensitive). Shard collectors are the unit of sharded
+    /// parallel collection: every sketch component they produce is an
+    /// order-insensitive function of the observed key multiset *or* (for
+    /// SpaceSaving beyond its exact regime) carries merge-preserved error
+    /// bounds, so shard summaries can be folded with
+    /// [`merge`](Self::merge) in canonical shard order to a deterministic
+    /// [`StatsSummary`].
+    pub fn new_shard(config: StatsConfig) -> Self {
+        let mut collector = Self::new(config);
+        if config.key_domain.is_none() {
+            collector.histogram = EquiWidthHistogram::adaptive_pinned(0, config.hist_buckets);
+        }
+        collector
+    }
+
+    /// Merges another collector's sketches into this one, as if this
+    /// collector had also observed every key `other` observed.
+    ///
+    /// Exactness per component: the stream length, min/max key, Count-Min
+    /// counters, KMV distinct sketch and (pinned-anchor or fixed-domain)
+    /// histogram merge **exactly** — the merged state equals a single
+    /// collector's state over the concatenated stream, for any split and
+    /// any merge order. The SpaceSaving summary merges with its error
+    /// bounds preserved (Agarwal et al., "Mergeable Summaries"); it is
+    /// exact while the distinct-key count stays within `mcv_counters`, and
+    /// an overestimate with per-key error bounds beyond that.
+    ///
+    /// # Panics
+    /// If the two collectors were built with different [`StatsConfig`]s, or
+    /// one is a shard collector and the other is not (their histograms
+    /// refuse to merge).
+    pub fn merge(&mut self, other: &StatsCollector) {
+        assert_eq!(
+            self.config, other.config,
+            "can only merge collectors with identical sketch configurations"
+        );
+        self.spacesaving.merge(&other.spacesaving);
+        self.countmin.merge(&other.countmin);
+        self.kmv.merge(&other.kmv);
+        self.histogram.merge(&other.histogram);
+        self.n += other.n;
+        self.min_key = match (self.min_key, other.min_key) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max_key = match (self.max_key, other.max_key) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
     /// The sketch sizing in effect.
     pub fn config(&self) -> &StatsConfig {
         &self.config
@@ -194,17 +254,29 @@ impl StatsCollector {
     }
 
     /// Consumes an entire relation scan in one pass. This is the intended
-    /// entry point: page-granular sequential reads, every record's key
-    /// offered to every sketch exactly once.
-    pub fn consume(&mut self, scan: RelationScan) -> Result<()> {
-        for record in scan {
-            self.observe_record(&record?);
+    /// entry point: page-granular sequential reads through the zero-copy
+    /// page loop (no per-record allocation), every record's key offered to
+    /// every sketch exactly once.
+    pub fn consume(&mut self, mut scan: RelationScan) -> Result<()> {
+        while let Some(page) = scan.next_page()? {
+            for rec in page.record_refs() {
+                self.observe(rec.key());
+            }
         }
         Ok(())
     }
 
     /// Consumes a fallible key stream (the `stream_keys` hook of
     /// `nocap-workload` generators produces exactly this shape).
+    ///
+    /// A generator's stream and a page scan of the loaded relation present
+    /// the same key **multiset**, possibly in different orders. On a
+    /// [shard collector](Self::new_shard) in its exact regime the order
+    /// cannot matter (every component is a function of the multiset), so
+    /// `consume_keys` and [`consume`](Self::consume) agree; on a plain
+    /// streaming collector the first-key histogram anchor and an
+    /// overflowing SpaceSaving sketch are arrival-order sensitive — use
+    /// shard collectors wherever two summaries must be comparable.
     pub fn consume_keys<I>(&mut self, keys: I) -> Result<()>
     where
         I: IntoIterator<Item = Result<u64>>,
@@ -233,10 +305,142 @@ impl StatsCollector {
             histogram: self.histogram,
         }
     }
+
+    /// Number of statistics shards a relation is collected over:
+    /// [`STATS_SHARDS`] contiguous page ranges, fewer only when the
+    /// relation has fewer pages. A function of the relation alone — never
+    /// of the worker count — which is what makes
+    /// [`collect_parallel`](Self::collect_parallel) produce the same
+    /// summary for every thread count.
+    pub fn shard_count(rel: &Relation) -> usize {
+        STATS_SHARDS.min(rel.num_pages()).max(1)
+    }
+
+    /// Sharded parallel statistics collection: scans `rel` with `threads`
+    /// workers (0 selects [`nocap_par::default_threads`]) over the fixed
+    /// shard grid of [`shard_count`](Self::shard_count) contiguous page
+    /// ranges, one [shard collector](Self::new_shard) per shard, and folds
+    /// the shard sketches in canonical shard order.
+    ///
+    /// **Determinism.** Each shard's sketch depends only on that shard's
+    /// pages, and the fold order is fixed, so the summary is bit-identical
+    /// for every thread count and every scheduling interleaving — the
+    /// statistics analog of `run_parallel`'s I/O-trace guarantee. With one
+    /// thread this *is* sequential collection (the workers run on the
+    /// calling thread), so `collect_parallel(_, _, n) ==
+    /// collect_parallel(_, _, 1)` for all `n` on every workload; it also
+    /// equals a plain single-collector [`consume`](Self::consume) pass in
+    /// every component except the SpaceSaving counters once the stream's
+    /// distinct-key count exceeds `mcv_counters` (where single-pass
+    /// SpaceSaving is itself arrival-order-dependent; the merged counters
+    /// still carry their error bounds).
+    ///
+    /// The scan reads every page of `rel` exactly once, so the modeled I/O
+    /// equals the sequential pass's `‖rel‖` sequential reads.
+    pub fn collect_parallel(
+        config: StatsConfig,
+        rel: &Relation,
+        threads: usize,
+    ) -> Result<StatsSummary> {
+        Ok(Self::collect_sharded(rel, threads, |_| Ok(Self::new_shard(config)))?.finish())
+    }
+
+    /// The budgeted variant of [`collect_parallel`](Self::collect_parallel):
+    /// every shard collector reserves `pages` pages (or its real footprint,
+    /// whichever is larger) from `pool` for the lifetime of the pass, so
+    /// deterministic sharded collection is charged at its true resident
+    /// cost — `shard_count × pages`, independent of the thread count,
+    /// because the shard geometry (not the worker count) fixes how many
+    /// sketch sets exist. All shard budgets are reserved **before the scan
+    /// starts**: an oversubscribed pool fails with
+    /// [`OutOfMemory`](nocap_storage::StorageError::OutOfMemory) up front,
+    /// not after half the relation was already read.
+    pub fn collect_parallel_with_budget(
+        pool: &BufferPool,
+        pages: usize,
+        page_size: usize,
+        rel: &Relation,
+        threads: usize,
+    ) -> Result<StatsSummary> {
+        let config = StatsConfig::for_budget_pages(pages, page_size);
+        let charge = pages.max(config.memory_pages(page_size));
+        let reservations: Vec<Mutex<Option<Reservation>>> = (0..Self::shard_count(rel))
+            .map(|_| pool.reserve(charge).map(|r| Mutex::new(Some(r))))
+            .collect::<Result<_>>()?;
+        let collected = Self::collect_sharded(rel, threads, |shard| {
+            let mut collector = Self::new_shard(config);
+            collector.reservation = reservations[shard]
+                .lock()
+                .expect("reservation slot poisoned")
+                .take();
+            Ok(collector)
+        })?;
+        Ok(collected.finish())
+    }
+
+    /// Scans the fixed shard grid with a worker pool and folds the shard
+    /// collectors in shard order. Workers claim shards from an atomic
+    /// cursor, so any `threads ≤ shards` keeps every worker busy; the fold
+    /// happens after the barrier, in index order, making the result
+    /// independent of which worker scanned which shard. `make` receives the
+    /// shard index it is building a collector for.
+    fn collect_sharded(
+        rel: &Relation,
+        threads: usize,
+        make: impl Fn(usize) -> Result<StatsCollector> + Sync,
+    ) -> Result<StatsCollector> {
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        let num_shards = Self::shard_count(rel);
+        let grid = page_shards(rel.num_pages(), num_shards);
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<StatsCollector>>> =
+            (0..num_shards).map(|_| Mutex::new(None)).collect();
+        run_workers(threads.max(1).min(num_shards), |_| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= num_shards {
+                return Ok(());
+            }
+            let mut collector = make(i)?;
+            collector.consume(rel.scan_range(grid[i].clone()))?;
+            *slots[i].lock().expect("shard slot poisoned") = Some(collector);
+        })?;
+        let mut folded: Option<StatsCollector> = None;
+        for slot in slots {
+            let shard = slot
+                .into_inner()
+                .expect("shard slot poisoned")
+                .expect("every shard was collected");
+            match folded.as_mut() {
+                None => folded = Some(shard),
+                Some(acc) => acc.merge(&shard),
+            }
+        }
+        Ok(folded.expect("at least one shard"))
+    }
 }
 
+/// Number of fixed statistics shards a relation's pages are split into for
+/// sharded parallel collection (fewer when the relation is smaller; see
+/// [`StatsCollector::shard_count`]). Fixed — like the residual partition
+/// quotas of the parallel executors — because determinism requires the
+/// decomposition to depend on the data, never on the worker count.
+pub const STATS_SHARDS: usize = 8;
+
 /// The planner-facing artifact of one collection pass.
-#[derive(Debug, Clone)]
+///
+/// Equality is *logical*: two summaries compare equal when every
+/// planner-visible artifact matches — stream length, MCV list with error
+/// bounds, distinct estimate, key range, Count-Min counters, histogram
+/// buckets and the canonical SpaceSaving entries. Internal sketch layout
+/// (heap order, counter slots) is ignored, so a summary folded from shard
+/// sketches compares equal to a sequentially collected one whenever they
+/// answer every query identically. The differential determinism suites
+/// pin `collect_parallel`'s thread-count invariance with this.
+#[derive(Debug, Clone, PartialEq)]
 pub struct StatsSummary {
     n: u64,
     mcvs: Vec<McvEstimate>,
@@ -546,6 +750,180 @@ mod tests {
             "histogram masses should be near the true per-key frequency \
              (got {fallback_mean:.1} vs truth 8)"
         );
+    }
+
+    #[test]
+    fn merge_accumulates_stream_length_and_key_range() {
+        let config = StatsConfig::default();
+        let mut a = StatsCollector::new_shard(config);
+        let mut b = StatsCollector::new_shard(config);
+        for k in 10..60u64 {
+            a.observe(k);
+        }
+        for k in 40..90u64 {
+            b.observe(k);
+        }
+        a.merge(&b);
+        assert_eq!(a.observed(), 100);
+        let summary = a.finish();
+        assert_eq!(summary.min_key(), Some(10));
+        assert_eq!(summary.max_key(), Some(89));
+        assert_eq!(summary.stream_len(), 100);
+    }
+
+    #[test]
+    fn merging_an_empty_shard_is_the_identity() {
+        let config = StatsConfig::default();
+        let device = SimDevice::new_ref();
+        let rel = skewed_relation(device, 120);
+        let mut a = StatsCollector::new_shard(config);
+        a.consume(rel.scan()).unwrap();
+        let empty = StatsCollector::new_shard(config);
+        let mut merged = StatsCollector::new_shard(config);
+        merged.consume(rel.scan()).unwrap();
+        merged.merge(&empty);
+        assert_eq!(merged.finish(), a.finish());
+    }
+
+    #[test]
+    #[should_panic(expected = "identical sketch configurations")]
+    fn merging_mismatched_configs_panics() {
+        let mut a = StatsCollector::new_shard(StatsConfig::default());
+        let b = StatsCollector::new_shard(StatsConfig {
+            mcv_counters: 7,
+            ..StatsConfig::default()
+        });
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "same origin")]
+    fn merging_a_shard_collector_into_a_streaming_collector_panics() {
+        // The streaming collector's histogram anchors at its first key; the
+        // shard collector's is pinned. Silently mixing the two would break
+        // the determinism guarantee, so the histograms refuse.
+        let mut streaming = StatsCollector::new(StatsConfig::default());
+        streaming.observe(42);
+        let mut shard = StatsCollector::new_shard(StatsConfig::default());
+        shard.observe(7);
+        streaming.merge(&shard);
+    }
+
+    #[test]
+    fn collect_parallel_equals_a_single_shard_collector_in_the_exact_regime() {
+        // 300 distinct keys, 1024 SpaceSaving counters: every shard sketch
+        // and the fold are exact, so the parallel summary must equal a
+        // sequential single-collector pass bit for bit.
+        let device = SimDevice::new_ref();
+        let rel = skewed_relation(device, 300);
+        let config = StatsConfig::default();
+        let mut sequential = StatsCollector::new_shard(config);
+        sequential.consume(rel.scan()).unwrap();
+        let sequential = sequential.finish();
+        for threads in [1usize, 2, 4, 8] {
+            let parallel = StatsCollector::collect_parallel(config, &rel, threads).unwrap();
+            assert_eq!(
+                parallel, sequential,
+                "parallel collection diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn collect_parallel_is_thread_count_invariant_beyond_the_exact_regime() {
+        // 500 distinct keys vs 32 counters: SpaceSaving overflows, where a
+        // *scan-sharded* merge would depend on the shard boundaries. The
+        // fixed shard grid + canonical fold keeps the summary identical for
+        // every thread count anyway — the core determinism guarantee.
+        let device = SimDevice::new_ref();
+        let rel = skewed_relation(device, 500);
+        let config = StatsConfig {
+            mcv_counters: 32,
+            ..StatsConfig::default()
+        };
+        let baseline = StatsCollector::collect_parallel(config, &rel, 1).unwrap();
+        for threads in [2usize, 4, 8] {
+            let parallel = StatsCollector::collect_parallel(config, &rel, threads).unwrap();
+            assert_eq!(parallel, baseline, "summary diverged at {threads} threads");
+        }
+        assert_eq!(baseline.stream_len() as usize, rel.num_records());
+    }
+
+    #[test]
+    fn collect_parallel_reads_every_page_exactly_once() {
+        let device = SimDevice::new_ref();
+        let rel = skewed_relation(device.clone(), 400);
+        device.reset_stats();
+        let _ = StatsCollector::collect_parallel(StatsConfig::default(), &rel, 4).unwrap();
+        assert_eq!(device.stats().reads() as usize, rel.num_pages());
+        assert_eq!(device.stats().writes(), 0);
+    }
+
+    #[test]
+    fn collect_parallel_with_budget_charges_every_shard_and_releases() {
+        let device = SimDevice::new_ref();
+        let rel = skewed_relation(device, 300);
+        let pool = BufferPool::new(64);
+        let summary =
+            StatsCollector::collect_parallel_with_budget(&pool, 4, 4096, &rel, 4).unwrap();
+        assert_eq!(pool.in_use(), 0, "all shard reservations must be released");
+        assert_eq!(
+            pool.peak(),
+            4 * StatsCollector::shard_count(&rel),
+            "every shard collector's pages must have been charged"
+        );
+        assert!(!summary.mcvs().is_empty());
+    }
+
+    #[test]
+    fn collect_parallel_with_budget_rejects_an_oversubscribed_pool_before_scanning() {
+        let device = SimDevice::new_ref();
+        let rel = skewed_relation(device.clone(), 300);
+        assert_eq!(StatsCollector::shard_count(&rel), 8);
+        // 8 shards x 4 pages = 32 needed; a 16-page pool must fail before
+        // any page is read, with nothing leaked, at every thread count.
+        for threads in [1usize, 4] {
+            let pool = BufferPool::new(16);
+            device.reset_stats();
+            let err = StatsCollector::collect_parallel_with_budget(&pool, 4, 4096, &rel, threads)
+                .unwrap_err();
+            assert!(matches!(err, StorageError::OutOfMemory { .. }));
+            assert_eq!(pool.in_use(), 0, "failed collection must leak nothing");
+            assert_eq!(
+                device.stats().reads(),
+                0,
+                "an oversubscribed pool must fail up front, not mid-scan"
+            );
+        }
+    }
+
+    #[test]
+    fn collect_parallel_handles_tiny_and_empty_relations() {
+        let device = SimDevice::new_ref();
+        let empty = Relation::bulk_load(
+            device.clone(),
+            RecordLayout::new(24),
+            4096,
+            std::iter::empty::<Record>(),
+        )
+        .unwrap();
+        let summary = StatsCollector::collect_parallel(StatsConfig::default(), &empty, 4).unwrap();
+        assert_eq!(summary.stream_len(), 0);
+        assert_eq!(summary.min_key(), None);
+        // One page: fewer pages than STATS_SHARDS, still every thread count
+        // agrees.
+        let tiny = Relation::bulk_load(
+            device,
+            RecordLayout::new(24),
+            4096,
+            (0..10u64).map(|k| Record::with_fill(k, 24, 0)),
+        )
+        .unwrap();
+        assert_eq!(StatsCollector::shard_count(&tiny), 1);
+        let one = StatsCollector::collect_parallel(StatsConfig::default(), &tiny, 1).unwrap();
+        let eight = StatsCollector::collect_parallel(StatsConfig::default(), &tiny, 8).unwrap();
+        assert_eq!(one, eight);
+        assert_eq!(one.stream_len(), 10);
     }
 
     #[test]

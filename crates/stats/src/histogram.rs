@@ -30,6 +30,13 @@ pub struct EquiWidthHistogram {
     bucket_width: u64,
     /// Whether the bucket width doubles to cover out-of-range keys.
     adaptive: bool,
+    /// Adaptive mode only: the anchor stays at the constructor's `lo`
+    /// forever (no first-key re-anchoring, no downward walks); keys below
+    /// the anchor clamp into the first bucket like fixed mode. This makes
+    /// the histogram an *order-insensitive, exactly mergeable* function of
+    /// the observed key multiset — the property sharded parallel statistics
+    /// collection needs (see [`EquiWidthHistogram::adaptive_pinned`]).
+    pinned: bool,
     total: u64,
 }
 
@@ -50,6 +57,7 @@ impl EquiWidthHistogram {
             counts: vec![0; effective.max(1)],
             bucket_width,
             adaptive: false,
+            pinned: false,
             total: 0,
         }
     }
@@ -72,7 +80,29 @@ impl EquiWidthHistogram {
             counts: vec![0; buckets.max(1)],
             bucket_width: 1,
             adaptive: true,
+            pinned: false,
             total: 0,
+        }
+    }
+
+    /// Creates an adaptive histogram whose anchor is **pinned** at `lo`:
+    /// the bucket width still doubles to cover keys beyond the top of the
+    /// range, but the anchor never moves (no first-key re-anchoring, no
+    /// downward walks) and keys below `lo` clamp into the first bucket.
+    ///
+    /// Pinning removes every order-dependent decision from the histogram:
+    /// the final bucket width is the smallest power of two covering the
+    /// largest observed key, each count is exactly the mass of
+    /// `⌊(key − lo) / width⌋`, and [`merge`](Self::merge) of two pinned
+    /// histograms equals the histogram of the concatenated streams,
+    /// bit for bit, for **any** split of the stream. This is the mode the
+    /// sharded parallel [`StatsCollector`](crate::StatsCollector) uses; the
+    /// price is that domains far from the anchor (snowflake-style ids)
+    /// coarsen across the gap, which first-key anchoring avoids.
+    pub fn adaptive_pinned(lo: u64, buckets: usize) -> Self {
+        EquiWidthHistogram {
+            pinned: true,
+            ..Self::adaptive(lo, buckets)
         }
     }
 
@@ -205,7 +235,11 @@ impl EquiWidthHistogram {
     /// keys clamp to the edge buckets.
     pub fn add_weighted(&mut self, key: u64, weight: u64) {
         if self.adaptive {
-            if self.total == 0 {
+            if self.pinned {
+                // Pinned anchor: keys below `lo` clamp into the first
+                // bucket (bucket_of already does), keys above grow the
+                // width — both order-insensitive.
+            } else if self.total == 0 {
                 // Anchor at the first observed key so distant domains keep
                 // full resolution instead of expanding across the gap.
                 self.lo = key;
@@ -246,8 +280,8 @@ impl EquiWidthHistogram {
     /// mode) bucket width.
     pub fn merge(&mut self, other: &EquiWidthHistogram) {
         assert_eq!(
-            (self.lo, self.counts.len(), self.adaptive),
-            (other.lo, other.counts.len(), other.adaptive),
+            (self.lo, self.counts.len(), self.adaptive, self.pinned),
+            (other.lo, other.counts.len(), other.adaptive, other.pinned),
             "can only merge histograms with the same origin, bucket count and mode"
         );
         if self.adaptive {
@@ -491,6 +525,70 @@ mod tests {
     fn mismatched_merge_panics() {
         let mut a = EquiWidthHistogram::new(0, 100, 4);
         let b = EquiWidthHistogram::new(0, 200, 4);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn pinned_histogram_is_order_insensitive() {
+        // The same multiset in three very different orders must produce the
+        // same histogram, bit for bit — the property first-key anchoring
+        // cannot give (its anchor depends on which key arrives first).
+        let keys: Vec<u64> = (0..5_000u64).map(|k| (k * k) % 9_973).collect();
+        let build = |order: &[u64]| {
+            let mut h = EquiWidthHistogram::adaptive_pinned(0, 32);
+            for &k in order {
+                h.add(k);
+            }
+            h
+        };
+        let forward = build(&keys);
+        let mut reversed = keys.clone();
+        reversed.reverse();
+        let mut shuffled = keys.clone();
+        shuffled.sort_by_key(|&k| k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17);
+        assert_eq!(forward, build(&reversed));
+        assert_eq!(forward, build(&shuffled));
+    }
+
+    #[test]
+    fn pinned_merge_equals_the_concatenated_stream_for_any_split() {
+        let keys: Vec<u64> = (0..4_096u64).map(|k| k.wrapping_mul(31) % 6_000).collect();
+        let mut whole = EquiWidthHistogram::adaptive_pinned(0, 64);
+        for &k in &keys {
+            whole.add(k);
+        }
+        for split in [1usize, 7, 1_000, 4_095] {
+            let (left, right) = keys.split_at(split);
+            let mut a = EquiWidthHistogram::adaptive_pinned(0, 64);
+            let mut b = EquiWidthHistogram::adaptive_pinned(0, 64);
+            for &k in left {
+                a.add(k);
+            }
+            for &k in right {
+                b.add(k);
+            }
+            a.merge(&b);
+            assert_eq!(a, whole, "split at {split} must merge exactly");
+        }
+    }
+
+    #[test]
+    fn pinned_histogram_clamps_below_the_anchor_and_never_reanchors() {
+        let mut h = EquiWidthHistogram::adaptive_pinned(100, 8);
+        h.add(500); // grows the width upward
+        h.add(3); // below the anchor: clamps into the first bucket
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.bucket_mass(100), 1, "key 3 clamps into the first bucket");
+        let lo_mass = h.bucket_mass(100);
+        h.add(0);
+        assert_eq!(h.bucket_mass(100), lo_mass + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "same origin")]
+    fn pinned_and_floating_adaptive_histograms_do_not_merge() {
+        let mut a = EquiWidthHistogram::adaptive_pinned(0, 4);
+        let b = EquiWidthHistogram::adaptive(0, 4);
         a.merge(&b);
     }
 }

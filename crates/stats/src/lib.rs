@@ -23,6 +23,10 @@
 //!   one-pass consumer of a [`RelationScan`](nocap_storage::RelationScan),
 //!   sized from a page budget, producing a [`StatsSummary`] whose
 //!   [`McvEstimate`](nocap_model::McvEstimate)s feed the planner directly.
+//!   [`StatsCollector::collect_parallel`] shards the pass across `nocap-par`
+//!   workers over a fixed [`STATS_SHARDS`]-way page grid and folds the
+//!   per-shard sketches in canonical order, producing a summary that is
+//!   bit-identical for every thread count.
 //!
 //! ```
 //! use nocap_stats::{StatsCollector, StatsConfig};
@@ -63,7 +67,7 @@ pub mod distinct;
 pub mod histogram;
 pub mod spacesaving;
 
-pub use collector::{StatsCollector, StatsConfig, StatsSummary};
+pub use collector::{StatsCollector, StatsConfig, StatsSummary, STATS_SHARDS};
 pub use countmin::CountMinSketch;
 pub use distinct::KmvSketch;
 pub use histogram::EquiWidthHistogram;

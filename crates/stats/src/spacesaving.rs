@@ -218,6 +218,36 @@ impl SpaceSaving {
         self.capacity * 64
     }
 
+    /// The monitored counters in canonical order — `(key, count, error)`
+    /// sorted by count descending, ties by key ascending (the order
+    /// [`top_k`](Self::top_k) reports). Two summaries with the same
+    /// canonical entries answer every query identically, regardless of how
+    /// their internal heap/index layouts differ; this is the basis of the
+    /// logical [`PartialEq`] below.
+    pub fn canonical_entries(&self) -> Vec<(u64, u64, u64)> {
+        let mut entries: Vec<(u64, u64, u64)> = self
+            .counters
+            .iter()
+            .map(|c| (c.key, c.count, c.err))
+            .collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        entries
+    }
+}
+
+/// Logical equality: same capacity, same total stream weight, and the same
+/// canonical counter entries. Internal heap order and counter-slot layout
+/// are representation details (a merged summary rebuilds them sorted, a
+/// streamed one grows them in arrival order) and deliberately ignored.
+impl PartialEq for SpaceSaving {
+    fn eq(&self, other: &Self) -> bool {
+        self.capacity == other.capacity
+            && self.total == other.total
+            && self.canonical_entries() == other.canonical_entries()
+    }
+}
+
+impl SpaceSaving {
     fn heap_key(&self, slot: usize) -> u64 {
         self.counters[self.heap[slot] as usize].count
     }

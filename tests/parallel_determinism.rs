@@ -1,77 +1,139 @@
-//! End-to-end guarantees of the parallel execution engine:
+//! End-to-end guarantees of the parallel execution engine, pinned by the
+//! shared differential harness
+//! (`nocap_suite::joins::testutil::assert_parallel_equivalence`):
 //!
-//! 1. `NocapJoin::run_parallel(n)` produces the same join output and the
-//!    same per-phase modeled I/O as the sequential `run` for n ∈ {1, 2, 4},
-//!    across skewed and uniform workloads and several memory budgets.
-//! 2. The thread-safe `BufferPool` never over-commits its budget under a
+//! 1. `NocapJoin::run_parallel(n)` and `DhhJoin::run_parallel(n)` produce
+//!    the same join output and the same per-phase modeled I/O as their
+//!    sequential `run` for n ∈ {1, 2, 4, 8}, across skewed (Zipf 1.1),
+//!    uniform and JCC-H workloads and several memory budgets.
+//! 2. The whole sketch-plan-execute pipeline is thread-count invariant:
+//!    `collect_and_run_parallel(n)` reproduces `collect_and_run` exactly
+//!    (same sharded summary → same plan → same I/O), and
+//!    `StatsCollector::collect_parallel` yields a bit-identical summary for
+//!    every n on generated workloads.
+//! 3. The thread-safe `BufferPool` never over-commits its budget under a
 //!    barrier-synchronized reserve/release storm, and per-worker quota
 //!    carving conserves pages exactly.
 
 use std::sync::Barrier;
 
-use nocap_suite::model::JoinSpec;
+use nocap_suite::joins::testutil::assert_parallel_equivalence;
+use nocap_suite::joins::DhhJoin;
+use nocap_suite::model::{JoinRunReport, JoinSpec};
 use nocap_suite::nocap::{NocapConfig, NocapJoin};
-use nocap_suite::storage::{BufferPool, IoStats, SimDevice};
-use nocap_suite::workload::{synthetic, Correlation, SyntheticConfig};
+use nocap_suite::stats::{StatsCollector, StatsConfig};
+use nocap_suite::storage::{BufferPool, SimDevice};
+use nocap_suite::workload::jcch::{self, JcchConfig, JcchSkew};
+use nocap_suite::workload::{synthetic, Correlation, GeneratedWorkload, SyntheticConfig};
+
+/// The workload grid shared by every differential suite below.
+enum Workload {
+    Synthetic(Correlation),
+    Jcch(JcchSkew),
+}
 
 /// Generates the workload fresh on its own device (same seed → identical
-/// relations) and runs one configuration.
-fn run_once(
-    correlation: Correlation,
-    buffer_pages: usize,
-    threads: Option<usize>,
-) -> (u64, IoStats, IoStats) {
+/// relations, clean I/O counters).
+fn generate(workload: &Workload) -> GeneratedWorkload {
     let device = SimDevice::new_ref();
-    let config = SyntheticConfig {
-        n_r: 6_000,
-        n_s: 48_000,
-        record_bytes: 128,
-        correlation,
-        mcv_count: 300,
-        seed: 0x9A5,
+    let wl = match workload {
+        Workload::Synthetic(correlation) => synthetic::generate(
+            device.clone(),
+            &SyntheticConfig {
+                n_r: 6_000,
+                n_s: 48_000,
+                record_bytes: 128,
+                correlation: *correlation,
+                mcv_count: 300,
+                seed: 0x9A5,
+            },
+        )
+        .expect("synthetic workload"),
+        Workload::Jcch(skew) => jcch::generate(
+            device.clone(),
+            &JcchConfig {
+                n_orders: 6_000,
+                n_lineitems: 48_000,
+                skew: *skew,
+                record_bytes: 128,
+                mcv_count: 300,
+                seed: 0x1CC4,
+            },
+        )
+        .expect("jcch workload"),
     };
-    let wl = synthetic::generate(device.clone(), &config).expect("workload");
-    let spec = JoinSpec::paper_synthetic(128, buffer_pages);
-    let join = NocapJoin::new(spec, NocapConfig::default());
     device.reset_stats();
-    let report = match threads {
-        None => join.run(&wl.r, &wl.s, &wl.mcvs).expect("sequential run"),
-        Some(n) => join
-            .run_parallel(&wl.r, &wl.s, &wl.mcvs, n)
-            .expect("parallel run"),
-    };
-    assert_eq!(
-        report.output_records,
-        wl.expected_join_output(),
-        "join output must match the correlation table"
-    );
-    (report.output_records, report.partition_io, report.probe_io)
+    wl
+}
+
+fn workload_grid() -> Vec<(&'static str, Workload)> {
+    vec![
+        (
+            "zipf_1.1",
+            Workload::Synthetic(Correlation::Zipf { alpha: 1.1 }),
+        ),
+        ("uniform", Workload::Synthetic(Correlation::Uniform)),
+        ("jcch_tuned", Workload::Jcch(JcchSkew::Tuned)),
+    ]
 }
 
 #[test]
-fn run_parallel_matches_run_across_workloads_threads_and_budgets() {
-    let correlations = [
-        ("zipf_1.1", Correlation::Zipf { alpha: 1.1 }),
-        ("uniform", Correlation::Uniform),
-    ];
-    for (name, correlation) in correlations {
+fn nocap_run_parallel_matches_run_across_workloads_threads_and_budgets() {
+    for (name, workload) in &workload_grid() {
         for budget in [32usize, 96] {
-            let sequential = run_once(correlation, budget, None);
-            for threads in [1usize, 2, 4] {
-                let parallel = run_once(correlation, budget, Some(threads));
+            let spec = JoinSpec::paper_synthetic(128, budget);
+            let join = NocapJoin::new(spec, NocapConfig::default());
+            let check = |report: &JoinRunReport, wl: &GeneratedWorkload| {
                 assert_eq!(
-                    parallel.0, sequential.0,
-                    "{name}/B={budget}: output differs at {threads} threads"
+                    report.output_records,
+                    wl.expected_join_output(),
+                    "{name}: join output must match the correlation table"
                 );
-                assert_eq!(
-                    parallel.1, sequential.1,
-                    "{name}/B={budget}: partition I/O differs at {threads} threads"
-                );
-                assert_eq!(
-                    parallel.2, sequential.2,
-                    "{name}/B={budget}: probe I/O differs at {threads} threads"
-                );
-            }
+            };
+            assert_parallel_equivalence(
+                &format!("nocap/{name}/B={budget}"),
+                &[1, 2, 4, 8],
+                || {
+                    let wl = generate(workload);
+                    let report = join.run(&wl.r, &wl.s, &wl.mcvs).expect("sequential run");
+                    check(&report, &wl);
+                    report
+                },
+                |threads| {
+                    let wl = generate(workload);
+                    join.run_parallel(&wl.r, &wl.s, &wl.mcvs, threads)
+                        .expect("parallel run")
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn dhh_run_parallel_matches_run_across_workloads_threads_and_budgets() {
+    for (name, workload) in &workload_grid() {
+        for budget in [32usize, 96] {
+            let spec = JoinSpec::paper_synthetic(128, budget);
+            let dhh = DhhJoin::with_defaults(spec);
+            assert_parallel_equivalence(
+                &format!("dhh/{name}/B={budget}"),
+                &[1, 2, 4, 8],
+                || {
+                    let wl = generate(workload);
+                    let report = dhh.run(&wl.r, &wl.s, &wl.mcvs).expect("sequential run");
+                    assert_eq!(
+                        report.output_records,
+                        wl.expected_join_output(),
+                        "{name}: DHH output must match the correlation table"
+                    );
+                    report
+                },
+                |threads| {
+                    let wl = generate(workload);
+                    dhh.run_parallel(&wl.r, &wl.s, &wl.mcvs, threads)
+                        .expect("parallel run")
+                },
+            );
         }
     }
 }
@@ -80,9 +142,132 @@ fn run_parallel_matches_run_across_workloads_threads_and_budgets() {
 fn run_parallel_honors_the_nocap_threads_default() {
     // threads = 0 routes through default_threads() (NOCAP_THREADS or the
     // machine's parallelism); the result must still be byte-identical.
-    let sequential = run_once(Correlation::Zipf { alpha: 1.1 }, 48, None);
-    let defaulted = run_once(Correlation::Zipf { alpha: 1.1 }, 48, Some(0));
-    assert_eq!(defaulted, sequential);
+    let workload = Workload::Synthetic(Correlation::Zipf { alpha: 1.1 });
+    let spec = JoinSpec::paper_synthetic(128, 48);
+    let join = NocapJoin::new(spec, NocapConfig::default());
+    let dhh = DhhJoin::with_defaults(spec);
+    for (label, sequential, defaulted) in [
+        (
+            "nocap",
+            {
+                let wl = generate(&workload);
+                join.run(&wl.r, &wl.s, &wl.mcvs).expect("run")
+            },
+            {
+                let wl = generate(&workload);
+                join.run_parallel(&wl.r, &wl.s, &wl.mcvs, 0).expect("par")
+            },
+        ),
+        (
+            "dhh",
+            {
+                let wl = generate(&workload);
+                dhh.run(&wl.r, &wl.s, &wl.mcvs).expect("run")
+            },
+            {
+                let wl = generate(&workload);
+                dhh.run_parallel(&wl.r, &wl.s, &wl.mcvs, 0).expect("par")
+            },
+        ),
+    ] {
+        assert_eq!(
+            defaulted.output_records, sequential.output_records,
+            "{label}"
+        );
+        assert_eq!(defaulted.partition_io, sequential.partition_io, "{label}");
+        assert_eq!(defaulted.probe_io, sequential.probe_io, "{label}");
+    }
+}
+
+#[test]
+fn sketch_plan_execute_pipeline_is_thread_count_invariant() {
+    // The whole deployable pipeline — sharded statistics collection,
+    // planning from the summary, parallel execution — must be identical at
+    // every thread count, *including* on workloads where the SpaceSaving
+    // sketch overflows (the fixed shard grid and canonical fold make the
+    // summary n-invariant regardless).
+    for (name, workload) in &workload_grid() {
+        let spec = JoinSpec::paper_synthetic(128, 64);
+        let join = NocapJoin::new(spec, NocapConfig::default());
+        assert_parallel_equivalence(
+            &format!("pipeline/{name}"),
+            &[1, 2, 4, 8],
+            || {
+                let wl = generate(workload);
+                let report = join.collect_and_run(&wl.r, &wl.s, 4).expect("pipeline");
+                assert_eq!(
+                    report.output_records,
+                    wl.expected_join_output(),
+                    "{name}: sketch-planned output must match"
+                );
+                report
+            },
+            |threads| {
+                let wl = generate(workload);
+                join.collect_and_run_parallel(&wl.r, &wl.s, 4, threads)
+                    .expect("parallel pipeline")
+            },
+        );
+    }
+}
+
+#[test]
+fn dhh_sketch_pipeline_is_thread_count_invariant() {
+    // Sketch-driven DHH: collect_parallel's summary feeds
+    // run_parallel_with_collected_stats; every thread count must reproduce
+    // the sequential sketch-driven run exactly.
+    let workload = Workload::Synthetic(Correlation::Zipf { alpha: 1.1 });
+    let spec = JoinSpec::paper_synthetic(128, 48);
+    let dhh = DhhJoin::with_defaults(spec);
+    let summarize = |wl: &GeneratedWorkload, threads: usize| {
+        StatsCollector::collect_parallel(
+            StatsConfig::for_budget_pages(4, spec.page_size),
+            &wl.s,
+            threads,
+        )
+        .expect("collection")
+    };
+    assert_parallel_equivalence(
+        "dhh/sketch-pipeline",
+        &[1, 2, 4, 8],
+        || {
+            let wl = generate(&workload);
+            let summary = summarize(&wl, 1);
+            wl.r.device().reset_stats();
+            dhh.run_with_collected_stats(&wl.r, &wl.s, &summary)
+                .expect("sequential sketch run")
+        },
+        |threads| {
+            let wl = generate(&workload);
+            let summary = summarize(&wl, threads);
+            wl.r.device().reset_stats();
+            dhh.run_parallel_with_collected_stats(&wl.r, &wl.s, &summary, threads)
+                .expect("parallel sketch run")
+        },
+    );
+}
+
+#[test]
+fn collect_parallel_summaries_are_bit_identical_on_generated_workloads() {
+    // Statistics-level determinism on the same generated relations the
+    // executors join: for every workload in the grid the sharded summary
+    // is identical at 1, 2, 4 and 8 threads — even where the MCV sketch
+    // overflows (zipf/jcch track thousands of distinct keys).
+    for (name, workload) in &workload_grid() {
+        let wl = generate(workload);
+        let config = StatsConfig::for_budget_pages(4, 4096);
+        let baseline =
+            StatsCollector::collect_parallel(config, &wl.s, 1).expect("1-thread collection");
+        assert_eq!(baseline.stream_len() as usize, wl.s.num_records(), "{name}");
+        for threads in [2usize, 4, 8] {
+            let summary = StatsCollector::collect_parallel(config, &wl.s, threads)
+                .expect("parallel collection");
+            assert_eq!(
+                summary, baseline,
+                "{name}: summary diverged at {threads} threads"
+            );
+        }
+    }
 }
 
 #[test]

@@ -5,7 +5,8 @@
 
 use nocap_suite::model::JoinSpec;
 use nocap_suite::nocap::{NocapConfig, NocapJoin};
-use nocap_suite::stats::StatsCollector;
+use nocap_suite::par::page_shards;
+use nocap_suite::stats::{StatsCollector, StatsConfig};
 use nocap_suite::storage::{BufferPool, SimDevice};
 use nocap_suite::workload::{synthetic, Correlation, GeneratedWorkload, SyntheticConfig};
 
@@ -140,6 +141,135 @@ fn collect_and_run_is_self_contained_and_accounts_the_stats_scan() {
         report.total_ios(),
         wl.s.num_pages()
     );
+}
+
+#[test]
+fn sketch_planning_stays_within_the_pr1_bound_across_a_seeded_grid_under_collect_parallel() {
+    // The seeded differential planner test: sketch-planned vs oracle-planned
+    // NOCAP across a grid of zipf alphas and memory budgets, with the
+    // summary produced by the *sharded parallel* collector. The acceptance
+    // bar is PR 1's: at a ~2 % of ||R|| statistics budget the modeled-I/O
+    // ratio stays within 1.2x of the oracle at every grid point. Seeds are
+    // fixed and the sharded summary is thread-count invariant, so this is
+    // fully deterministic.
+    let n_r = 6_000;
+    for alpha in [0.8f64, 0.9, 1.0, 1.1, 1.2, 1.3] {
+        for buffer_pages in [48usize, 96] {
+            let wl = workload(Correlation::Zipf { alpha }, n_r, 48_000, 42);
+            let spec = JoinSpec::paper_synthetic(128, buffer_pages);
+            let pages = (spec.pages_r(n_r) / 50).max(2);
+            let pool = BufferPool::new(spec.buffer_pages);
+            let summary = StatsCollector::collect_parallel_with_budget(
+                &pool,
+                pages,
+                spec.page_size,
+                &wl.s,
+                4,
+            )
+            .expect("sharded collection");
+            drop(pool);
+
+            let device = wl.r.device().clone();
+            let join = NocapJoin::new(spec, NocapConfig::default());
+            device.reset_stats();
+            let sketch = join
+                .run_with_collected_stats(&wl.r, &wl.s, &summary)
+                .expect("sketch-planned run");
+            device.reset_stats();
+            let oracle = join.run(&wl.r, &wl.s, &wl.mcvs).expect("oracle run");
+            assert_eq!(
+                sketch.output_records, oracle.output_records,
+                "alpha={alpha}, B={buffer_pages}: output must match"
+            );
+            let ratio = sketch.total_ios() as f64 / oracle.total_ios().max(1) as f64;
+            assert!(
+                ratio <= 1.2,
+                "alpha={alpha}, B={buffer_pages}: sketch-planned I/O ratio {ratio:.3} \
+                 exceeds the 1.2x PR 1 bound ({} vs {})",
+                sketch.total_ios(),
+                oracle.total_ios()
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_and_sequential_collection_plan_identically() {
+    // collect_parallel at any thread count and the (sharded, 1-thread)
+    // collection inside collect_and_run produce the same summary, so the
+    // downstream plan and modeled I/O must be identical too.
+    let wl = workload(Correlation::Zipf { alpha: 1.0 }, 4_000, 32_000, 9);
+    let spec = JoinSpec::paper_synthetic(128, 48);
+    let join = NocapJoin::new(spec, NocapConfig::default());
+    let device = wl.r.device().clone();
+    let run_with_threads = |threads: usize| {
+        let pool = BufferPool::new(spec.buffer_pages);
+        let summary =
+            StatsCollector::collect_parallel_with_budget(&pool, 3, spec.page_size, &wl.s, threads)
+                .expect("collection");
+        drop(pool);
+        device.reset_stats();
+        join.run_with_collected_stats(&wl.r, &wl.s, &summary)
+            .expect("sketch run")
+    };
+    let baseline = run_with_threads(1);
+    for threads in [2usize, 4, 8] {
+        let run = run_with_threads(threads);
+        assert_eq!(run.output_records, baseline.output_records);
+        assert_eq!(
+            run.total_ios(),
+            baseline.total_ios(),
+            "plan diverged at {threads} collection threads"
+        );
+    }
+}
+
+#[test]
+fn shard_summaries_are_insensitive_to_record_and_morsel_order() {
+    // The latent footgun this pins shut: `consume_keys` over a generator's
+    // key stream and a page scan of the loaded relation can present the
+    // same multiset in different orders, and the legacy (first-key
+    // anchored, single-sketch) collector could summarize them differently.
+    // Shard collectors make every component a function of the multiset in
+    // the exact regime (distinct keys within the MCV capacity), so any
+    // record order — and any morsel processing order — must produce the
+    // identical summary.
+    let wl = workload(Correlation::Zipf { alpha: 1.0 }, 800, 6_400, 13);
+    let config = StatsConfig::default(); // 1024 counters >= 800 distinct keys
+    let mut by_scan = StatsCollector::new_shard(config);
+    by_scan.consume(wl.s.scan()).unwrap();
+    let by_scan = by_scan.finish();
+
+    // Same keys through `consume_keys`, in reversed order.
+    let mut keys: Vec<u64> = wl.stream_keys().map(|k| k.unwrap()).collect();
+    keys.reverse();
+    let mut by_keys = StatsCollector::new_shard(config);
+    by_keys.consume_keys(keys.into_iter().map(Ok)).unwrap();
+    assert_eq!(
+        by_keys.finish(),
+        by_scan,
+        "a reversed key stream must summarize identically to the page scan"
+    );
+
+    // Page morsels consumed in shuffled orders into one collector.
+    let morsels = page_shards(wl.s.num_pages(), 8);
+    for order in [
+        [7usize, 3, 5, 1, 6, 0, 2, 4],
+        [4, 2, 0, 6, 1, 5, 3, 7],
+        [0, 1, 2, 3, 4, 5, 6, 7],
+    ] {
+        let mut collector = StatsCollector::new_shard(config);
+        for &m in &order {
+            collector
+                .consume(wl.s.scan_range(morsels[m].clone()))
+                .unwrap();
+        }
+        assert_eq!(
+            collector.finish(),
+            by_scan,
+            "morsel order {order:?} must not change the summary"
+        );
+    }
 }
 
 #[test]
