@@ -1,20 +1,23 @@
 //! CPU throughput of the record pipeline: zero-copy vs the pre-refactor
-//! allocation-heavy path, for the in-memory build+probe kernel and the
-//! one-pass partition sweep.
+//! allocation-heavy path, for the in-memory build+probe kernel, the
+//! one-pass partition sweep, external-sort run generation and the fused SMJ
+//! merge-join.
 //!
 //! On `SimDevice` the modeled I/O is free, so these numbers isolate the CPU
-//! cost per record — the quantity the zero-copy refactor targets. The same
+//! cost per record — the quantity the zero-copy refactors target. The same
 //! kernels power `exp_cpu_throughput`, which records absolute records/sec
 //! in `BENCH_cpu.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use nocap_bench::cpu;
+use nocap_joins::merge_join_runs;
 use nocap_storage::{Relation, SimDevice};
 
 const N_R: usize = 20_000;
 const N_S: usize = 80_000;
 const RECORD_BYTES: usize = 128;
 const PARTITIONS: usize = 64;
+const SORT_BUDGET: usize = 64;
 
 fn inputs() -> (Relation, Relation) {
     let device = SimDevice::new_ref();
@@ -47,5 +50,41 @@ fn bench_partition_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_build_probe, bench_partition_sweep);
+fn bench_sort_run_gen(c: &mut Criterion) {
+    let (_, s) = inputs();
+    let mut group = c.benchmark_group("sort_run_gen");
+    group.sample_size(10);
+    group.bench_function("zero_copy", |b| {
+        b.iter(|| cpu::sort_runs_zero_copy(black_box(&s), SORT_BUDGET).unwrap())
+    });
+    group.bench_function("legacy", |b| {
+        b.iter(|| cpu::sort_runs_legacy(black_box(&s), SORT_BUDGET).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_smj_merge(c: &mut Criterion) {
+    let (r, s) = inputs();
+    // Run preparation happens once; merging reads runs without consuming
+    // them, so both variants iterate over the same sorted-run sets.
+    let r_runs = cpu::sorted_runs_for_merge(&r, SORT_BUDGET, 12).expect("R runs");
+    let s_runs = cpu::sorted_runs_for_merge(&s, SORT_BUDGET, 51).expect("S runs");
+    let mut group = c.benchmark_group("smj_merge");
+    group.sample_size(10);
+    group.bench_function("zero_copy", |b| {
+        b.iter(|| merge_join_runs(black_box(&r_runs), black_box(&s_runs)).unwrap())
+    });
+    group.bench_function("legacy", |b| {
+        b.iter(|| cpu::merge_join_legacy(black_box(&r_runs), black_box(&s_runs)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build_probe,
+    bench_partition_sweep,
+    bench_sort_run_gen,
+    bench_smj_merge
+);
 criterion_main!(benches);

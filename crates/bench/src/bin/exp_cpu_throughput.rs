@@ -1,17 +1,22 @@
 //! CPU-throughput trajectory of the record pipeline, recorded across PRs.
 //!
-//! Measures records/sec for two kernels on `SimDevice` (modeled I/O is
+//! Measures records/sec for four kernels on `SimDevice` (modeled I/O is
 //! free, so this is pure CPU):
 //!
 //! * **build_probe** — load R into the in-memory hash table, probe it with
 //!   every S record (throughput over `n_R + n_S` records);
 //! * **partition_sweep** — one hash-route-and-copy pass over S into 64
-//!   spill partitions (throughput over `n_S` records).
+//!   spill partitions (throughput over `n_S` records);
+//! * **sort_run_gen** — external-sort run generation over S (chunk fill,
+//!   sort, spill; throughput over `n_S` records);
+//! * **smj_merge** — the fused SMJ merge-join over the pre-sorted runs of R
+//!   and S (throughput over `n_R + n_S` records).
 //!
 //! Each kernel runs both as the current zero-copy implementation and as a
 //! faithful reproduction of the pre-refactor path (`Record::read_from` per
-//! record + `HashMap<u64, Vec<Record>>` / owned-record pushes — see
-//! `nocap_bench::cpu`), so the printed speedups measure the arena refactor
+//! record + `HashMap<u64, Vec<Record>>` / owned-record pushes / stable
+//! `Vec<Record>` chunk sorts / `BinaryHeap` merges — see
+//! `nocap_bench::cpu`), so the printed speedups measure the arena refactors
 //! directly. Results are written to `BENCH_cpu.json` in the working
 //! directory so the perf trajectory is tracked across PRs. Pass `--quick`
 //! for a smaller workload (CI smoke).
@@ -19,6 +24,7 @@
 use std::time::Instant;
 
 use nocap_bench::cpu;
+use nocap_joins::merge_join_runs;
 use nocap_storage::SimDevice;
 
 /// Best-of-N wall-clock seconds for one kernel run.
@@ -42,10 +48,11 @@ fn main() {
     };
     let record_bytes = 128;
     let partitions = 64;
+    let sort_budget = 64;
 
     println!(
         "# exp_cpu_throughput: n_R = {n_r}, n_S = {n_s}, {record_bytes}-byte records, \
-         {partitions} partitions, best of {repeats} runs"
+         {partitions} partitions, {sort_budget}-page sort budget, best of {repeats} runs"
     );
 
     let device = SimDevice::new_ref();
@@ -75,17 +82,59 @@ fn main() {
     let sweep_fast = n_s as f64 / sweep_fast_secs;
     let sweep_speedup = sweep_fast / sweep_legacy;
 
+    // ---- sort run generation ---------------------------------------------
+    let (sort_legacy_secs, sort_legacy_out) =
+        best_secs(repeats, || cpu::sort_runs_legacy(&s, sort_budget).unwrap());
+    let (sort_fast_secs, sort_fast_out) = best_secs(repeats, || {
+        cpu::sort_runs_zero_copy(&s, sort_budget).unwrap()
+    });
+    assert_eq!(sort_fast_out, sort_legacy_out, "both sweeps sort all of S");
+    let sort_legacy = n_s as f64 / sort_legacy_secs;
+    let sort_fast = n_s as f64 / sort_fast_secs;
+    let sort_speedup = sort_fast / sort_legacy;
+
+    // ---- fused SMJ merge-join --------------------------------------------
+    // Run preparation is not part of the measured kernel: reading runs does
+    // not consume them, so one sorted-run set serves every iteration. The
+    // shares mirror the SMJ executor's size-proportional fan-in split at
+    // this budget (fan-in 63, R:S ≈ 1:4).
+    let r_runs = cpu::sorted_runs_for_merge(&r, sort_budget, 12).expect("R runs");
+    let s_runs = cpu::sorted_runs_for_merge(&s, sort_budget, 51).expect("S runs");
+    let merge_records = (n_r + n_s) as f64;
+    let (merge_legacy_secs, merge_legacy_out) = best_secs(repeats, || {
+        cpu::merge_join_legacy(&r_runs, &s_runs).unwrap()
+    });
+    let (merge_fast_secs, merge_fast_out) =
+        best_secs(repeats, || merge_join_runs(&r_runs, &s_runs).unwrap());
+    assert_eq!(
+        merge_fast_out, merge_legacy_out,
+        "merge kernels must agree on the join output"
+    );
+    let merge_legacy = merge_records / merge_legacy_secs;
+    let merge_fast = merge_records / merge_fast_secs;
+    let merge_speedup = merge_fast / merge_legacy;
+    for run in r_runs.into_iter().chain(s_runs) {
+        run.delete().expect("run cleanup");
+    }
+
     println!("kernel,legacy_records_per_sec,zero_copy_records_per_sec,speedup");
     println!("build_probe,{bp_legacy:.0},{bp_fast:.0},{bp_speedup:.2}");
     println!("partition_sweep,{sweep_legacy:.0},{sweep_fast:.0},{sweep_speedup:.2}");
+    println!("sort_run_gen,{sort_legacy:.0},{sort_fast:.0},{sort_speedup:.2}");
+    println!("smj_merge,{merge_legacy:.0},{merge_fast:.0},{merge_speedup:.2}");
 
     let json = format!(
         "{{\n  \"config\": {{ \"n_r\": {n_r}, \"n_s\": {n_s}, \"record_bytes\": {record_bytes}, \
-         \"partitions\": {partitions}, \"repeats\": {repeats}, \"quick\": {quick} }},\n  \
+         \"partitions\": {partitions}, \"sort_budget_pages\": {sort_budget}, \
+         \"repeats\": {repeats}, \"quick\": {quick} }},\n  \
          \"build_probe\": {{ \"legacy_records_per_sec\": {bp_legacy:.0}, \
          \"zero_copy_records_per_sec\": {bp_fast:.0}, \"speedup\": {bp_speedup:.3} }},\n  \
          \"partition_sweep\": {{ \"legacy_records_per_sec\": {sweep_legacy:.0}, \
-         \"zero_copy_records_per_sec\": {sweep_fast:.0}, \"speedup\": {sweep_speedup:.3} }}\n}}\n"
+         \"zero_copy_records_per_sec\": {sweep_fast:.0}, \"speedup\": {sweep_speedup:.3} }},\n  \
+         \"sort_run_gen\": {{ \"legacy_records_per_sec\": {sort_legacy:.0}, \
+         \"zero_copy_records_per_sec\": {sort_fast:.0}, \"speedup\": {sort_speedup:.3} }},\n  \
+         \"smj_merge\": {{ \"legacy_records_per_sec\": {merge_legacy:.0}, \
+         \"zero_copy_records_per_sec\": {merge_fast:.0}, \"speedup\": {merge_speedup:.3} }}\n}}\n"
     );
     std::fs::write("BENCH_cpu.json", &json).expect("write BENCH_cpu.json");
     println!("# wrote BENCH_cpu.json");

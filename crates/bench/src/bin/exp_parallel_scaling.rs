@@ -1,8 +1,9 @@
-//! Wall-clock scaling of the parallel execution surface: NOCAP, DHH and
-//! sharded statistics collection.
+//! Wall-clock scaling of the parallel execution surface: NOCAP, DHH, SMJ
+//! and sharded statistics collection.
 //!
 //! Runs the Zipf(1.0) synthetic workload through `NocapJoin::run_parallel`,
-//! `DhhJoin::run_parallel` and `StatsCollector::collect_parallel` at 1, 2,
+//! `DhhJoin::run_parallel`, `SortMergeJoin::run_parallel` and
+//! `StatsCollector::collect_parallel` at 1, 2,
 //! 4 and 8 workers and reports wall-clock speedup relative to one worker,
 //! verifying at every point that the modeled I/O trace and the join output
 //! (or the statistics summary) are identical to the sequential path — the
@@ -19,7 +20,7 @@
 use std::time::Instant;
 
 use nocap::{NocapConfig, NocapJoin};
-use nocap_joins::DhhJoin;
+use nocap_joins::{DhhJoin, SortMergeJoin};
 use nocap_model::{JoinRunReport, JoinSpec};
 use nocap_stats::{StatsCollector, StatsConfig};
 use nocap_storage::SimDevice;
@@ -135,6 +136,16 @@ fn main() {
     scaling_table("DHH", &dhh_sequential, repeats, &device, |threads| {
         dhh.run_parallel(&wl.r, &wl.s, &wl.mcvs, threads)
             .expect("parallel DHH")
+    });
+
+    // ---- SMJ (parallel sort-run generation) ---------------------------
+    let smj = SortMergeJoin::new(spec);
+    device.reset_stats();
+    let smj_sequential = smj.run(&wl.r, &wl.s).expect("sequential SMJ");
+    assert_eq!(smj_sequential.output_records, wl.expected_join_output());
+    scaling_table("SMJ", &smj_sequential, repeats, &device, |threads| {
+        smj.run_parallel(&wl.r, &wl.s, threads)
+            .expect("parallel SMJ")
     });
 
     // ---- Sharded statistics collection --------------------------------

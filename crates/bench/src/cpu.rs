@@ -3,22 +3,31 @@
 //!
 //! The NOCAP cost model separates I/O from CPU; on `SimDevice` the I/O is
 //! free, so these kernels measure exactly the CPU work the zero-copy record
-//! pipeline optimizes: partition routing (hash + buffer copy per record)
-//! and hash-table build/probe. The *legacy* kernels reproduce the
-//! pre-refactor implementation faithfully — `Record::read_from` per scanned
-//! record (one `Box<[u8]>` each) feeding a `HashMap<u64, Vec<Record>>`
-//! (SipHash, one `Vec` per key) or an owned-record `PartitionWriter::push`
-//! — so `exp_cpu_throughput` can report the speedup against the exact code
-//! the repository shipped before the arena refactor.
+//! pipeline optimizes: partition routing (hash + buffer copy per record),
+//! hash-table build/probe, external-sort run generation and the fused SMJ
+//! merge-join. The *legacy* kernels reproduce the pre-refactor
+//! implementations faithfully — `Record::read_from` per scanned record (one
+//! `Box<[u8]>` each) feeding a `HashMap<u64, Vec<Record>>` (SipHash, one
+//! `Vec` per key), an owned-record `PartitionWriter::push`, a stable
+//! `Vec<Record>` chunk sort, or a `BinaryHeap<Reverse<(key, idx)>>` merge
+//! over peekable owned-record readers — so `exp_cpu_throughput` can report
+//! the speedup against the exact code the repository shipped before the
+//! arena refactors.
 //!
-//! Shared by the `join_throughput` criterion bench and the
-//! `exp_cpu_throughput` experiment binary (which emits `BENCH_cpu.json`).
+//! Shared by the `join_throughput` criterion bench, the
+//! `exp_cpu_throughput` experiment binary (which emits `BENCH_cpu.json`)
+//! and the `zero_copy_equivalence` pin suite, which replays the legacy
+//! sorter end to end against the arena sorter.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::iter::Peekable;
 
 use nocap_storage::device::DeviceRef;
+use nocap_storage::sort::{run_chunks, sort_chunk, SortScratch};
 use nocap_storage::{
-    IoKind, JoinHashTable, PartitionWriter, Record, RecordLayout, Relation, Result,
+    IoKind, JoinHashTable, PartitionHandle, PartitionReader, PartitionWriter, Record, RecordLayout,
+    Relation, Result,
 };
 
 /// The paper's fudge factor, used by every kernel.
@@ -180,6 +189,270 @@ pub fn partition_sweep_legacy(relation: &Relation, m: usize) -> Result<u64> {
     Ok(routed)
 }
 
+/// The pre-arena external sorter, reproduced faithfully: owned records are
+/// materialized per scanned record, chunks are buffered in a `Vec<Record>`
+/// and stable-sorted by key, and the multiway merge is a
+/// `BinaryHeap<Reverse<(key, run)>>` over peekable owned-record readers.
+/// Merged runs are written with the default page size and every merge pass
+/// peeks one record off the first non-empty run to recover the layout —
+/// exactly the code the repository shipped before the loser-tree rewrite,
+/// I/O for I/O.
+pub struct LegacySorter {
+    device: DeviceRef,
+    budget_pages: usize,
+}
+
+impl LegacySorter {
+    /// Creates a sorter with the pre-arena implementation.
+    pub fn new(device: DeviceRef, budget_pages: usize) -> Self {
+        assert!(budget_pages >= 3, "external sort needs at least 3 pages");
+        LegacySorter {
+            device,
+            budget_pages,
+        }
+    }
+
+    /// Sorts `relation` into at most `max_final_runs` runs (run generation
+    /// plus heap-based merge passes), legacy path.
+    pub fn sort_to_runs(
+        &mut self,
+        relation: &Relation,
+        max_final_runs: usize,
+    ) -> Result<Vec<PartitionHandle>> {
+        assert!(max_final_runs >= 2, "need at least a two-way final merge");
+        let mut runs = self.generate_runs(relation)?;
+        while runs.len() > max_final_runs {
+            runs = self.merge_pass(runs)?;
+        }
+        Ok(runs)
+    }
+
+    /// Legacy run generation: one owned `Record` allocation per scanned
+    /// record, `Vec<Record>` chunk buffer, stable by-key sort, owned pushes.
+    pub fn generate_runs(&mut self, relation: &Relation) -> Result<Vec<PartitionHandle>> {
+        let per_page = relation.records_per_page();
+        let chunk_records = per_page * (self.budget_pages - 1).max(1);
+        let mut runs = Vec::new();
+        let mut buffer: Vec<Record> = Vec::with_capacity(chunk_records);
+        for rec in relation.scan() {
+            buffer.push(rec?);
+            if buffer.len() == chunk_records {
+                runs.push(self.write_run(relation, &mut buffer)?);
+            }
+        }
+        if !buffer.is_empty() {
+            runs.push(self.write_run(relation, &mut buffer)?);
+        }
+        Ok(runs)
+    }
+
+    fn write_run(&self, relation: &Relation, buffer: &mut Vec<Record>) -> Result<PartitionHandle> {
+        buffer.sort_by_key(Record::key);
+        let mut writer = PartitionWriter::new(
+            self.device.clone(),
+            relation.layout(),
+            relation.page_size(),
+            IoKind::SeqWrite,
+        );
+        for rec in buffer.drain(..) {
+            writer.push(&rec)?;
+        }
+        writer.finish()
+    }
+
+    fn merge_pass(&mut self, runs: Vec<PartitionHandle>) -> Result<Vec<PartitionHandle>> {
+        let fan_in = (self.budget_pages - 1).max(2);
+        let mut next_level = Vec::new();
+        let mut group = Vec::new();
+        let mut layout = None;
+        for run in &runs {
+            if run.records() > 0 {
+                let first = run
+                    .read(IoKind::SeqRead)
+                    .next()
+                    .transpose()?
+                    .expect("non-empty run yields a record");
+                layout = Some(first.layout());
+                break;
+            }
+        }
+        let layout = match layout {
+            Some(l) => l,
+            None => return Ok(runs),
+        };
+        let page_size = nocap_storage::DEFAULT_PAGE_SIZE;
+
+        for run in runs {
+            group.push(run);
+            if group.len() == fan_in {
+                next_level.push(self.merge_group(std::mem::take(&mut group), layout, page_size)?);
+            }
+        }
+        if group.len() == 1 {
+            next_level.push(group.pop().expect("single leftover run"));
+        } else if !group.is_empty() {
+            next_level.push(self.merge_group(group, layout, page_size)?);
+        }
+        Ok(next_level)
+    }
+
+    fn merge_group(
+        &self,
+        runs: Vec<PartitionHandle>,
+        layout: RecordLayout,
+        page_size: usize,
+    ) -> Result<PartitionHandle> {
+        let mut writer =
+            PartitionWriter::new(self.device.clone(), layout, page_size, IoKind::SeqWrite);
+        let mut merger = LegacyMergeIterator::new(&runs)?;
+        while let Some(rec) = merger.next().transpose()? {
+            writer.push(&rec)?;
+        }
+        let merged = writer.finish()?;
+        for run in runs {
+            run.delete()?;
+        }
+        Ok(merged)
+    }
+}
+
+/// The pre-loser-tree k-way merge: a binary heap of `(key, run)` pairs over
+/// peekable owned-record partition readers, yielding one freshly allocated
+/// `Record` per merged record.
+pub struct LegacyMergeIterator {
+    readers: Vec<Peekable<PartitionReader>>,
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+}
+
+impl LegacyMergeIterator {
+    /// Builds a merge iterator over `runs` (each must be internally sorted).
+    pub fn new(runs: &[PartitionHandle]) -> Result<Self> {
+        let mut readers: Vec<_> = runs
+            .iter()
+            .map(|r| r.read(IoKind::RandRead).peekable())
+            .collect();
+        let mut heap = BinaryHeap::new();
+        for (idx, reader) in readers.iter_mut().enumerate() {
+            if let Some(first) = reader.peek() {
+                match first {
+                    Ok(rec) => heap.push(Reverse((rec.key(), idx))),
+                    Err(_) => {
+                        // Force the error to surface on first `next()`.
+                        heap.push(Reverse((0, idx)));
+                    }
+                }
+            }
+        }
+        Ok(LegacyMergeIterator { readers, heap })
+    }
+}
+
+impl Iterator for LegacyMergeIterator {
+    type Item = Result<Record>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let Reverse((_, idx)) = self.heap.pop()?;
+        let rec = match self.readers[idx].next() {
+            Some(Ok(rec)) => rec,
+            Some(Err(e)) => return Some(Err(e)),
+            None => return self.next(),
+        };
+        if let Some(peeked) = self.readers[idx].peek() {
+            match peeked {
+                Ok(next_rec) => self.heap.push(Reverse((next_rec.key(), idx))),
+                Err(_) => self.heap.push(Reverse((0, idx))),
+            }
+        }
+        Some(Ok(rec))
+    }
+}
+
+/// The pre-refactor fused merge-join loop: owned records off two
+/// [`LegacyMergeIterator`]s, with the matching S group buffered in a
+/// `Vec<Record>`. Returns the join output count.
+pub fn merge_join_legacy(r_runs: &[PartitionHandle], s_runs: &[PartitionHandle]) -> Result<u64> {
+    let mut r_merge = LegacyMergeIterator::new(r_runs)?.peekable();
+    let mut s_merge = LegacyMergeIterator::new(s_runs)?.peekable();
+    let mut output = 0u64;
+    let mut s_group: Vec<Record> = Vec::new();
+    let mut s_group_key: Option<u64> = None;
+    'outer: loop {
+        let r_rec = match r_merge.next() {
+            Some(rec) => rec?,
+            None => break 'outer,
+        };
+        let key = r_rec.key();
+        if s_group_key != Some(key) {
+            s_group.clear();
+            loop {
+                match s_merge.peek() {
+                    Some(Ok(s_rec)) if s_rec.key() < key => {
+                        s_merge.next();
+                    }
+                    Some(Err(_)) => {
+                        s_merge.next().transpose()?;
+                    }
+                    _ => break,
+                }
+            }
+            loop {
+                match s_merge.peek() {
+                    Some(Ok(s_rec)) if s_rec.key() == key => {
+                        s_group.push(s_merge.next().expect("peeked")?);
+                    }
+                    Some(Err(_)) => {
+                        s_merge.next().transpose()?;
+                    }
+                    _ => break,
+                }
+            }
+            s_group_key = Some(key);
+        }
+        output += s_group.len() as u64;
+    }
+    Ok(output)
+}
+
+/// Zero-copy run generation sweep: sorts every chunk of the fixed page grid
+/// through the arena path (`sort_chunk`). Returns the number of records
+/// sorted; the run files are deleted before returning.
+pub fn sort_runs_zero_copy(relation: &Relation, budget_pages: usize) -> Result<u64> {
+    let mut scratch = SortScratch::new();
+    let mut sorted = 0u64;
+    for chunk in run_chunks(relation.num_pages(), budget_pages) {
+        let run = sort_chunk(relation, chunk, &mut scratch)?;
+        sorted += run.records() as u64;
+        run.delete()?;
+    }
+    Ok(sorted)
+}
+
+/// Pre-refactor run generation sweep: owned records, `Vec<Record>` buffer,
+/// stable sort, owned pushes. Returns the number of records sorted; the run
+/// files are deleted before returning.
+pub fn sort_runs_legacy(relation: &Relation, budget_pages: usize) -> Result<u64> {
+    let mut sorter = LegacySorter::new(relation.device().clone(), budget_pages);
+    let runs = sorter.generate_runs(relation)?;
+    let mut sorted = 0u64;
+    for run in runs {
+        sorted += run.records() as u64;
+        run.delete()?;
+    }
+    Ok(sorted)
+}
+
+/// Prepares the sorted runs of one relation for a fused-merge kernel run
+/// (sorting is not part of the measured kernel; reading runs does not
+/// consume them, so one set serves any number of merge iterations).
+pub fn sorted_runs_for_merge(
+    relation: &Relation,
+    budget_pages: usize,
+    max_final_runs: usize,
+) -> Result<Vec<PartitionHandle>> {
+    let mut sorter = nocap_storage::ExternalSorter::new(relation.device().clone(), budget_pages);
+    Ok(sorter.sort_to_runs(relation, max_final_runs)?.runs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +470,66 @@ mod tests {
         let routed_slow = partition_sweep_legacy(&r, 16).unwrap();
         assert_eq!(routed_fast, 2_000);
         assert_eq!(routed_slow, 2_000);
+    }
+
+    #[test]
+    fn sort_kernels_agree_and_match_io() {
+        let device = SimDevice::new_ref();
+        let (_, s) = build_input(device.clone(), 500, 6_000, 64, 1024).unwrap();
+        device.reset_stats();
+        let fast = sort_runs_zero_copy(&s, 8).unwrap();
+        let fast_io = device.stats();
+        device.reset_stats();
+        let slow = sort_runs_legacy(&s, 8).unwrap();
+        let slow_io = device.stats();
+        assert_eq!(fast, 6_000);
+        assert_eq!(slow, 6_000);
+        assert_eq!(fast_io, slow_io, "both kernels must model the same I/O");
+    }
+
+    #[test]
+    fn merge_kernels_agree_with_each_other_and_the_executor() {
+        let device = SimDevice::new_ref();
+        let (r, s) = build_input(device.clone(), 1_500, 6_000, 64, 1024).unwrap();
+        let r_runs = sorted_runs_for_merge(&r, 8, 3).unwrap();
+        let s_runs = sorted_runs_for_merge(&s, 8, 4).unwrap();
+        device.reset_stats();
+        let fast = nocap_joins::merge_join_runs(&r_runs, &s_runs).unwrap();
+        let fast_io = device.stats();
+        device.reset_stats();
+        let slow = merge_join_legacy(&r_runs, &s_runs).unwrap();
+        let slow_io = device.stats();
+        assert_eq!(fast, slow);
+        assert_eq!(fast, 6_000, "every S key hits exactly one R key");
+        assert_eq!(fast_io, slow_io, "both merges must model the same I/O");
+        for run in r_runs.into_iter().chain(s_runs) {
+            run.delete().unwrap();
+        }
+    }
+
+    #[test]
+    fn legacy_sorter_reproduces_the_arena_sorter_run_geometry() {
+        // Default page size: the legacy merge cascade hard-coded 4 KB pages
+        // for merged runs (the arena sorter inherits the input page size
+        // instead), so the two geometries coincide exactly at 4 KB — which
+        // is what every experiment and pinned workload runs with.
+        let device = SimDevice::new_ref();
+        let (_, s) = build_input(device.clone(), 500, 8_000, 64, 4096).unwrap();
+        device.reset_stats();
+        let mut legacy = LegacySorter::new(device.clone(), 6);
+        let legacy_runs = legacy.sort_to_runs(&s, 4).unwrap();
+        let legacy_io = device.stats();
+        device.reset_stats();
+        let arena_runs = sorted_runs_for_merge(&s, 6, 4).unwrap();
+        let arena_io = device.stats();
+        assert_eq!(legacy_io, arena_io);
+        assert_eq!(legacy_runs.len(), arena_runs.len());
+        for (a, b) in legacy_runs.iter().zip(arena_runs.iter()) {
+            assert_eq!(a.records(), b.records());
+            assert_eq!(a.pages(), b.pages());
+        }
+        for run in legacy_runs.into_iter().chain(arena_runs) {
+            run.delete().unwrap();
+        }
     }
 }

@@ -43,4 +43,4 @@ pub use ghj::GraceHashJoin;
 pub use histojoin::HistoJoin;
 pub use naive::naive_join_count;
 pub use nbj::NestedBlockJoin;
-pub use smj::SortMergeJoin;
+pub use smj::{merge_join_runs, SortMergeJoin, SMJ_MIN_BUDGET_PAGES};

@@ -7,12 +7,78 @@
 //! sequentially (τ-weighted) and the fused merge reads runs with random
 //! reads — this is why the paper observes SMJ matching GHJ's #I/Os but
 //! losing slightly on latency.
+//!
+//! The whole path runs on the arena record pipeline: run generation sorts
+//! `(key, payload-index)` pairs over a [`RecordBatch`]
+//! (nocap_storage::RecordBatch) arena (no per-record allocation), and the
+//! fused merge drives two [`LoserTree`]s of page-mode run cursors, reading
+//! only the 8-byte keys — payload bytes never move during the join itself.
+//!
+//! [`SortMergeJoin::run_parallel`] parallelizes run generation: workers
+//! claim chunks of the **fixed** page grid
+//! ([`run_chunks`](nocap_storage::run_chunks) — chunk `i` always covers
+//! pages `[i·(B−1), (i+1)·(B−1))`) from an atomic cursor and sort them
+//! independently; the runs are collected in canonical chunk order, so the
+//! merge cascade and the fused join see exactly the byte sequence the
+//! sequential executor produces. Output and per-phase modeled I/O are
+//! therefore bit-identical to [`run`](SortMergeJoin::run) at every worker
+//! count. (Each worker owns one chunk-sized sort arena, so peak sort memory
+//! is `n · (B − 1)` pages at `n` workers — the classic memory/time trade of
+//! parallel run generation; the modeled I/O is unaffected.)
 
 use std::time::Instant;
 
 use nocap_model::{JoinRunReport, JoinSpec};
-use nocap_storage::sort::MergeIterator;
-use nocap_storage::{ExternalSorter, Record, Relation};
+use nocap_par::{default_threads, ordered_tasks};
+use nocap_storage::sort::{run_chunks, sort_chunk, ExternalSorter, LoserTree, SortScratch};
+use nocap_storage::{PartitionHandle, Relation};
+
+/// Smallest buffer budget SMJ accepts, in pages.
+///
+/// The fused final merge splits a fan-in of `B − 1` input pages between the
+/// two relations, and each side needs at least a two-way merge:
+/// `r_share ≥ 2` and `s_share ≥ 2` (the `r_share.clamp(2, fan_in - 2)`
+/// below), so `B − 1 ≥ 4`, i.e. `B ≥ 5`. Budgets below this floor are a
+/// configuration error and panic instead of being silently inflated.
+pub const SMJ_MIN_BUDGET_PAGES: usize = 5;
+
+/// Counts the join output of two sets of sorted runs by driving the fused
+/// k-way merge over both: records stream out of the run pages in key order
+/// and only their keys are ever decoded.
+///
+/// Duplicate keys on both sides are supported: the S group for a key is
+/// counted once and reused for every R record carrying that key. Exposed so
+/// the CPU-throughput benches can measure the fused merge kernel in
+/// isolation.
+pub fn merge_join_runs(
+    r_runs: &[PartitionHandle],
+    s_runs: &[PartitionHandle],
+) -> nocap_storage::Result<u64> {
+    let mut r_merge = LoserTree::new(r_runs)?;
+    let mut s_merge = LoserTree::new(s_runs)?;
+    let mut output = 0u64;
+    let mut s_group_key: Option<u64> = None;
+    let mut s_group_count = 0u64;
+    while let Some(key) = r_merge.next_key()? {
+        // Reuse the counted S group if it is for the same key (multiple R
+        // records with one key).
+        if s_group_key != Some(key) {
+            // Advance S until its key ≥ R's key.
+            while matches!(s_merge.peek_key()?, Some(s_key) if s_key < key) {
+                s_merge.next_key()?;
+            }
+            // Count all S records equal to the key.
+            s_group_count = 0;
+            while s_merge.peek_key()? == Some(key) {
+                s_merge.next_key()?;
+                s_group_count += 1;
+            }
+            s_group_key = Some(key);
+        }
+        output += s_group_count;
+    }
+    Ok(output)
+}
 
 /// Sort-Merge Join executor.
 #[derive(Debug, Clone, Copy)]
@@ -27,77 +93,78 @@ impl SortMergeJoin {
     }
 
     /// Executes `r ⋈ s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's buffer budget is below
+    /// [`SMJ_MIN_BUDGET_PAGES`].
     pub fn run(&self, r: &Relation, s: &Relation) -> nocap_storage::Result<JoinRunReport> {
+        self.run_inner(r, s, 1)
+    }
+
+    /// Executes `r ⋈ s` with `threads` workers generating sort runs
+    /// concurrently (`0` selects [`default_threads`]).
+    ///
+    /// Workers claim chunks of the fixed run-generation page grid, so the
+    /// join output and the per-phase modeled I/O are bit-identical to
+    /// [`run`](Self::run) for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's buffer budget is below
+    /// [`SMJ_MIN_BUDGET_PAGES`].
+    pub fn run_parallel(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        threads: usize,
+    ) -> nocap_storage::Result<JoinRunReport> {
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        self.run_inner(r, s, threads)
+    }
+
+    fn run_inner(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        threads: usize,
+    ) -> nocap_storage::Result<JoinRunReport> {
         let spec = &self.spec;
         let device = r.device().clone();
         let started = Instant::now();
         let base = device.stats();
 
+        let budget = spec.buffer_pages;
+        assert!(
+            budget >= SMJ_MIN_BUDGET_PAGES,
+            "SMJ needs a budget of at least {SMJ_MIN_BUDGET_PAGES} pages \
+             (got {budget}): the fused merge fan-in B - 1 must fit a two-way \
+             merge per input"
+        );
         // Split the merge fan-in between the two inputs proportionally to
-        // their sizes so that all final runs can be merged together.
-        let budget = spec.buffer_pages.max(4);
-        let fan_in = (budget - 1).max(4);
+        // their sizes so that all final runs can be merged together. The
+        // clamp keeps both shares ≥ 2, which the budget floor guarantees is
+        // representable.
+        let fan_in = budget - 1;
         let total_pages = (r.num_pages() + s.num_pages()).max(1);
         let r_share = ((fan_in * r.num_pages()) / total_pages).clamp(2, fan_in - 2);
-        let s_share = (fan_in - r_share).max(2);
+        let s_share = fan_in - r_share;
+        debug_assert!(s_share >= 2, "clamp above keeps a two-way S merge");
 
-        let mut r_sorter = ExternalSorter::new(device.clone(), budget);
-        let r_runs = r_sorter.sort_to_runs(r, r_share)?;
-        let mut s_sorter = ExternalSorter::new(device.clone(), budget);
-        let s_runs = s_sorter.sort_to_runs(s, s_share)?;
+        let r_runs = sorted_runs(r, budget, r_share, threads)?;
+        let s_runs = sorted_runs(s, budget, s_share, threads)?;
         let partition_io = device.stats().since(&base);
 
         // Fused final merge + join.
         let probe_base = device.stats();
-        let mut r_merge = MergeIterator::new(&r_runs.runs)?.peekable();
-        let mut s_merge = MergeIterator::new(&s_runs.runs)?.peekable();
-        let mut output = 0u64;
-
-        // Standard merge join supporting duplicate keys on both sides.
-        let mut s_group: Vec<Record> = Vec::new();
-        let mut s_group_key: Option<u64> = None;
-        'outer: loop {
-            let r_rec = match r_merge.next() {
-                Some(rec) => rec?,
-                None => break 'outer,
-            };
-            let key = r_rec.key();
-            // Reuse the buffered S group if it is for the same key (multiple
-            // R records with one key).
-            if s_group_key != Some(key) {
-                s_group.clear();
-                // Advance S until its key ≥ R's key.
-                loop {
-                    match s_merge.peek() {
-                        Some(Ok(s_rec)) if s_rec.key() < key => {
-                            s_merge.next();
-                        }
-                        Some(Err(_)) => {
-                            // Surface the error.
-                            s_merge.next().transpose()?;
-                        }
-                        _ => break,
-                    }
-                }
-                // Collect all S records equal to the key.
-                loop {
-                    match s_merge.peek() {
-                        Some(Ok(s_rec)) if s_rec.key() == key => {
-                            s_group.push(s_merge.next().expect("peeked")?);
-                        }
-                        Some(Err(_)) => {
-                            s_merge.next().transpose()?;
-                        }
-                        _ => break,
-                    }
-                }
-                s_group_key = Some(key);
-            }
-            output += s_group.len() as u64;
-        }
+        let output = merge_join_runs(&r_runs, &s_runs)?;
         let probe_io = device.stats().since(&probe_base);
 
-        for run in r_runs.runs.into_iter().chain(s_runs.runs) {
+        for run in r_runs.into_iter().chain(s_runs) {
             run.delete()?;
         }
 
@@ -108,6 +175,24 @@ impl SortMergeJoin {
         report.cpu_seconds = started.elapsed().as_secs_f64();
         Ok(report)
     }
+}
+
+/// Generates this relation's sorted runs with `threads` workers claiming
+/// fixed grid chunks in canonical order, then runs the sequential merge
+/// cascade until the runs fit `share` — exactly the artifact
+/// `ExternalSorter::sort_to_runs` produces, at any worker count.
+fn sorted_runs(
+    relation: &Relation,
+    budget: usize,
+    share: usize,
+    threads: usize,
+) -> nocap_storage::Result<Vec<PartitionHandle>> {
+    let chunks = run_chunks(relation.num_pages(), budget);
+    let runs = ordered_tasks(threads, chunks.len(), SortScratch::new, |scratch, i| {
+        sort_chunk(relation, chunks[i].clone(), scratch)
+    })?;
+    let mut sorter = ExternalSorter::new(relation.device().clone(), budget);
+    Ok(sorter.merge_to_fan_in(runs, share)?.runs)
 }
 
 #[cfg(test)]
@@ -173,5 +258,67 @@ mod tests {
         // Each relation is read once for run generation and its single run is
         // read once for the merge.
         assert!(report.total_io().reads() as usize >= r.num_pages() + s.num_pages());
+    }
+
+    #[test]
+    fn works_at_the_minimum_budget() {
+        // B = 5 is the floor: fan-in 4, two-way merge per side. The join
+        // must still be correct there, without silently inflating the
+        // budget the way the old `.max(4)` fallback did.
+        let dev = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(128, SMJ_MIN_BUDGET_PAGES);
+        let counts = |k: u64| (k % 3) + 1;
+        let (r, s) = build_workload(dev.clone(), &spec, 900, counts);
+        let expected = naive_join_count(&r, &s).unwrap();
+        dev.reset_stats();
+        let report = SortMergeJoin::new(spec).run(&r, &s).unwrap();
+        assert_eq!(report.output_records, expected);
+        assert!(
+            report.partition_io.seq_writes > 0,
+            "a 5-page budget must spill runs"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "SMJ needs a budget of at least 5 pages")]
+    fn budgets_below_the_floor_panic() {
+        let dev = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(128, SMJ_MIN_BUDGET_PAGES - 1);
+        let (r, s) = build_workload(dev.clone(), &spec, 100, |_| 1);
+        let _ = SortMergeJoin::new(spec).run(&r, &s);
+    }
+
+    #[test]
+    fn run_parallel_matches_run_exactly() {
+        let dev = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(128, 12);
+        let counts = |k: u64| if k.is_multiple_of(50) { 40 } else { 2 };
+        let (r, s) = build_workload(dev.clone(), &spec, 2_500, counts);
+        dev.reset_stats();
+        let sequential = SortMergeJoin::new(spec).run(&r, &s).unwrap();
+        assert_eq!(sequential.output_records, naive_join_count(&r, &s).unwrap());
+        for threads in [1usize, 2, 4, 8] {
+            dev.reset_stats();
+            let parallel = SortMergeJoin::new(spec)
+                .run_parallel(&r, &s, threads)
+                .unwrap();
+            assert_eq!(parallel.output_records, sequential.output_records);
+            assert_eq!(parallel.partition_io, sequential.partition_io);
+            assert_eq!(parallel.probe_io, sequential.probe_io);
+        }
+    }
+
+    #[test]
+    fn run_parallel_zero_threads_selects_a_default_and_stays_correct() {
+        let dev = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(128, 16);
+        let (r, s) = build_workload(dev.clone(), &spec, 1_200, |_| 2);
+        dev.reset_stats();
+        let sequential = SortMergeJoin::new(spec).run(&r, &s).unwrap();
+        dev.reset_stats();
+        let defaulted = SortMergeJoin::new(spec).run_parallel(&r, &s, 0).unwrap();
+        assert_eq!(defaulted.output_records, sequential.output_records);
+        assert_eq!(defaulted.partition_io, sequential.partition_io);
+        assert_eq!(defaulted.probe_io, sequential.probe_io);
     }
 }

@@ -50,7 +50,7 @@ pub mod quota_stage;
 pub mod shard;
 pub mod stage;
 
-pub use pool::{default_threads, run_workers, sum_tasks};
+pub use pool::{default_threads, ordered_tasks, run_workers, sum_tasks};
 pub use quota::even_caps;
 pub use quota_stage::{QuotaStager, QuotaStagerBuild};
 pub use shard::{page_shards, SharedPartitionWriter, SharedWriterSet};

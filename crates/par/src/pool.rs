@@ -1,6 +1,6 @@
 //! Scoped worker fan-out and work-queue helpers.
 //!
-//! The execution engine only ever needs two shapes of parallelism:
+//! The execution engine only ever needs three shapes of parallelism:
 //!
 //! * **static sharding** ([`run_workers`]): `n` workers, each handed its
 //!   worker id, producing one result each — used for the partitioning
@@ -8,7 +8,12 @@
 //! * **dynamic work queue** ([`sum_tasks`]): a list of independent tasks
 //!   (spilled partition pairs) claimed from an atomic cursor — used for the
 //!   build/probe phase, where per-partition work is wildly uneven under
-//!   skew and static assignment would leave workers idle.
+//!   skew and static assignment would leave workers idle;
+//! * **ordered work queue** ([`ordered_tasks`]): the same atomic claiming,
+//!   but results land at their task index — used where downstream
+//!   consumers need the artifacts in canonical order (the sort chunks of
+//!   `SortMergeJoin::run_parallel`), with per-worker reusable state so the
+//!   tasks themselves stay allocation-free.
 //!
 //! Both are built on `std::thread::scope`, so borrowed state (the shared
 //! hash table, the writer sets, the device) needs no `'static` gymnastics
@@ -93,6 +98,44 @@ where
     Ok(partials.into_iter().sum())
 }
 
+/// Executes `count` independent tasks on `threads` workers via an atomic
+/// work queue and returns the results **in task order** — the canonical
+/// order a sequential loop over `0..count` would produce, regardless of
+/// which worker ran which task or when.
+///
+/// Each worker gets its own mutable state from `init` (a sort scratch, a
+/// staging buffer, …) that is reused across every task the worker claims,
+/// so per-task work can stay allocation-free. This is the fan-out shape of
+/// parallel run generation: tasks are the fixed sort chunks, the result
+/// vector is the canonical run order the merge consumes.
+pub fn ordered_tasks<S, T, F, I>(threads: usize, count: usize, init: I, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> Result<T> + Sync,
+{
+    let cursor = AtomicUsize::new(0);
+    let per_worker = run_workers(threads.max(1).min(count.max(1)), |_| {
+        let mut state = init();
+        let mut done: Vec<(usize, T)> = Vec::new();
+        loop {
+            let task = cursor.fetch_add(1, Ordering::Relaxed);
+            if task >= count {
+                return Ok(done);
+            }
+            done.push((task, f(&mut state, task)?));
+        }
+    })?;
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    for (task, result) in per_worker.into_iter().flatten() {
+        slots[task] = Some(result);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("every task index claimed exactly once"))
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +181,62 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn ordered_tasks_returns_results_in_task_order() {
+        for threads in [1usize, 2, 4, 8] {
+            let results = ordered_tasks(
+                threads,
+                50,
+                || 0usize,
+                |state, i| {
+                    *state += 1;
+                    Ok(i * i)
+                },
+            )
+            .unwrap();
+            assert_eq!(results, (0..50).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn ordered_tasks_reuses_worker_state() {
+        // Single worker: the per-worker state must see every task.
+        let results = ordered_tasks(
+            1,
+            10,
+            || 0usize,
+            |seen, _| {
+                *seen += 1;
+                Ok(*seen)
+            },
+        )
+        .unwrap();
+        assert_eq!(results, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ordered_tasks_propagates_errors() {
+        let err = ordered_tasks(
+            4,
+            20,
+            || (),
+            |_, i| {
+                if i == 13 {
+                    Err(StorageError::Io("boom".into()))
+                } else {
+                    Ok(i)
+                }
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
+    }
+
+    #[test]
+    fn ordered_tasks_with_zero_tasks_is_empty() {
+        let results: Vec<usize> = ordered_tasks(4, 0, || (), |_, i| Ok(i)).unwrap();
+        assert!(results.is_empty());
     }
 }

@@ -29,8 +29,9 @@
 //!   (random-write accounting), used by every partitioning join.
 //! * [`hash_table`] — an in-memory build/probe hash table with fudge-factor
 //!   (F) space accounting.
-//! * [`sort`] — external sort (run generation + multiway merge) used by the
-//!   sort-merge join baseline.
+//! * [`sort`] — external sort (arena-backed run generation over a fixed
+//!   chunk grid + loser-tree multiway merge) used by the sort-merge join
+//!   baseline.
 //!
 //! The crate has no dependencies and is deliberately self-contained so that
 //! the algorithm crates (`nocap` and `nocap-joins`) only talk to storage
@@ -66,7 +67,7 @@ pub use iostats::{AtomicIoStats, DeviceProfile, IoKind, IoStats};
 pub use page::{Page, DEFAULT_PAGE_SIZE};
 pub use record::{Record, RecordBatch, RecordLayout, RecordRef};
 pub use relation::{Relation, RelationBuilder, RelationScan};
-pub use sort::ExternalSorter;
+pub use sort::{run_chunks, sort_chunk, ExternalSorter, LoserTree, MergeIterator, SortScratch};
 pub use spill::{PartitionHandle, PartitionReader, PartitionWriter};
 
 /// Errors produced by the storage layer.

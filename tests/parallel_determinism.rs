@@ -2,10 +2,11 @@
 //! shared differential harness
 //! (`nocap_suite::joins::testutil::assert_parallel_equivalence`):
 //!
-//! 1. `NocapJoin::run_parallel(n)` and `DhhJoin::run_parallel(n)` produce
-//!    the same join output and the same per-phase modeled I/O as their
-//!    sequential `run` for n ∈ {1, 2, 4, 8}, across skewed (Zipf 1.1),
-//!    uniform and JCC-H workloads and several memory budgets.
+//! 1. `NocapJoin::run_parallel(n)`, `DhhJoin::run_parallel(n)` and
+//!    `SortMergeJoin::run_parallel(n)` produce the same join output and the
+//!    same per-phase modeled I/O as their sequential `run` for
+//!    n ∈ {1, 2, 4, 8}, across skewed (Zipf 1.1), uniform and JCC-H
+//!    workloads and several memory budgets.
 //! 2. The whole sketch-plan-execute pipeline is thread-count invariant:
 //!    `collect_and_run_parallel(n)` reproduces `collect_and_run` exactly
 //!    (same sharded summary → same plan → same I/O), and
@@ -18,7 +19,7 @@
 use std::sync::Barrier;
 
 use nocap_suite::joins::testutil::assert_parallel_equivalence;
-use nocap_suite::joins::DhhJoin;
+use nocap_suite::joins::{DhhJoin, SortMergeJoin};
 use nocap_suite::model::{JoinRunReport, JoinSpec};
 use nocap_suite::nocap::{NocapConfig, NocapJoin};
 use nocap_suite::stats::{StatsCollector, StatsConfig};
@@ -131,6 +132,39 @@ fn dhh_run_parallel_matches_run_across_workloads_threads_and_budgets() {
                 |threads| {
                     let wl = generate(workload);
                     dhh.run_parallel(&wl.r, &wl.s, &wl.mcvs, threads)
+                        .expect("parallel run")
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn smj_run_parallel_matches_run_across_workloads_threads_and_budgets() {
+    // Parallel sort-run generation claims chunks of a page grid fixed by
+    // the data and the budget, so every thread count must reproduce the
+    // sequential external sort — and therefore the fused merge-join — bit
+    // for bit, in output and in per-phase modeled I/O.
+    for (name, workload) in &workload_grid() {
+        for budget in [32usize, 96] {
+            let spec = JoinSpec::paper_synthetic(128, budget);
+            let smj = SortMergeJoin::new(spec);
+            assert_parallel_equivalence(
+                &format!("smj/{name}/B={budget}"),
+                &[1, 2, 4, 8],
+                || {
+                    let wl = generate(workload);
+                    let report = smj.run(&wl.r, &wl.s).expect("sequential run");
+                    assert_eq!(
+                        report.output_records,
+                        wl.expected_join_output(),
+                        "{name}: SMJ output must match the correlation table"
+                    );
+                    report
+                },
+                |threads| {
+                    let wl = generate(workload);
+                    smj.run_parallel(&wl.r, &wl.s, threads)
                         .expect("parallel run")
                 },
             );

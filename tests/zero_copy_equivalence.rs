@@ -1,16 +1,23 @@
-//! Zero-copy pipeline equivalence: the refactored executor must produce the
-//! same join output AND the same per-phase modeled I/O as the pre-refactor
-//! record pipeline.
+//! Zero-copy pipeline equivalence: the refactored executors must produce
+//! the same join output AND the same per-phase modeled I/O as the
+//! pre-refactor record pipelines.
 //!
-//! `legacy_nocap_run` below is a faithful reproduction of the executor as it
-//! existed before the zero-copy refactor: records are materialized through
-//! the owned-record iterator path (`Record::read_from` per record — one
-//! heap allocation each), the in-memory build side is a
+//! `legacy_nocap_run` below is a faithful reproduction of the NOCAP
+//! executor as it existed before the zero-copy refactor: records are
+//! materialized through the owned-record iterator path (`Record::read_from`
+//! per record — one heap allocation each), the in-memory build side is a
 //! `HashMap<u64, Vec<Record>>`, and the residual partitioner stages owned
 //! `Vec<Record>`s. Everything that drives the *modeled I/O* — the plan, the
 //! quota geometry, the rounded-hash router, the spill-page accounting, the
 //! partition-wise probe — is shared, so if the zero-copy path routes even
 //! one record differently, a phase trace diverges and this suite fails.
+//!
+//! `legacy_smj_run` does the same for the external sorter: run generation
+//! through owned `Vec<Record>` chunk buffers with a stable sort, heap-based
+//! (`BinaryHeap<Reverse<(key, run)>>`) merge passes and a fused merge-join
+//! over peekable owned-record merges (`nocap_bench::cpu::LegacySorter` /
+//! `merge_join_legacy`) — pinning the arena sorter + loser-tree rewrite to
+//! the exact output and per-phase I/O of the pre-rewrite SMJ.
 //!
 //! Coverage: skewed (Zipf 1.1), uniform and JCC-H (tuned skew) workloads,
 //! each checked against the sequential `run` and `run_parallel` at 1, 2 and
@@ -18,6 +25,8 @@
 
 use std::collections::HashMap;
 
+use nocap_bench::cpu::{merge_join_legacy, LegacySorter};
+use nocap_suite::joins::SortMergeJoin;
 use nocap_suite::model::pairwise::smart_partition_join;
 use nocap_suite::model::JoinSpec;
 use nocap_suite::nocap::{plan_nocap, NocapConfig, NocapJoin, RestGeometry};
@@ -195,6 +204,38 @@ fn legacy_nocap_run(
     (output, partition_io, probe_io)
 }
 
+/// The pre-rewrite SMJ executor: owned-record run generation (stable
+/// `Vec<Record>` chunk sorts), heap-based merge passes, and the fused
+/// merge-join over peekable owned-record merge iterators. Mirrors the old
+/// `SortMergeJoin::run` line for line — including the `.max(4)` budget
+/// fallback and the size-proportional fan-in split — so output and
+/// per-phase I/O pin the arena sorter + loser-tree rewrite exactly.
+fn legacy_smj_run(spec: &JoinSpec, r: &Relation, s: &Relation) -> (u64, IoStats, IoStats) {
+    let device = r.device().clone();
+    let base = device.stats();
+
+    let budget = spec.buffer_pages.max(4);
+    let fan_in = (budget - 1).max(4);
+    let total_pages = (r.num_pages() + s.num_pages()).max(1);
+    let r_share = ((fan_in * r.num_pages()) / total_pages).clamp(2, fan_in - 2);
+    let s_share = (fan_in - r_share).max(2);
+
+    let mut r_sorter = LegacySorter::new(device.clone(), budget);
+    let r_runs = r_sorter.sort_to_runs(r, r_share).unwrap();
+    let mut s_sorter = LegacySorter::new(device.clone(), budget);
+    let s_runs = s_sorter.sort_to_runs(s, s_share).unwrap();
+    let partition_io = device.stats().since(&base);
+
+    let probe_base = device.stats();
+    let output = merge_join_legacy(&r_runs, &s_runs).unwrap();
+    let probe_io = device.stats().since(&probe_base);
+
+    for run in r_runs.into_iter().chain(s_runs) {
+        run.delete().unwrap();
+    }
+    (output, partition_io, probe_io)
+}
+
 enum Workload {
     Synthetic(Correlation),
     Jcch(JcchSkew),
@@ -292,6 +333,70 @@ fn zero_copy_executors_match_the_legacy_pipeline_exactly() {
                 assert_eq!(
                     par.probe_io, legacy_probe,
                     "{name}/B={budget}/n={threads}: probe-phase I/O diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn arena_sorter_matches_the_legacy_sorter_pipeline_exactly() {
+    let record_bytes = 128;
+    let workloads = [
+        (
+            "zipf_1.1",
+            Workload::Synthetic(Correlation::Zipf { alpha: 1.1 }),
+        ),
+        ("uniform", Workload::Synthetic(Correlation::Uniform)),
+        ("jcch_tuned", Workload::Jcch(JcchSkew::Tuned)),
+    ];
+    for (name, workload) in &workloads {
+        for budget in [32usize, 96] {
+            let spec = JoinSpec::paper_synthetic(record_bytes, budget);
+            let smj = SortMergeJoin::new(spec);
+
+            // The pre-rewrite reference: owned-record sorter + heap merge.
+            let wl = generate(workload, record_bytes);
+            let (legacy_out, legacy_part, legacy_probe) = legacy_smj_run(&spec, &wl.r, &wl.s);
+            assert_eq!(
+                legacy_out,
+                wl.expected_join_output(),
+                "{name}/B={budget}: legacy SMJ reference must be correct"
+            );
+
+            // Sequential arena sorter + loser-tree merge.
+            let wl = generate(workload, record_bytes);
+            let seq = smj.run(&wl.r, &wl.s).expect("run");
+            assert_eq!(
+                seq.output_records, legacy_out,
+                "{name}/B={budget}: SMJ output diverged from the legacy sorter"
+            );
+            assert_eq!(
+                seq.partition_io, legacy_part,
+                "{name}/B={budget}: sort-phase I/O diverged from the legacy sorter"
+            );
+            assert_eq!(
+                seq.probe_io, legacy_probe,
+                "{name}/B={budget}: fused-merge I/O diverged from the legacy sorter"
+            );
+
+            // Parallel run generation at 1, 2 and 4 workers.
+            for threads in [1usize, 2, 4] {
+                let wl = generate(workload, record_bytes);
+                let par = smj
+                    .run_parallel(&wl.r, &wl.s, threads)
+                    .expect("run_parallel");
+                assert_eq!(
+                    par.output_records, legacy_out,
+                    "{name}/B={budget}/n={threads}: SMJ output diverged"
+                );
+                assert_eq!(
+                    par.partition_io, legacy_part,
+                    "{name}/B={budget}/n={threads}: sort-phase I/O diverged"
+                );
+                assert_eq!(
+                    par.probe_io, legacy_probe,
+                    "{name}/B={budget}/n={threads}: fused-merge I/O diverged"
                 );
             }
         }
