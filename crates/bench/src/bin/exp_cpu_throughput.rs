@@ -24,7 +24,10 @@
 use std::time::Instant;
 
 use nocap_bench::cpu;
-use nocap_joins::merge_join_runs;
+use nocap_bench::harness::report_trace;
+use nocap_joins::{merge_join_runs, GraceHashJoin, SortMergeJoin};
+use nocap_model::JoinSpec;
+use nocap_obs::Obs;
 use nocap_storage::SimDevice;
 
 /// Best-of-N wall-clock seconds for one kernel run.
@@ -122,6 +125,38 @@ fn main() {
     println!("partition_sweep,{sweep_legacy:.0},{sweep_fast:.0},{sweep_speedup:.2}");
     println!("sort_run_gen,{sort_legacy:.0},{sort_fast:.0},{sort_speedup:.2}");
     println!("smj_merge,{merge_legacy:.0},{merge_fast:.0},{merge_speedup:.2}");
+
+    // ---- end-to-end phase breakdowns (recorder on vs off) ----------------
+    // One full SMJ and GHJ run with the trace recorder enabled shows where
+    // the kernels above sit inside a complete join; the recorder-off rerun
+    // pins the no-op path's overhead (both runs are printed so regressions
+    // are visible in the log next to BENCH_cpu.json's trajectory).
+    let spec = JoinSpec::paper_synthetic(record_bytes, sort_budget);
+    let smj = SortMergeJoin::new(spec);
+    let ghj = GraceHashJoin::new(spec);
+    type TracedRun<'a> = Box<dyn Fn(&Obs) -> nocap_model::JoinRunReport + 'a>;
+    let runs: [(&str, TracedRun); 2] = [
+        (
+            "SMJ",
+            Box::new(|obs| smj.run_obs(&r, &s, obs).expect("SMJ run")),
+        ),
+        (
+            "GHJ",
+            Box::new(|obs| ghj.run_obs(&r, &s, obs).expect("GHJ run")),
+        ),
+    ];
+    for (label, run) in &runs {
+        let (off_secs, off_out) = best_secs(repeats, || run(&Obs::off()).output_records);
+        let obs = Obs::recording();
+        let traced = run(&obs);
+        assert_eq!(traced.output_records, off_out);
+        println!(
+            "# {label} end-to-end: recorder off {off_secs:.4}s (best of {repeats}), \
+             recorder on {:.4}s (single run)",
+            traced.cpu_seconds
+        );
+        report_trace(label, &traced);
+    }
 
     let json = format!(
         "{{\n  \"config\": {{ \"n_r\": {n_r}, \"n_s\": {n_s}, \"record_bytes\": {record_bytes}, \

@@ -7,7 +7,7 @@
 //! from below √(F·‖R‖) to beyond ‖R‖ (no join is executed).
 
 use nocap::{ocap, plan_nocap, OcapConfig, PlannerConfig};
-use nocap_bench::harness::print_series_table;
+use nocap_bench::harness::print_series_block;
 use nocap_model::{g_dhh, JoinSpec};
 use nocap_workload::{extract_mcvs, synthetic, Correlation, SyntheticConfig};
 
@@ -57,8 +57,11 @@ fn main() {
                 vec![Some(dhh), Some(nocap_est), Some(bound)],
             ));
         }
-        println!("# Figure 1 — {name}: estimated total I/O (pages) vs buffer size");
-        print_series_table("buffer_pages", &series, &rows);
-        println!();
+        print_series_block(
+            &format!("Figure 1 — {name}: estimated total I/O (pages) vs buffer size"),
+            "buffer_pages",
+            &series,
+            &rows,
+        );
     }
 }

@@ -4,7 +4,7 @@
 //! MCVs are extracted; NOCAP, DHH and Histojoin are then run with the noisy
 //! statistics and compared against the exact-statistics run.
 
-use nocap_bench::harness::{print_series_table, run_algorithms, AlgorithmSet};
+use nocap_bench::harness::{print_series_block, run_algorithms, AlgorithmSet};
 use nocap_model::JoinSpec;
 use nocap_storage::{DeviceProfile, SimDevice};
 use nocap_workload::{noisy_mcvs, synthetic, Correlation, SyntheticConfig};
@@ -72,13 +72,19 @@ fn main() {
                 series.iter().map(|&s| find(&noisy_results, s)).collect(),
             ));
         }
-        println!("# Figure 10 — correlation = {name}: latency (s) with exact MCVs");
-        print_series_table("buffer_pages", &series, &exact_rows);
-        println!();
-        println!(
-            "# Figure 10 — correlation = {name}: latency (s) with noisy MCVs (sigma = {sigma})"
+        print_series_block(
+            &format!("Figure 10 — correlation = {name}: latency (s) with exact MCVs"),
+            "buffer_pages",
+            &series,
+            &exact_rows,
         );
-        print_series_table("buffer_pages", &series, &noisy_rows);
-        println!();
+        print_series_block(
+            &format!(
+                "Figure 10 — correlation = {name}: latency (s) with noisy MCVs (sigma = {sigma})"
+            ),
+            "buffer_pages",
+            &series,
+            &noisy_rows,
+        );
     }
 }

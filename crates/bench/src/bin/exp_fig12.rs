@@ -5,7 +5,7 @@
 //! I/O-only latency (the paper separates the two because Q12's aggregation
 //! makes the join less I/O-bound).
 
-use nocap_bench::harness::{print_series_table, run_algorithms, AlgorithmSet};
+use nocap_bench::harness::{print_series_block, run_algorithms, AlgorithmSet};
 use nocap_model::JoinSpec;
 use nocap_storage::{DeviceProfile, SimDevice};
 use nocap_workload::tpch::{self, TpchQ12Config};
@@ -53,8 +53,11 @@ fn main() {
                 ],
             ));
         }
-        println!("# Figure 12 — TPC-H Q12-like, {name}: latency (s) vs buffer size");
-        print_series_table("buffer_pages", &series, &rows);
-        println!();
+        print_series_block(
+            &format!("Figure 12 — TPC-H Q12-like, {name}: latency (s) vs buffer size"),
+            "buffer_pages",
+            &series,
+            &rows,
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! to NOCAP; under *medium* skew (tuned JCC-H, cast ⋈ title) the fixed
 //! thresholds leave I/O on the table and NOCAP pulls ahead.
 
-use nocap_bench::harness::{print_series_table, run_algorithms, AlgorithmSet};
+use nocap_bench::harness::{print_series_block, run_algorithms, AlgorithmSet};
 use nocap_model::JoinSpec;
 use nocap_storage::{DeviceProfile, SimDevice};
 use nocap_workload::jcch::{self, JcchConfig, JcchSkew};
@@ -45,9 +45,12 @@ fn sweep(name: &str, workload: &GeneratedWorkload, record_bytes: usize, n_r: usi
             ],
         ));
     }
-    println!("# Figure 13 — {name}: latency (s) vs buffer size");
-    print_series_table("buffer_pages", &series, &rows);
-    println!();
+    print_series_block(
+        &format!("Figure 13 — {name}: latency (s) vs buffer size"),
+        "buffer_pages",
+        &series,
+        &rows,
+    );
 }
 
 fn main() {

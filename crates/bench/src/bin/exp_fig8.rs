@@ -9,7 +9,7 @@
 //! Scaled-down geometry (see DESIGN.md §2): n_R = 20 K, n_S = 160 K,
 //! 256-byte records. Pass `--quick` to use an even smaller workload.
 
-use nocap_bench::harness::{ocap_lower_bound, print_series_table, run_algorithms, AlgorithmSet};
+use nocap_bench::harness::{ocap_lower_bound, print_series_block, run_algorithms, AlgorithmSet};
 use nocap_model::JoinSpec;
 use nocap_storage::{DeviceProfile, SimDevice};
 use nocap_workload::{synthetic, Correlation, SyntheticConfig};
@@ -100,15 +100,24 @@ fn main() {
             ));
         }
 
-        println!("# Figure 8 — correlation = {name}: #I/Os vs buffer size");
-        print_series_table("buffer_pages", &series, &io_rows);
-        println!();
-        println!("# Figure 8 — correlation = {name}: latency (s), O_SYNC off");
-        print_series_table("buffer_pages", &series[..5], &strip_last(&lat_nosync_rows));
-        println!();
-        println!("# Figure 8 — correlation = {name}: latency (s), O_SYNC on (rescaled writes)");
-        print_series_table("buffer_pages", &series[..5], &strip_last(&lat_sync_rows));
-        println!();
+        print_series_block(
+            &format!("Figure 8 — correlation = {name}: #I/Os vs buffer size"),
+            "buffer_pages",
+            &series,
+            &io_rows,
+        );
+        print_series_block(
+            &format!("Figure 8 — correlation = {name}: latency (s), O_SYNC off"),
+            "buffer_pages",
+            &series[..5],
+            &strip_last(&lat_nosync_rows),
+        );
+        print_series_block(
+            &format!("Figure 8 — correlation = {name}: latency (s), O_SYNC on (rescaled writes)"),
+            "buffer_pages",
+            &series[..5],
+            &strip_last(&lat_sync_rows),
+        );
     }
 }
 

@@ -6,7 +6,7 @@
 //! pays a full extra pass, while rounded hash keeps most partitions
 //! chunk-aligned.
 
-use nocap_bench::harness::{print_series_table, run_algorithms, AlgorithmSet};
+use nocap_bench::harness::{print_series_block, run_algorithms, AlgorithmSet};
 use nocap_model::JoinSpec;
 use nocap_storage::{DeviceProfile, SimDevice};
 use nocap_workload::{synthetic, Correlation, SyntheticConfig};
@@ -62,11 +62,17 @@ fn main() {
                     .collect(),
             ));
         }
-        println!("# Figure 9 — correlation = {name}: #I/Os under limited memory");
-        print_series_table("buffer_pages", &series, &io_rows);
-        println!();
-        println!("# Figure 9 — correlation = {name}: latency (s) under limited memory");
-        print_series_table("buffer_pages", &series, &lat_rows);
-        println!();
+        print_series_block(
+            &format!("Figure 9 — correlation = {name}: #I/Os under limited memory"),
+            "buffer_pages",
+            &series,
+            &io_rows,
+        );
+        print_series_block(
+            &format!("Figure 9 — correlation = {name}: latency (s) under limited memory"),
+            "buffer_pages",
+            &series,
+            &lat_rows,
+        );
     }
 }

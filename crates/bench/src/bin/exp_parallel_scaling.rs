@@ -20,8 +20,10 @@
 use std::time::Instant;
 
 use nocap::{NocapConfig, NocapJoin};
+use nocap_bench::harness::report_trace;
 use nocap_joins::{DhhJoin, SortMergeJoin};
 use nocap_model::{JoinRunReport, JoinSpec};
+use nocap_obs::Obs;
 use nocap_stats::{StatsCollector, StatsConfig};
 use nocap_storage::SimDevice;
 use nocap_workload::{synthetic, Correlation, GeneratedWorkload, SyntheticConfig};
@@ -86,6 +88,32 @@ fn scaling_table(
     );
 }
 
+/// Re-runs one algorithm at 4 workers with the trace recorder on, checks the
+/// recording changed nothing about the modeled execution, and prints the
+/// per-phase wall-time and skew breakdown (plus a chrome trace when
+/// `NOCAP_TRACE` is set).
+fn traced_breakdown(
+    algo: &str,
+    sequential: &JoinRunReport,
+    device: &nocap_storage::device::DeviceRef,
+    run: impl Fn(&Obs) -> JoinRunReport,
+) {
+    device.reset_stats();
+    let obs = Obs::recording();
+    let report = run(&obs);
+    assert_eq!(report.output_records, sequential.output_records);
+    assert_eq!(
+        report.partition_io, sequential.partition_io,
+        "{algo}: recording must not change the partition-phase I/O"
+    );
+    assert_eq!(
+        report.probe_io, sequential.probe_io,
+        "{algo}: recording must not change the probe-phase I/O"
+    );
+    report_trace(algo, &report);
+    println!();
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (n_r, n_s, repeats) = if quick {
@@ -127,6 +155,10 @@ fn main() {
         join.run_parallel(&wl.r, &wl.s, &wl.mcvs, threads)
             .expect("parallel run")
     });
+    traced_breakdown("NOCAP", &sequential, &device, |obs| {
+        join.run_parallel_obs(&wl.r, &wl.s, &wl.mcvs, 4, obs)
+            .expect("traced run")
+    });
 
     // ---- DHH (the strongest baseline, now also parallel) --------------
     let dhh = DhhJoin::with_defaults(spec);
@@ -137,6 +169,10 @@ fn main() {
         dhh.run_parallel(&wl.r, &wl.s, &wl.mcvs, threads)
             .expect("parallel DHH")
     });
+    traced_breakdown("DHH", &dhh_sequential, &device, |obs| {
+        dhh.run_parallel_obs(&wl.r, &wl.s, &wl.mcvs, 4, obs)
+            .expect("traced DHH")
+    });
 
     // ---- SMJ (parallel sort-run generation) ---------------------------
     let smj = SortMergeJoin::new(spec);
@@ -146,6 +182,10 @@ fn main() {
     scaling_table("SMJ", &smj_sequential, repeats, &device, |threads| {
         smj.run_parallel(&wl.r, &wl.s, threads)
             .expect("parallel SMJ")
+    });
+    traced_breakdown("SMJ", &smj_sequential, &device, |obs| {
+        smj.run_parallel_obs(&wl.r, &wl.s, 4, obs)
+            .expect("traced SMJ")
     });
 
     // ---- Sharded statistics collection --------------------------------

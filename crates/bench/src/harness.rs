@@ -3,7 +3,8 @@
 
 use nocap::{NocapConfig, NocapJoin, OcapConfig};
 use nocap_joins::{DhhConfig, DhhJoin, GraceHashJoin, HistoJoin, SortMergeJoin};
-use nocap_model::{CorrelationTable, JoinSpec};
+use nocap_model::{CorrelationTable, JoinRunReport, JoinSpec};
+use nocap_obs::ExecutionTrace;
 use nocap_storage::{DeviceProfile, Relation};
 use nocap_workload::GeneratedWorkload;
 
@@ -148,5 +149,52 @@ pub fn print_series_table(
             });
         }
         println!("{}", cells.join(","));
+    }
+}
+
+/// Prints one figure panel in the shared per-bin block format: a `# title`
+/// comment line, the CSV series table, and a trailing blank line.
+pub fn print_series_block(
+    title: &str,
+    x_label: &str,
+    series_names: &[&str],
+    rows: &[(String, Vec<Option<f64>>)],
+) {
+    println!("# {title}");
+    print_series_table(x_label, series_names, rows);
+    println!();
+}
+
+/// Prints a trace's phase table (per-phase wall times, skew histograms,
+/// counters, gauges, per-worker busy time) as `#`-prefixed comment lines so
+/// the block nests inside the surrounding CSV stream.
+pub fn print_trace_breakdown(label: &str, trace: &ExecutionTrace) {
+    println!("# {label} phase breakdown");
+    for line in trace.phase_table().lines() {
+        println!("#   {line}");
+    }
+}
+
+/// Honors the `NOCAP_TRACE=<base>` environment hook: writes `trace` as
+/// chrome://tracing JSON to `<base>.<label>.json` (loadable in Perfetto /
+/// `chrome://tracing`). A no-op when the variable is unset or empty.
+pub fn maybe_dump_trace(label: &str, trace: &ExecutionTrace) {
+    let Ok(base) = std::env::var("NOCAP_TRACE") else {
+        return;
+    };
+    if base.is_empty() {
+        return;
+    }
+    let path = format!("{base}.{label}.json");
+    std::fs::write(&path, trace.to_chrome_trace()).expect("write NOCAP_TRACE output");
+    println!("# wrote chrome trace: {path}");
+}
+
+/// Prints the phase breakdown of a traced run and honors `NOCAP_TRACE`.
+/// Does nothing for reports produced without a recording channel.
+pub fn report_trace(label: &str, report: &JoinRunReport) {
+    if let Some(trace) = &report.trace {
+        print_trace_breakdown(label, trace);
+        maybe_dump_trace(label, trace);
     }
 }

@@ -21,10 +21,9 @@
 //! All pages are drawn from a [`BufferPool`] capped at the spec's budget, so
 //! the §4.1 memory breakdown is enforced at run time, not just assumed.
 
-use std::time::Instant;
-
 use nocap_model::pairwise::smart_partition_join;
 use nocap_model::{JoinRunReport, JoinSpec, RoundedHashParams};
+use nocap_obs::{Obs, Phase};
 use nocap_par::QuotaStager;
 use nocap_stats::{StatsCollector, StatsSummary};
 use nocap_storage::{
@@ -73,6 +72,20 @@ impl NocapJoin {
         s: &Relation,
         mcvs: &[(u64, u64)],
     ) -> nocap_storage::Result<JoinRunReport> {
+        self.run_obs(r, s, mcvs, &Obs::off())
+    }
+
+    /// [`run`](Self::run) with observability: phase spans, skew histograms
+    /// and counters land in the report's `trace` when `obs` is recording.
+    /// The plan is computed before any clock is read — time flows only into
+    /// the obs channel, never into planning or execution decisions.
+    pub fn run_obs(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        mcvs: &[(u64, u64)],
+        obs: &Obs,
+    ) -> nocap_storage::Result<JoinRunReport> {
         let plan = plan_nocap(
             mcvs,
             r.num_records(),
@@ -80,7 +93,7 @@ impl NocapJoin {
             &self.spec,
             &self.config.planner,
         );
-        self.run_with_plan(r, s, &plan)
+        self.run_with_plan_obs(r, s, &plan, obs)
     }
 
     /// Plans and executes the join purely from a one-pass sketch summary —
@@ -100,6 +113,18 @@ impl NocapJoin {
         s: &Relation,
         stats: &StatsSummary,
     ) -> nocap_storage::Result<JoinRunReport> {
+        self.run_with_collected_stats_obs(r, s, stats, &Obs::off())
+    }
+
+    /// The observed variant of
+    /// [`run_with_collected_stats`](Self::run_with_collected_stats).
+    pub fn run_with_collected_stats_obs(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        stats: &StatsSummary,
+        obs: &Obs,
+    ) -> nocap_storage::Result<JoinRunReport> {
         let mcvs = stats.planner_mcvs();
         let plan = plan_nocap(
             &mcvs,
@@ -108,7 +133,7 @@ impl NocapJoin {
             &self.spec,
             &self.config.planner,
         );
-        self.run_with_plan(r, s, &plan)
+        self.run_with_plan_obs(r, s, &plan, obs)
     }
 
     /// The fully self-contained path: scans S once to collect sketch
@@ -138,16 +163,30 @@ impl NocapJoin {
         s: &Relation,
         stats_pages: usize,
     ) -> nocap_storage::Result<JoinRunReport> {
+        self.collect_and_run_obs(r, s, stats_pages, &Obs::off())
+    }
+
+    /// The observed variant of [`collect_and_run`](Self::collect_and_run):
+    /// the sketch pass shows up as a `stats` phase span alongside the join's
+    /// own phases.
+    pub fn collect_and_run_obs(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        stats_pages: usize,
+        obs: &Obs,
+    ) -> nocap_storage::Result<JoinRunReport> {
         let pool = BufferPool::new(self.spec.buffer_pages);
-        let summary = StatsCollector::collect_parallel_with_budget(
+        let summary = StatsCollector::collect_parallel_with_budget_obs(
             &pool,
             stats_pages,
             self.spec.page_size,
             s,
             1,
+            obs,
         )?;
         drop(pool);
-        self.run_with_collected_stats(r, s, &summary)
+        self.run_with_collected_stats_obs(r, s, &summary, obs)
     }
 
     /// Executes the join with an explicit, pre-computed plan.
@@ -157,6 +196,20 @@ impl NocapJoin {
         s: &Relation,
         plan: &NocapPlan,
     ) -> nocap_storage::Result<JoinRunReport> {
+        self.run_with_plan_obs(r, s, plan, &Obs::off())
+    }
+
+    /// [`run_with_plan`](Self::run_with_plan) with observability. The
+    /// recorder is strictly passive: partition routing, destaging and the
+    /// probe order are fixed by the plan and the data, so an observed run
+    /// produces bit-identical output and modeled I/O to a blind one.
+    pub fn run_with_plan_obs(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        plan: &NocapPlan,
+        obs: &Obs,
+    ) -> nocap_storage::Result<JoinRunReport> {
         let spec = &self.spec;
         let device = r.device().clone();
         let pool = BufferPool::new(spec.buffer_pages);
@@ -165,7 +218,7 @@ impl NocapJoin {
         let _fixed = pool.reserve(plan.fixed_memory_pages(spec).min(pool.available()))?;
         let rest_budget = pool.available();
 
-        let started = Instant::now();
+        let timer = obs.run_timer();
         let base_stats = device.stats();
 
         let mem_set = plan.mem_key_set();
@@ -192,6 +245,7 @@ impl NocapJoin {
             plan.estimated_rest_keys,
             self.config.planner.rh_params,
         );
+        let r_partition_span = obs.span(Phase::Partition);
         let mut r_scan = r.scan();
         while let Some(page) = r_scan.next_page()? {
             for rec in page.record_refs() {
@@ -204,14 +258,20 @@ impl NocapJoin {
                 }
             }
         }
+        drop(r_partition_span);
+        let spill_span = obs.span(Phase::Spill);
         let rest_build = rest.finish_build()?;
-        for rec in rest_build.staged_records.iter() {
-            ht_mem.insert_ref(rec);
-        }
         let r_disk_handles: Vec<PartitionHandle> = r_disk_writers
             .into_iter()
             .map(|w| w.finish())
             .collect::<nocap_storage::Result<_>>()?;
+        drop(spill_span);
+        {
+            let _build_span = obs.span(Phase::Build);
+            for rec in rest_build.staged_records.iter() {
+                ht_mem.insert_ref(rec);
+            }
+        }
 
         // ---- Phase 2: partition / probe S (Algorithm 9) -------------------
         let mut output = 0u64;
@@ -239,6 +299,7 @@ impl NocapJoin {
                 })
             })
             .collect();
+        let s_partition_span = obs.span(Phase::Partition);
         let mut s_scan = s.scan();
         while let Some(page) = s_scan.next_page()? {
             for rec in page.record_refs() {
@@ -262,10 +323,18 @@ impl NocapJoin {
                 // match.
             }
         }
+        drop(s_partition_span);
         let partition_io = device.stats().since(&base_stats);
+        record_partition_skew(
+            obs,
+            &r_disk_handles,
+            rest_build.spilled.iter().flatten(),
+            rest_build.pob.len(),
+        );
 
         // ---- Phase 3: partition-wise joins of everything spilled ----------
         let probe_base = device.stats();
+        let probe_span = obs.span(Phase::Probe);
         let s_disk_handles: Vec<PartitionHandle> = s_disk_writers
             .into_iter()
             .map(|w| w.finish())
@@ -282,6 +351,7 @@ impl NocapJoin {
             output += smart_partition_join(r_part, &s_part, spec, 1)?;
             s_part.delete()?;
         }
+        drop(probe_span);
         let probe_io = device.stats().since(&probe_base);
 
         // Clean up spill files (not counted as I/O).
@@ -292,13 +362,35 @@ impl NocapJoin {
             h.delete()?;
         }
 
+        obs.gauge_max("buffer_pool_peak_pages", pool.peak() as u64);
         let mut report = JoinRunReport::new("NOCAP");
         report.output_records = output;
         report.partition_io = partition_io;
         report.probe_io = probe_io;
-        report.cpu_seconds = started.elapsed().as_secs_f64();
+        report.finish_run(timer, obs);
         Ok(report)
     }
+}
+
+/// Records the partition-fan-out skew histograms and counters shared by the
+/// sequential and parallel NOCAP executors: per-spilled-partition record and
+/// page counts (designated partitions first, then destaged residuals) plus
+/// the partition-census counters the breakdown tables report.
+pub(crate) fn record_partition_skew<'a>(
+    obs: &Obs,
+    designated: &'a [PartitionHandle],
+    spilled_rest: impl Iterator<Item = &'a PartitionHandle> + Clone,
+    rest_partitions: usize,
+) {
+    if !obs.is_recording() {
+        return;
+    }
+    let handles = || designated.iter().chain(spilled_rest.clone());
+    obs.values("partition_records", handles().map(|h| h.records() as u64));
+    obs.values("partition_pages", handles().map(|h| h.pages() as u64));
+    obs.count("designated_partitions", designated.len() as u64);
+    obs.count("rest_partitions", rest_partitions as u64);
+    obs.count("spilled_rest_partitions", spilled_rest.count() as u64);
 }
 
 /// What the residual partitioner hands back after the R pass.

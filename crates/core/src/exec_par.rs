@@ -32,15 +32,15 @@
 //! threads when physical memory, not I/O, is the binding constraint.
 
 use std::sync::Mutex;
-use std::time::Instant;
 
 use nocap_model::pairwise::smart_partition_join;
 use nocap_model::JoinRunReport;
-use nocap_par::{page_shards, run_workers, sum_tasks, ParallelStager, SharedWriterSet};
+use nocap_obs::{Obs, Phase};
+use nocap_par::{page_shards, run_workers_obs, sum_tasks_obs, ParallelStager, SharedWriterSet};
 use nocap_stats::StatsCollector;
 use nocap_storage::{BufferPool, IoKind, JoinHashTable, PartitionHandle, Relation, Reservation};
 
-use crate::exec::{NocapJoin, RestGeometry};
+use crate::exec::{record_partition_skew, NocapJoin, RestGeometry};
 use crate::plan::NocapPlan;
 use crate::planner::plan_nocap;
 
@@ -58,6 +58,20 @@ impl NocapJoin {
         mcvs: &[(u64, u64)],
         threads: usize,
     ) -> nocap_storage::Result<JoinRunReport> {
+        self.run_parallel_obs(r, s, mcvs, threads, &Obs::off())
+    }
+
+    /// [`run_parallel`](Self::run_parallel) with observability — see
+    /// [`run_obs`](Self::run_obs). Worker scans and probe tasks additionally
+    /// record per-worker timeline spans.
+    pub fn run_parallel_obs(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        mcvs: &[(u64, u64)],
+        threads: usize,
+        obs: &Obs,
+    ) -> nocap_storage::Result<JoinRunReport> {
         let plan = plan_nocap(
             mcvs,
             r.num_records(),
@@ -65,7 +79,7 @@ impl NocapJoin {
             self.spec(),
             &self.config().planner,
         );
-        self.run_parallel_with_plan(r, s, &plan, threads)
+        self.run_parallel_with_plan_obs(r, s, &plan, threads, obs)
     }
 
     /// Plans from a one-pass sketch summary and executes on `threads`
@@ -80,6 +94,19 @@ impl NocapJoin {
         stats: &nocap_stats::StatsSummary,
         threads: usize,
     ) -> nocap_storage::Result<JoinRunReport> {
+        self.run_parallel_with_collected_stats_obs(r, s, stats, threads, &Obs::off())
+    }
+
+    /// The observed variant of
+    /// [`run_parallel_with_collected_stats`](Self::run_parallel_with_collected_stats).
+    pub fn run_parallel_with_collected_stats_obs(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        stats: &nocap_stats::StatsSummary,
+        threads: usize,
+        obs: &Obs,
+    ) -> nocap_storage::Result<JoinRunReport> {
         let mcvs = stats.planner_mcvs();
         let plan = plan_nocap(
             &mcvs,
@@ -88,7 +115,7 @@ impl NocapJoin {
             self.spec(),
             &self.config().planner,
         );
-        self.run_parallel_with_plan(r, s, &plan, threads)
+        self.run_parallel_with_plan_obs(r, s, &plan, threads, obs)
     }
 
     /// The fully self-contained multi-threaded pipeline: sharded sketch
@@ -110,16 +137,32 @@ impl NocapJoin {
         stats_pages: usize,
         threads: usize,
     ) -> nocap_storage::Result<JoinRunReport> {
+        self.collect_and_run_parallel_obs(r, s, stats_pages, threads, &Obs::off())
+    }
+
+    /// The observed variant of
+    /// [`collect_and_run_parallel`](Self::collect_and_run_parallel): the
+    /// sharded sketch pass records a `stats` phase span and per-shard worker
+    /// spans into the same trace as the join.
+    pub fn collect_and_run_parallel_obs(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        stats_pages: usize,
+        threads: usize,
+        obs: &Obs,
+    ) -> nocap_storage::Result<JoinRunReport> {
         let pool = BufferPool::new(self.spec().buffer_pages);
-        let summary = StatsCollector::collect_parallel_with_budget(
+        let summary = StatsCollector::collect_parallel_with_budget_obs(
             &pool,
             stats_pages,
             self.spec().page_size,
             s,
             threads,
+            obs,
         )?;
         drop(pool);
-        self.run_parallel_with_collected_stats(r, s, &summary, threads)
+        self.run_parallel_with_collected_stats_obs(r, s, &summary, threads, obs)
     }
 
     /// Executes a pre-computed plan on `threads` worker threads (see
@@ -130,6 +173,22 @@ impl NocapJoin {
         s: &Relation,
         plan: &NocapPlan,
         threads: usize,
+    ) -> nocap_storage::Result<JoinRunReport> {
+        self.run_parallel_with_plan_obs(r, s, plan, threads, &Obs::off())
+    }
+
+    /// [`run_parallel_with_plan`](Self::run_parallel_with_plan) with
+    /// observability: main-thread phase spans around each pass, per-worker
+    /// scan spans, per-task probe spans, partition skew histograms and the
+    /// buffer-pool high-water gauge. Recording never influences routing,
+    /// destaging or claim order — clocks stay in the obs channel.
+    pub fn run_parallel_with_plan_obs(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        plan: &NocapPlan,
+        threads: usize,
+        obs: &Obs,
     ) -> nocap_storage::Result<JoinRunReport> {
         let threads = if threads == 0 {
             nocap_par::default_threads()
@@ -145,7 +204,7 @@ impl NocapJoin {
         let _fixed = pool.reserve(plan.fixed_memory_pages(&spec).min(pool.available()))?;
         let rest_budget = pool.available();
 
-        let started = Instant::now();
+        let timer = obs.run_timer();
         let base_stats = device.stats();
 
         let mem_set = plan.mem_key_set();
@@ -174,7 +233,8 @@ impl NocapJoin {
         );
         let ht_shared = Mutex::new(JoinHashTable::new(r.layout(), spec.page_size, spec.fudge));
         let r_shards = page_shards(r.num_pages(), threads);
-        let stages = run_workers(threads, |w| {
+        let r_partition_span = obs.span(Phase::Partition);
+        let stages = run_workers_obs(threads, obs, Phase::Partition, |w, _wobs| {
             let mut stage = stager.worker_stage();
             let mut scan = r.scan_range(r_shards[w].clone());
             while let Some(page) = scan.next_page()? {
@@ -196,12 +256,18 @@ impl NocapJoin {
             }
             Ok(stage)
         })?;
+        drop(r_partition_span);
+        let spill_span = obs.span(Phase::Spill);
         let rest_build = stager.finish(stages)?;
-        let mut ht_mem = ht_shared.into_inner().expect("hash table lock poisoned");
-        for rec in rest_build.staged_records.iter() {
-            ht_mem.insert_ref(rec);
-        }
         let r_disk_handles = r_disk.finish_dense()?;
+        drop(spill_span);
+        let mut ht_mem = ht_shared.into_inner().expect("hash table lock poisoned");
+        {
+            let _build_span = obs.span(Phase::Build);
+            for rec in rest_build.staged_records.iter() {
+                ht_mem.insert_ref(rec);
+            }
+        }
 
         // ---- Phase 2: partition / probe S (Algorithm 9, sharded) ---------
         let s_disk = SharedWriterSet::new(
@@ -221,7 +287,8 @@ impl NocapJoin {
         let s_shards = page_shards(s.num_pages(), threads);
         let ht_ref = &ht_mem;
         let pob = &rest_build.pob;
-        let probe_counts = run_workers(threads, |w| {
+        let s_partition_span = obs.span(Phase::Partition);
+        let probe_counts = run_workers_obs(threads, obs, Phase::Partition, |w, _wobs| {
             let mut output = 0u64;
             let mut scan = s.scan_range(s_shards[w].clone());
             while let Some(page) = scan.next_page()? {
@@ -246,12 +313,20 @@ impl NocapJoin {
             Ok(output)
         })?;
         let mut output: u64 = probe_counts.into_iter().sum();
+        drop(s_partition_span);
         let partition_io = device.stats().since(&base_stats);
+        record_partition_skew(
+            obs,
+            &r_disk_handles,
+            rest_build.spilled.iter().flatten(),
+            rest_build.pob.len(),
+        );
 
         // ---- Phase 3: partition-wise joins, fanned out -------------------
         // Partial output-buffer pages flush inside this window, exactly
         // where the sequential executor flushes them.
         let probe_base = device.stats();
+        let probe_span = obs.span(Phase::Probe);
         let s_disk_handles = s_disk.finish_dense()?;
         let s_rest_handles = s_rest.finish_all()?;
         let mut pairs: Vec<(PartitionHandle, PartitionHandle)> = Vec::new();
@@ -263,9 +338,10 @@ impl NocapJoin {
                 pairs.push((r_part.clone(), s_part.clone()));
             }
         }
-        output += sum_tasks(threads, pairs.len(), |i| {
+        output += sum_tasks_obs(threads, obs, Phase::Probe, pairs.len(), |i| {
             smart_partition_join(&pairs[i].0, &pairs[i].1, &spec, 1)
         })?;
+        drop(probe_span);
         let probe_io = device.stats().since(&probe_base);
 
         // Clean up spill files (not counted as I/O).
@@ -279,11 +355,12 @@ impl NocapJoin {
             h.delete()?;
         }
 
+        obs.gauge_max("buffer_pool_peak_pages", pool.peak() as u64);
         let mut report = JoinRunReport::new("NOCAP");
         report.output_records = output;
         report.partition_io = partition_io;
         report.probe_io = probe_io;
-        report.cpu_seconds = started.elapsed().as_secs_f64();
+        report.finish_run(timer, obs);
         Ok(report)
     }
 }

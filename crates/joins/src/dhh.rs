@@ -33,13 +33,13 @@
 
 use std::collections::HashSet;
 use std::sync::Mutex;
-use std::time::Instant;
 
 use nocap_model::pairwise::smart_partition_join;
 use nocap_model::{JoinRunReport, JoinSpec};
+use nocap_obs::{Obs, Phase};
 use nocap_par::{
-    default_threads, even_caps, page_shards, run_workers, sum_tasks, ParallelStager, QuotaStager,
-    SharedWriterSet,
+    default_threads, even_caps, page_shards, run_workers_obs, sum_tasks_obs, ParallelStager,
+    QuotaStager, SharedWriterSet,
 };
 use nocap_stats::StatsSummary;
 use nocap_storage::device::DeviceRef;
@@ -132,7 +132,19 @@ impl DhhJoin {
         s: &Relation,
         stats: &StatsSummary,
     ) -> nocap_storage::Result<JoinRunReport> {
-        self.run(r, s, &stats.planner_mcvs())
+        self.run_with_collected_stats_obs(r, s, stats, &Obs::off())
+    }
+
+    /// [`run_with_collected_stats`](Self::run_with_collected_stats) with an
+    /// observability channel.
+    pub fn run_with_collected_stats_obs(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        stats: &StatsSummary,
+        obs: &Obs,
+    ) -> nocap_storage::Result<JoinRunReport> {
+        self.run_obs(r, s, &stats.planner_mcvs(), obs)
     }
 
     /// Executes `r ⋈ s`. `mcvs` are the tracked most-common-value statistics
@@ -144,9 +156,23 @@ impl DhhJoin {
         s: &Relation,
         mcvs: &[(u64, u64)],
     ) -> nocap_storage::Result<JoinRunReport> {
+        self.run_obs(r, s, mcvs, &Obs::off())
+    }
+
+    /// [`run`](Self::run) with an observability channel: phase spans
+    /// (partition, spill, build, probe), spilled-partition skew histograms,
+    /// and the buffer-pool high-water mark flow into `obs` when recording.
+    /// With `Obs::off()` the execution is byte-identical to `run`.
+    pub fn run_obs(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        mcvs: &[(u64, u64)],
+        obs: &Obs,
+    ) -> nocap_storage::Result<JoinRunReport> {
         let spec = &self.spec;
         let device = r.device().clone();
-        let started = Instant::now();
+        let timer = obs.run_timer();
         let base = device.stats();
         let pool = BufferPool::new(spec.buffer_pages);
         let _io_pages = pool.reserve(2)?;
@@ -163,6 +189,7 @@ impl DhhJoin {
         let mut partitioner =
             DhhPartitioner::new(device.clone(), *spec, r.layout(), pool.available(), m_dhh);
         let mut skew_table = JoinHashTable::new(r.layout(), spec.page_size, spec.fudge);
+        let r_partition_span = obs.span(Phase::Partition);
         let mut r_scan = r.scan();
         while let Some(page) = r_scan.next_page()? {
             for rec in page.record_refs() {
@@ -173,10 +200,17 @@ impl DhhJoin {
                 }
             }
         }
-        let build = partitioner.finish()?;
+        drop(r_partition_span);
+        let build = {
+            let _spill_span = obs.span(Phase::Spill);
+            partitioner.finish()?
+        };
         let mut ht_mem = skew_table;
-        for rec in build.staged_records.iter() {
-            ht_mem.insert_ref(rec);
+        {
+            let _build_span = obs.span(Phase::Build);
+            for rec in build.staged_records.iter() {
+                ht_mem.insert_ref(rec);
+            }
         }
 
         // ---- Partition / probe S (Algorithm 2) -----------------------------
@@ -195,6 +229,7 @@ impl DhhJoin {
                 })
             })
             .collect();
+        let s_partition_span = obs.span(Phase::Partition);
         let mut s_scan = s.scan();
         while let Some(page) = s_scan.next_page()? {
             for rec in page.record_refs() {
@@ -212,10 +247,13 @@ impl DhhJoin {
                 }
             }
         }
+        drop(s_partition_span);
         let partition_io = device.stats().since(&base);
+        record_dhh_skew(obs, &build.spilled, &build.pob, build.staged_records.len());
 
         // ---- Probe the spilled partition pairs -----------------------------
         let probe_base = device.stats();
+        let probe_span = obs.span(Phase::Probe);
         for (idx, maybe_r) in build.spilled.iter().enumerate() {
             let Some(r_part) = maybe_r else { continue };
             let Some(s_writer) = s_writers[idx].take() else {
@@ -225,17 +263,19 @@ impl DhhJoin {
             output += smart_partition_join(r_part, &s_part, spec, 1)?;
             s_part.delete()?;
         }
+        drop(probe_span);
         let probe_io = device.stats().since(&probe_base);
 
         for h in build.spilled.into_iter().flatten() {
             h.delete()?;
         }
 
+        obs.gauge_max("buffer_pool_peak_pages", pool.peak() as u64);
         let mut report = JoinRunReport::new("DHH");
         report.output_records = output;
         report.partition_io = partition_io;
         report.probe_io = probe_io;
-        report.cpu_seconds = started.elapsed().as_secs_f64();
+        report.finish_run(timer, obs);
         Ok(report)
     }
 
@@ -272,6 +312,21 @@ impl DhhJoin {
         mcvs: &[(u64, u64)],
         threads: usize,
     ) -> nocap_storage::Result<JoinRunReport> {
+        self.run_parallel_obs(r, s, mcvs, threads, &Obs::off())
+    }
+
+    /// [`run_parallel`](Self::run_parallel) with an observability channel:
+    /// in addition to the main-thread phase spans of
+    /// [`run_obs`](Self::run_obs), every worker contributes a per-thread
+    /// timeline (partition passes and claimed probe tasks) to the trace.
+    pub fn run_parallel_obs(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        mcvs: &[(u64, u64)],
+        threads: usize,
+        obs: &Obs,
+    ) -> nocap_storage::Result<JoinRunReport> {
         let threads = if threads == 0 {
             default_threads()
         } else {
@@ -279,7 +334,7 @@ impl DhhJoin {
         };
         let spec = &self.spec;
         let device = r.device().clone();
-        let started = Instant::now();
+        let timer = obs.run_timer();
         let base = device.stats();
         let pool = BufferPool::new(spec.buffer_pages);
         let _io_pages = pool.reserve(2)?;
@@ -303,7 +358,8 @@ impl DhhJoin {
         let stager = ParallelStager::new(device.clone(), r.layout(), *spec, caps);
         let ht_shared = Mutex::new(JoinHashTable::new(r.layout(), spec.page_size, spec.fudge));
         let r_shards = page_shards(r.num_pages(), threads);
-        let stages = run_workers(threads, |w| {
+        let r_partition_span = obs.span(Phase::Partition);
+        let stages = run_workers_obs(threads, obs, Phase::Partition, |w, _wobs| {
             let mut stage = stager.worker_stage();
             let mut scan = r.scan_range(r_shards[w].clone());
             while let Some(page) = scan.next_page()? {
@@ -323,10 +379,17 @@ impl DhhJoin {
             }
             Ok(stage)
         })?;
-        let build = stager.finish(stages)?;
+        drop(r_partition_span);
+        let build = {
+            let _spill_span = obs.span(Phase::Spill);
+            stager.finish(stages)?
+        };
         let mut ht_mem = ht_shared.into_inner().expect("skew table lock poisoned");
-        for rec in build.staged_records.iter() {
-            ht_mem.insert_ref(rec);
+        {
+            let _build_span = obs.span(Phase::Build);
+            for rec in build.staged_records.iter() {
+                ht_mem.insert_ref(rec);
+            }
         }
 
         // ---- Partition / probe S (Algorithm 2, sharded) ------------------
@@ -340,7 +403,8 @@ impl DhhJoin {
         let s_shards = page_shards(s.num_pages(), threads);
         let ht_ref = &ht_mem;
         let pob = &build.pob;
-        let probe_counts = run_workers(threads, |w| {
+        let s_partition_span = obs.span(Phase::Partition);
+        let probe_counts = run_workers_obs(threads, obs, Phase::Partition, |w, _wobs| {
             let mut output = 0u64;
             let mut scan = s.scan_range(s_shards[w].clone());
             while let Some(page) = scan.next_page()? {
@@ -358,13 +422,16 @@ impl DhhJoin {
             }
             Ok(output)
         })?;
+        drop(s_partition_span);
         let mut output: u64 = probe_counts.into_iter().sum();
         let partition_io = device.stats().since(&base);
+        record_dhh_skew(obs, &build.spilled, &build.pob, build.staged_records.len());
 
         // ---- Probe the spilled partition pairs, fanned out ---------------
         // Partial S output-buffer pages flush inside this window, exactly
         // where the sequential executor flushes them.
         let probe_base = device.stats();
+        let probe_span = obs.span(Phase::Probe);
         let s_handles = s_writers.finish_all()?;
         let mut pairs: Vec<(PartitionHandle, PartitionHandle)> = Vec::new();
         for (maybe_r, maybe_s) in build.spilled.iter().zip(s_handles.iter()) {
@@ -372,9 +439,10 @@ impl DhhJoin {
                 pairs.push((r_part.clone(), s_part.clone()));
             }
         }
-        output += sum_tasks(threads, pairs.len(), |i| {
+        output += sum_tasks_obs(threads, obs, Phase::Probe, pairs.len(), |i| {
             smart_partition_join(&pairs[i].0, &pairs[i].1, spec, 1)
         })?;
+        drop(probe_span);
         let probe_io = device.stats().since(&probe_base);
 
         // Clean up spill files (not counted as I/O).
@@ -385,11 +453,12 @@ impl DhhJoin {
             h.delete()?;
         }
 
+        obs.gauge_max("buffer_pool_peak_pages", pool.peak() as u64);
         let mut report = JoinRunReport::new("DHH");
         report.output_records = output;
         report.partition_io = partition_io;
         report.probe_io = probe_io;
-        report.cpu_seconds = started.elapsed().as_secs_f64();
+        report.finish_run(timer, obs);
         Ok(report)
     }
 
@@ -405,7 +474,20 @@ impl DhhJoin {
         stats: &StatsSummary,
         threads: usize,
     ) -> nocap_storage::Result<JoinRunReport> {
-        self.run_parallel(r, s, &stats.planner_mcvs(), threads)
+        self.run_parallel_with_collected_stats_obs(r, s, stats, threads, &Obs::off())
+    }
+
+    /// [`run_parallel_with_collected_stats`](Self::run_parallel_with_collected_stats)
+    /// with an observability channel.
+    pub fn run_parallel_with_collected_stats_obs(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        stats: &StatsSummary,
+        threads: usize,
+        obs: &Obs,
+    ) -> nocap_storage::Result<JoinRunReport> {
+        self.run_parallel_obs(r, s, &stats.planner_mcvs(), threads, obs)
     }
 
     /// Chooses which MCV keys are pinned in the skew hash table.
@@ -436,6 +518,35 @@ impl DhhJoin {
         }
         selected
     }
+}
+
+/// Records DHH's partition-skew profile on the observability channel: size
+/// histograms over the destaged partitions plus staged/spilled counters.
+/// Both execution paths destage the same partition set (quota geometry), so
+/// the recorded skew is identical for any thread count.
+fn record_dhh_skew(
+    obs: &Obs,
+    spilled: &[Option<PartitionHandle>],
+    pob: &[bool],
+    staged_records: usize,
+) {
+    if !obs.is_recording() {
+        return;
+    }
+    obs.values(
+        "partition_records",
+        spilled.iter().flatten().map(|h| h.records() as u64),
+    );
+    obs.values(
+        "partition_pages",
+        spilled.iter().flatten().map(|h| h.pages() as u64),
+    );
+    obs.count("partitions", pob.len() as u64);
+    obs.count(
+        "spilled_partitions",
+        pob.iter().filter(|&&spilled| spilled).count() as u64,
+    );
+    obs.count("staged_records", staged_records as u64);
 }
 
 /// Outcome of DHH's R-partitioning phase.

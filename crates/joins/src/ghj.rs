@@ -7,12 +7,11 @@
 //! paper's augmentation — handed to chunk-wise NBJ when that is estimated to
 //! be cheaper.
 
-use std::time::Instant;
-
 use nocap_model::classic_cost::nbj_cost_best;
 use nocap_model::pairwise::nbj_partition_join;
 use nocap_model::{ghj_cost, JoinRunReport, JoinSpec};
-use nocap_par::{page_shards, run_workers, sum_tasks, SharedWriterSet};
+use nocap_obs::{Obs, Phase};
+use nocap_par::{page_shards, run_workers_obs, sum_tasks_obs, SharedWriterSet};
 use nocap_storage::device::DeviceRef;
 use nocap_storage::{
     BufferPool, IoKind, JoinHashTable, PartitionHandle, PartitionWriter, Relation,
@@ -46,9 +45,20 @@ impl GraceHashJoin {
 
     /// Executes `r ⋈ s`.
     pub fn run(&self, r: &Relation, s: &Relation) -> nocap_storage::Result<JoinRunReport> {
+        self.run_obs(r, s, &Obs::off())
+    }
+
+    /// [`run`](Self::run) with observability: partition/probe phase spans
+    /// and per-partition skew histograms land in the report's trace.
+    pub fn run_obs(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        obs: &Obs,
+    ) -> nocap_storage::Result<JoinRunReport> {
         let spec = &self.spec;
         let device = r.device().clone();
-        let started = Instant::now();
+        let timer = obs.run_timer();
         let base = device.stats();
 
         // Partition both inputs once.
@@ -57,27 +67,33 @@ impl GraceHashJoin {
         let _input_page = pool.reserve(1)?;
         let _output_buffers = pool.reserve(num_partitions.min(pool.available()))?;
 
+        let partition_span = obs.span(Phase::Partition);
         let r_parts = partition_relation_scan(&device, r, spec, num_partitions, 0)?;
         let s_parts = partition_relation_scan(&device, s, spec, num_partitions, 0)?;
+        drop(partition_span);
         let partition_io = device.stats().since(&base);
+        record_ghj_skew(obs, &r_parts, &s_parts);
 
         // Join each pair.
         let probe_base = device.stats();
+        let probe_span = obs.span(Phase::Probe);
         let mut output = 0u64;
         for (r_part, s_part) in r_parts.iter().zip(s_parts.iter()) {
             output += self.join_pair(&device, r_part, s_part, 1)?;
         }
+        drop(probe_span);
         let probe_io = device.stats().since(&probe_base);
 
         for h in r_parts.into_iter().chain(s_parts) {
             h.delete()?;
         }
 
+        obs.gauge_max("buffer_pool_peak_pages", pool.peak() as u64);
         let mut report = JoinRunReport::new("GHJ");
         report.output_records = output;
         report.partition_io = partition_io;
         report.probe_io = probe_io;
-        report.cpu_seconds = started.elapsed().as_secs_f64();
+        report.finish_run(timer, obs);
         Ok(report)
     }
 
@@ -96,6 +112,19 @@ impl GraceHashJoin {
         s: &Relation,
         threads: usize,
     ) -> nocap_storage::Result<JoinRunReport> {
+        self.run_parallel_obs(r, s, threads, &Obs::off())
+    }
+
+    /// [`run_parallel`](Self::run_parallel) with observability — phase
+    /// spans, per-worker scan spans, per-task probe spans and partition skew
+    /// histograms, recorded without touching routing or claim order.
+    pub fn run_parallel_obs(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        threads: usize,
+        obs: &Obs,
+    ) -> nocap_storage::Result<JoinRunReport> {
         let threads = if threads == 0 {
             nocap_par::default_threads()
         } else {
@@ -103,7 +132,7 @@ impl GraceHashJoin {
         };
         let spec = &self.spec;
         let device = r.device().clone();
-        let started = Instant::now();
+        let timer = obs.run_timer();
         let base = device.stats();
 
         let num_partitions = spec.buffer_pages.saturating_sub(1).max(2);
@@ -121,7 +150,7 @@ impl GraceHashJoin {
                     num_partitions,
                 );
                 let shards = page_shards(relation.num_pages(), threads);
-                run_workers(threads, |w| {
+                run_workers_obs(threads, obs, Phase::Partition, |w, _wobs| {
                     let mut scan = relation.scan_range(shards[w].clone());
                     while let Some(page) = scan.next_page()? {
                         for rec in page.record_refs() {
@@ -133,25 +162,31 @@ impl GraceHashJoin {
                 })?;
                 writers.finish_dense()
             };
+        let partition_span = obs.span(Phase::Partition);
         let r_parts = partition_parallel(r)?;
         let s_parts = partition_parallel(s)?;
+        drop(partition_span);
         let partition_io = device.stats().since(&base);
+        record_ghj_skew(obs, &r_parts, &s_parts);
 
         let probe_base = device.stats();
-        let output = sum_tasks(threads, r_parts.len(), |i| {
+        let probe_span = obs.span(Phase::Probe);
+        let output = sum_tasks_obs(threads, obs, Phase::Probe, r_parts.len(), |i| {
             self.join_pair(&device, &r_parts[i], &s_parts[i], 1)
         })?;
+        drop(probe_span);
         let probe_io = device.stats().since(&probe_base);
 
         for h in r_parts.into_iter().chain(s_parts) {
             h.delete()?;
         }
 
+        obs.gauge_max("buffer_pool_peak_pages", pool.peak() as u64);
         let mut report = JoinRunReport::new("GHJ");
         report.output_records = output;
         report.partition_io = partition_io;
         report.probe_io = probe_io;
-        report.cpu_seconds = started.elapsed().as_secs_f64();
+        report.finish_run(timer, obs);
         Ok(report)
     }
 
@@ -194,6 +229,23 @@ impl GraceHashJoin {
         }
         Ok(output)
     }
+}
+
+/// Records GHJ's first-level partition fan-out histograms (both sides).
+fn record_ghj_skew(obs: &Obs, r_parts: &[PartitionHandle], s_parts: &[PartitionHandle]) {
+    if !obs.is_recording() {
+        return;
+    }
+    obs.values(
+        "partition_records",
+        r_parts.iter().map(|h| h.records() as u64),
+    );
+    obs.values("partition_pages", r_parts.iter().map(|h| h.pages() as u64));
+    obs.values(
+        "s_partition_records",
+        s_parts.iter().map(|h| h.records() as u64),
+    );
+    obs.count("partitions", r_parts.len() as u64);
 }
 
 /// Hash-partitions a stored relation into `m` spill partitions.

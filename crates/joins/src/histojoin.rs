@@ -12,6 +12,7 @@
 //! and deterministic per-partition quota destaging (see [`crate::dhh`]).
 
 use nocap_model::{JoinRunReport, JoinSpec};
+use nocap_obs::Obs;
 use nocap_stats::StatsSummary;
 use nocap_storage::Relation;
 
@@ -54,7 +55,19 @@ impl HistoJoin {
         s: &Relation,
         mcvs: &[(u64, u64)],
     ) -> nocap_storage::Result<JoinRunReport> {
-        let mut report = self.inner.run(r, s, mcvs)?;
+        self.run_obs(r, s, mcvs, &Obs::off())
+    }
+
+    /// [`run`](Self::run) with an observability channel — the trace carries
+    /// DHH's phase spans and skew histograms under the Histojoin name.
+    pub fn run_obs(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        mcvs: &[(u64, u64)],
+        obs: &Obs,
+    ) -> nocap_storage::Result<JoinRunReport> {
+        let mut report = self.inner.run_obs(r, s, mcvs, obs)?;
         report.algorithm = "Histojoin".to_string();
         Ok(report)
     }
@@ -84,7 +97,20 @@ impl HistoJoin {
         mcvs: &[(u64, u64)],
         threads: usize,
     ) -> nocap_storage::Result<JoinRunReport> {
-        let mut report = self.inner.run_parallel(r, s, mcvs, threads)?;
+        self.run_parallel_obs(r, s, mcvs, threads, &Obs::off())
+    }
+
+    /// [`run_parallel`](Self::run_parallel) with an observability channel:
+    /// per-worker timelines ride along with DHH's phase spans.
+    pub fn run_parallel_obs(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        mcvs: &[(u64, u64)],
+        threads: usize,
+        obs: &Obs,
+    ) -> nocap_storage::Result<JoinRunReport> {
+        let mut report = self.inner.run_parallel_obs(r, s, mcvs, threads, obs)?;
         report.algorithm = "Histojoin".to_string();
         Ok(report)
     }

@@ -6,10 +6,9 @@
 //! once per chunk. Its I/O cost is exactly `‖R‖ + #chunks · ‖S‖`, the first
 //! row of Table 1.
 
-use std::time::Instant;
-
 use nocap_model::pairwise::ChunkLoader;
 use nocap_model::{JoinRunReport, JoinSpec};
+use nocap_obs::{Obs, Phase};
 use nocap_storage::{BufferPool, JoinHashTable, Relation};
 
 /// Nested Block Join executor.
@@ -26,6 +25,18 @@ impl NestedBlockJoin {
 
     /// Executes `r ⋈ s`, chunking whichever input is smaller.
     pub fn run(&self, r: &Relation, s: &Relation) -> nocap_storage::Result<JoinRunReport> {
+        self.run_obs(r, s, &Obs::off())
+    }
+
+    /// [`run`](Self::run) with an observability channel: each chunk's hash
+    /// table fill shows up as a build span and each outer pass as a scan
+    /// span, so the trace makes NBJ's `#chunks · ‖S‖` cost structure visible.
+    pub fn run_obs(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        obs: &Obs,
+    ) -> nocap_storage::Result<JoinRunReport> {
         let (inner, outer, inner_is_r) = if r.num_pages() <= s.num_pages() {
             (r, s, true)
         } else {
@@ -43,33 +54,41 @@ impl NestedBlockJoin {
         )
         .max(1);
 
-        let started = Instant::now();
+        let timer = obs.run_timer();
         let base = device.stats();
         let mut output = 0u64;
+        let mut chunks = 0u64;
         let mut inner_scan = inner.scan();
         let mut loader = ChunkLoader::new();
         loop {
             let mut table = JoinHashTable::new(inner.layout(), spec.page_size, spec.fudge);
+            let build_started = obs.start();
             let loaded = loader.fill(&mut table, chunk_records, || inner_scan.next_page())?;
+            obs.record(Phase::Build, build_started);
             if table.is_empty() {
                 break;
             }
+            chunks += 1;
+            let scan_started = obs.start();
             let mut outer_scan = outer.scan();
             while let Some(page) = outer_scan.next_page()? {
                 for rec in page.record_refs() {
                     output += table.probe_count(rec.key());
                 }
             }
+            obs.record(Phase::Scan, scan_started);
             if loaded < chunk_records {
                 break;
             }
         }
         let _ = inner_is_r;
+        obs.count("nbj_chunks", chunks);
+        obs.gauge_max("buffer_pool_peak_pages", pool.peak() as u64);
 
         let mut report = JoinRunReport::new("NBJ");
         report.output_records = output;
         report.probe_io = device.stats().since(&base);
-        report.cpu_seconds = started.elapsed().as_secs_f64();
+        report.finish_run(timer, obs);
         Ok(report)
     }
 }

@@ -26,10 +26,9 @@
 //! is `n · (B − 1)` pages at `n` workers — the classic memory/time trade of
 //! parallel run generation; the modeled I/O is unaffected.)
 
-use std::time::Instant;
-
 use nocap_model::{JoinRunReport, JoinSpec};
-use nocap_par::{default_threads, ordered_tasks};
+use nocap_obs::{Obs, Phase};
+use nocap_par::{default_threads, ordered_tasks_obs};
 use nocap_storage::sort::{run_chunks, sort_chunk, ExternalSorter, LoserTree, SortScratch};
 use nocap_storage::{PartitionHandle, Relation};
 
@@ -99,7 +98,24 @@ impl SortMergeJoin {
     /// Panics if the spec's buffer budget is below
     /// [`SMJ_MIN_BUDGET_PAGES`].
     pub fn run(&self, r: &Relation, s: &Relation) -> nocap_storage::Result<JoinRunReport> {
-        self.run_inner(r, s, 1)
+        self.run_inner(r, s, 1, &Obs::off())
+    }
+
+    /// [`run`](Self::run) with an observability channel: run-generation and
+    /// merge-cascade spans, run-size histograms, and the fused merge-join
+    /// span flow into `obs` when recording.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's buffer budget is below
+    /// [`SMJ_MIN_BUDGET_PAGES`].
+    pub fn run_obs(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        obs: &Obs,
+    ) -> nocap_storage::Result<JoinRunReport> {
+        self.run_inner(r, s, 1, obs)
     }
 
     /// Executes `r ⋈ s` with `threads` workers generating sort runs
@@ -119,12 +135,30 @@ impl SortMergeJoin {
         s: &Relation,
         threads: usize,
     ) -> nocap_storage::Result<JoinRunReport> {
+        self.run_parallel_obs(r, s, threads, &Obs::off())
+    }
+
+    /// [`run_parallel`](Self::run_parallel) with an observability channel:
+    /// every worker's claimed sort chunks appear as tasks on its timeline in
+    /// addition to the main-thread phase spans of [`run_obs`](Self::run_obs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's buffer budget is below
+    /// [`SMJ_MIN_BUDGET_PAGES`].
+    pub fn run_parallel_obs(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        threads: usize,
+        obs: &Obs,
+    ) -> nocap_storage::Result<JoinRunReport> {
         let threads = if threads == 0 {
             default_threads()
         } else {
             threads
         };
-        self.run_inner(r, s, threads)
+        self.run_inner(r, s, threads, obs)
     }
 
     fn run_inner(
@@ -132,10 +166,11 @@ impl SortMergeJoin {
         r: &Relation,
         s: &Relation,
         threads: usize,
+        obs: &Obs,
     ) -> nocap_storage::Result<JoinRunReport> {
         let spec = &self.spec;
         let device = r.device().clone();
-        let started = Instant::now();
+        let timer = obs.run_timer();
         let base = device.stats();
 
         let budget = spec.buffer_pages;
@@ -155,13 +190,23 @@ impl SortMergeJoin {
         let s_share = fan_in - r_share;
         debug_assert!(s_share >= 2, "clamp above keeps a two-way S merge");
 
-        let r_runs = sorted_runs(r, budget, r_share, threads)?;
-        let s_runs = sorted_runs(s, budget, s_share, threads)?;
+        let r_runs = sorted_runs(r, budget, r_share, threads, obs)?;
+        let s_runs = sorted_runs(s, budget, s_share, threads, obs)?;
         let partition_io = device.stats().since(&base);
+        if obs.is_recording() {
+            obs.values(
+                "final_run_pages",
+                r_runs.iter().chain(s_runs.iter()).map(|h| h.pages() as u64),
+            );
+            obs.count("final_runs", (r_runs.len() + s_runs.len()) as u64);
+        }
 
         // Fused final merge + join.
         let probe_base = device.stats();
-        let output = merge_join_runs(&r_runs, &s_runs)?;
+        let output = {
+            let _merge_span = obs.span(Phase::Merge);
+            merge_join_runs(&r_runs, &s_runs)?
+        };
         let probe_io = device.stats().since(&probe_base);
 
         for run in r_runs.into_iter().chain(s_runs) {
@@ -172,7 +217,7 @@ impl SortMergeJoin {
         report.output_records = output;
         report.partition_io = partition_io;
         report.probe_io = probe_io;
-        report.cpu_seconds = started.elapsed().as_secs_f64();
+        report.finish_run(timer, obs);
         Ok(report)
     }
 }
@@ -186,11 +231,25 @@ fn sorted_runs(
     budget: usize,
     share: usize,
     threads: usize,
+    obs: &Obs,
 ) -> nocap_storage::Result<Vec<PartitionHandle>> {
     let chunks = run_chunks(relation.num_pages(), budget);
-    let runs = ordered_tasks(threads, chunks.len(), SortScratch::new, |scratch, i| {
-        sort_chunk(relation, chunks[i].clone(), scratch)
-    })?;
+    let runs = {
+        let _run_gen_span = obs.span(Phase::SortRunGen);
+        ordered_tasks_obs(
+            threads,
+            obs,
+            Phase::SortRunGen,
+            chunks.len(),
+            SortScratch::new,
+            |scratch, i| sort_chunk(relation, chunks[i].clone(), scratch),
+        )?
+    };
+    if obs.is_recording() {
+        obs.values("run_pages", runs.iter().map(|h| h.pages() as u64));
+        obs.count("initial_runs", runs.len() as u64);
+    }
+    let _merge_span = obs.span(Phase::Merge);
     let mut sorter = ExternalSorter::new(relation.device().clone(), budget);
     Ok(sorter.merge_to_fan_in(runs, share)?.runs)
 }

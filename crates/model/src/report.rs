@@ -5,10 +5,11 @@
 //! latency and output cardinality uniformly — the three columns every figure
 //! of the paper is built from.
 
+use nocap_obs::{ExecutionTrace, Obs, RunTimer};
 use nocap_storage::{DeviceProfile, IoStats};
 
 /// Result of executing one join.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct JoinRunReport {
     /// Human-readable algorithm name ("NOCAP", "DHH", "GHJ", …).
     pub algorithm: String,
@@ -22,6 +23,24 @@ pub struct JoinRunReport {
     /// (hashing, sorting, probing). Reported separately because the paper's
     /// TPC-H discussion distinguishes I/O time from total time.
     pub cpu_seconds: f64,
+    /// Structured observability trace: per-phase spans, skew histograms and
+    /// worker timelines. `None` unless the run was observed with a recording
+    /// [`Obs`] handle. Excluded from equality — timing must never
+    /// participate in determinism comparisons.
+    pub trace: Option<ExecutionTrace>,
+}
+
+/// Equality over the deterministic payload only: the `trace` field carries
+/// wall-clock data and two otherwise-identical runs would never compare
+/// equal if it were included.
+impl PartialEq for JoinRunReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.algorithm == other.algorithm
+            && self.output_records == other.output_records
+            && self.partition_io == other.partition_io
+            && self.probe_io == other.probe_io
+            && self.cpu_seconds == other.cpu_seconds
+    }
 }
 
 impl JoinRunReport {
@@ -33,12 +52,22 @@ impl JoinRunReport {
             partition_io: IoStats::new(),
             probe_io: IoStats::new(),
             cpu_seconds: 0.0,
+            trace: None,
         }
+    }
+
+    /// Finalizes the report at the end of a run: stops the whole-run
+    /// stopwatch into `cpu_seconds` and attaches the recorded trace, if any.
+    /// Every executor ends with this, so CPU time is measured once,
+    /// consistently, instead of by per-executor stopwatch code.
+    pub fn finish_run(&mut self, timer: RunTimer, obs: &Obs) {
+        self.cpu_seconds = timer.stop(obs);
+        self.trace = obs.take_trace();
     }
 
     /// Total I/O trace of the run.
     pub fn total_io(&self) -> IoStats {
-        self.partition_io.plus(&self.probe_io)
+        self.partition_io + self.probe_io
     }
 
     /// Total number of page I/Os (the paper's "#I/Os" metric).
@@ -81,5 +110,28 @@ mod tests {
         let io_only = report.io_latency_secs(&dev);
         assert!(io_only > 0.0);
         assert!((report.total_latency_secs(&dev) - (io_only + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equality_ignores_the_trace() {
+        let obs = Obs::recording();
+        let timer = obs.run_timer();
+        obs.count("probe_hits", 3);
+        let mut observed = JoinRunReport::new("TEST");
+        observed.finish_run(timer, &obs);
+        assert!(observed.trace.is_some(), "recording run must carry a trace");
+        let mut blind = observed.clone();
+        blind.trace = None;
+        assert_eq!(observed, blind, "trace must not participate in equality");
+    }
+
+    #[test]
+    fn finish_run_without_recording_leaves_no_trace() {
+        let obs = Obs::off();
+        let timer = obs.run_timer();
+        let mut report = JoinRunReport::new("TEST");
+        report.finish_run(timer, &obs);
+        assert!(report.trace.is_none());
+        assert!(report.cpu_seconds >= 0.0);
     }
 }

@@ -1,0 +1,109 @@
+//! # nocap-obs
+//!
+//! Zero-cost-when-off observability for the NOCAP execution engine:
+//! monotonic-clock phase spans, named counters, value histograms and
+//! per-worker task timelines, recorded deterministically *alongside* a run
+//! and never feeding back into it.
+//!
+//! ## Design
+//!
+//! * [`Obs`] is a cheap cloneable handle the executors thread through every
+//!   phase. The default ([`Obs::off`]) carries no recorder: every probe is a
+//!   branch on a `None` and touches no clock, so the hot paths cost nothing
+//!   when observability is disabled.
+//! * [`Recorder`] is the sink trait. All methods have no-op defaults, so a
+//!   custom sink (the future join server's live metrics) only implements
+//!   what it needs. The bundled [`TraceRecorder`] accumulates a full
+//!   [`ExecutionTrace`].
+//! * Worker threads record through [`WorkerObs`], which buffers spans and
+//!   counters in plain per-worker `Vec`s — no locks, no atomics during
+//!   recording — and flushes them into the recorder with a single lock
+//!   acquisition when the worker finishes.
+//! * All timestamps are monotonic-clock offsets from the recorder's epoch.
+//!   **Clocks live only in this channel**: nothing in the engine reads time
+//!   to make a decision, so `tests/parallel_determinism.rs` passes with
+//!   recording enabled — the recorder observes without perturbing plans,
+//!   output or modeled I/O.
+//!
+//! ## Output
+//!
+//! [`ExecutionTrace`] offers three emitters: [`ExecutionTrace::phase_table`]
+//! (human-readable per-phase wall time and skew summaries),
+//! [`ExecutionTrace::to_json`] (machine-readable), and
+//! [`ExecutionTrace::to_chrome_trace`] (load in `chrome://tracing` or
+//! Perfetto for per-worker timelines).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod hist;
+mod recorder;
+mod trace;
+
+pub use hist::HistogramSummary;
+pub use recorder::{Obs, PhaseSpan, Recorder, RunTimer, SpanStart, TraceRecorder, WorkerObs};
+pub use trace::{ExecutionTrace, SpanRec};
+
+/// Execution phases the engine reports spans under.
+///
+/// The set mirrors the cost-model decomposition used throughout the paper:
+/// scans, statistics collection, partitioning, spill destaging, hash build,
+/// probe, sort run generation and merge, plus a [`Phase::Total`] span that
+/// brackets the whole run (its duration is `JoinRunReport::cpu_seconds`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Sequential relation scan (e.g. NBJ's outer passes).
+    Scan,
+    /// Streaming statistics collection (`StatsCollector`).
+    Stats,
+    /// Hash partitioning pass over an input relation.
+    Partition,
+    /// Destaging staged partitions to disk (quota stager / writer finish).
+    Spill,
+    /// In-memory hash-table build.
+    Build,
+    /// Probe: in-memory lookups or the partition-wise join fan-out.
+    Probe,
+    /// External-sort run generation (chunk sort + run write).
+    SortRunGen,
+    /// Merge: external-sort cascade passes and the final merge-join.
+    Merge,
+    /// The whole run, bracketed once per executor invocation.
+    Total,
+}
+
+impl Phase {
+    /// All phases in canonical display order.
+    pub const ALL: [Phase; 9] = [
+        Phase::Scan,
+        Phase::Stats,
+        Phase::Partition,
+        Phase::Spill,
+        Phase::Build,
+        Phase::Probe,
+        Phase::SortRunGen,
+        Phase::Merge,
+        Phase::Total,
+    ];
+
+    /// Stable snake_case name used in tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Scan => "scan",
+            Phase::Stats => "stats",
+            Phase::Partition => "partition",
+            Phase::Spill => "spill",
+            Phase::Build => "build",
+            Phase::Probe => "probe",
+            Phase::SortRunGen => "sort_run_gen",
+            Phase::Merge => "merge",
+            Phase::Total => "total",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}

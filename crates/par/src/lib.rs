@@ -10,7 +10,11 @@
 //!
 //! * [`pool`] — a scoped [`run_workers`] fan-out helper, a work-queue
 //!   [`sum_tasks`] helper for the partition-wise probe phase, and
-//!   [`default_threads`] (the `NOCAP_THREADS` environment knob).
+//!   [`default_threads`] (the `NOCAP_THREADS` environment knob). The
+//!   `*_obs` variants ([`run_workers_obs`], [`sum_tasks_obs`],
+//!   [`ordered_tasks_obs`]) additionally record per-worker / per-task spans
+//!   through `nocap-obs`, producing the per-worker timelines of the
+//!   chrome://tracing output without perturbing execution.
 //! * [`shard`] — [`page_shards`] splits a relation's pages into contiguous
 //!   per-worker morsels; [`SharedPartitionWriter`] / [`SharedWriterSet`]
 //!   are mutex-protected spill writers that keep the one-output-buffer-page
@@ -50,7 +54,10 @@ pub mod quota_stage;
 pub mod shard;
 pub mod stage;
 
-pub use pool::{default_threads, ordered_tasks, run_workers, sum_tasks};
+pub use pool::{
+    default_threads, ordered_tasks, ordered_tasks_obs, run_workers, run_workers_obs, sum_tasks,
+    sum_tasks_obs,
+};
 pub use quota::even_caps;
 pub use quota_stage::{QuotaStager, QuotaStagerBuild};
 pub use shard::{page_shards, SharedPartitionWriter, SharedWriterSet};

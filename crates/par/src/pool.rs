@@ -21,6 +21,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use nocap_obs::{Obs, Phase, WorkerObs};
 use nocap_storage::Result;
 
 /// Default worker count: the `NOCAP_THREADS` environment variable if set to
@@ -74,6 +75,24 @@ where
     results.into_iter().collect()
 }
 
+/// [`run_workers`] with per-worker observability: each worker's whole
+/// closure is bracketed by a span of the given phase under its worker id,
+/// and the closure receives a [`WorkerObs`] to record finer spans and
+/// counters lock-free (flushed when the worker finishes).
+pub fn run_workers_obs<T, F>(threads: usize, obs: &Obs, phase: Phase, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize, &mut WorkerObs) -> Result<T> + Sync,
+{
+    run_workers(threads, |w| {
+        let mut wobs = obs.worker(w);
+        let started = wobs.start();
+        let result = f(w, &mut wobs);
+        wobs.record(phase, started);
+        result
+    })
+}
+
 /// Executes `count` independent tasks on `threads` workers via an atomic
 /// work queue and returns the sum of their `u64` results.
 ///
@@ -84,15 +103,29 @@ pub fn sum_tasks<F>(threads: usize, count: usize, f: F) -> Result<u64>
 where
     F: Fn(usize) -> Result<u64> + Sync,
 {
+    sum_tasks_obs(threads, &Obs::off(), Phase::Probe, count, f)
+}
+
+/// [`sum_tasks`] with per-task observability: every claimed task becomes a
+/// span of the given phase tagged with its worker id and task index —
+/// the raw material of the per-worker timelines (a worker's gaps between
+/// task spans are its idle/claim time).
+pub fn sum_tasks_obs<F>(threads: usize, obs: &Obs, phase: Phase, count: usize, f: F) -> Result<u64>
+where
+    F: Fn(usize) -> Result<u64> + Sync,
+{
     let cursor = AtomicUsize::new(0);
-    let partials = run_workers(threads.max(1).min(count.max(1)), |_| {
+    let partials = run_workers(threads.max(1).min(count.max(1)), |w| {
+        let mut wobs = obs.worker(w);
         let mut sum = 0u64;
         loop {
             let task = cursor.fetch_add(1, Ordering::Relaxed);
             if task >= count {
                 return Ok(sum);
             }
+            let started = wobs.start();
             sum += f(task)?;
+            wobs.record_task(phase, task, started);
         }
     })?;
     Ok(partials.into_iter().sum())
@@ -114,8 +147,27 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> Result<T> + Sync,
 {
+    ordered_tasks_obs(threads, &Obs::off(), Phase::SortRunGen, count, init, f)
+}
+
+/// [`ordered_tasks`] with per-task observability: every claimed task becomes
+/// a span of the given phase tagged with its worker id and task index.
+pub fn ordered_tasks_obs<S, T, F, I>(
+    threads: usize,
+    obs: &Obs,
+    phase: Phase,
+    count: usize,
+    init: I,
+    f: F,
+) -> Result<Vec<T>>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> Result<T> + Sync,
+{
     let cursor = AtomicUsize::new(0);
-    let per_worker = run_workers(threads.max(1).min(count.max(1)), |_| {
+    let per_worker = run_workers(threads.max(1).min(count.max(1)), |w| {
+        let mut wobs = obs.worker(w);
         let mut state = init();
         let mut done: Vec<(usize, T)> = Vec::new();
         loop {
@@ -123,7 +175,9 @@ where
             if task >= count {
                 return Ok(done);
             }
+            let started = wobs.start();
             done.push((task, f(&mut state, task)?));
+            wobs.record_task(phase, task, started);
         }
     })?;
     let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
@@ -238,5 +292,55 @@ mod tests {
     fn ordered_tasks_with_zero_tasks_is_empty() {
         let results: Vec<usize> = ordered_tasks(4, 0, || (), |_, i| Ok(i)).unwrap();
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn run_workers_obs_records_one_timeline_per_worker() {
+        let obs = Obs::recording();
+        let results = run_workers_obs(4, &obs, Phase::Partition, |w, wobs| {
+            wobs.count("records_routed", (w + 1) as u64);
+            Ok(w)
+        })
+        .unwrap();
+        assert_eq!(results, vec![0, 1, 2, 3]);
+        let trace = obs.take_trace().unwrap();
+        let mut workers: Vec<usize> = trace.spans.iter().filter_map(|s| s.worker).collect();
+        workers.sort_unstable();
+        assert_eq!(workers, vec![0, 1, 2, 3]);
+        assert!(trace
+            .spans
+            .iter()
+            .all(|s| s.phase == Phase::Partition && s.end_ns >= s.start_ns));
+        assert_eq!(trace.counters.get("records_routed"), Some(&10));
+    }
+
+    #[test]
+    fn sum_tasks_obs_attributes_every_task_to_a_worker() {
+        let obs = Obs::recording();
+        let total = sum_tasks_obs(3, &obs, Phase::Probe, 20, |i| Ok(i as u64)).unwrap();
+        assert_eq!(total, (0..20u64).sum());
+        let trace = obs.take_trace().unwrap();
+        let mut tasks: Vec<usize> = trace.spans.iter().filter_map(|s| s.task).collect();
+        tasks.sort_unstable();
+        assert_eq!(tasks, (0..20).collect::<Vec<_>>(), "one span per task");
+        assert!(trace.spans.iter().all(|s| s.worker.is_some()));
+    }
+
+    #[test]
+    fn ordered_tasks_obs_keeps_task_order_and_spans() {
+        let obs = Obs::recording();
+        let results =
+            ordered_tasks_obs(4, &obs, Phase::SortRunGen, 15, || (), |_, i| Ok(i * 2)).unwrap();
+        assert_eq!(results, (0..15).map(|i| i * 2).collect::<Vec<_>>());
+        let trace = obs.take_trace().unwrap();
+        assert_eq!(trace.spans.len(), 15);
+        assert!(trace.spans.iter().all(|s| s.phase == Phase::SortRunGen));
+    }
+
+    #[test]
+    fn obs_off_changes_nothing() {
+        let with_obs = sum_tasks_obs(4, &Obs::off(), Phase::Probe, 50, |i| Ok(i as u64)).unwrap();
+        let without = sum_tasks(4, 50, |i| Ok(i as u64)).unwrap();
+        assert_eq!(with_obs, without);
     }
 }

@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use nocap_model::McvEstimate;
+use nocap_obs::{Obs, Phase};
 use nocap_par::{default_threads, page_shards, run_workers};
 use nocap_storage::{BufferPool, Record, Relation, RelationScan, Reservation, Result};
 
@@ -342,7 +343,20 @@ impl StatsCollector {
         rel: &Relation,
         threads: usize,
     ) -> Result<StatsSummary> {
-        Ok(Self::collect_sharded(rel, threads, |_| Ok(Self::new_shard(config)))?.finish())
+        Self::collect_parallel_obs(config, rel, threads, &Obs::off())
+    }
+
+    /// [`collect_parallel`](Self::collect_parallel) with observability: the
+    /// pass is bracketed by a `stats` phase span and every shard scan
+    /// becomes a per-worker task span. Recording is passive — the shard
+    /// grid, fold order and modeled I/O are untouched.
+    pub fn collect_parallel_obs(
+        config: StatsConfig,
+        rel: &Relation,
+        threads: usize,
+        obs: &Obs,
+    ) -> Result<StatsSummary> {
+        Ok(Self::collect_sharded(rel, threads, obs, |_| Ok(Self::new_shard(config)))?.finish())
     }
 
     /// The budgeted variant of [`collect_parallel`](Self::collect_parallel):
@@ -362,12 +376,26 @@ impl StatsCollector {
         rel: &Relation,
         threads: usize,
     ) -> Result<StatsSummary> {
+        Self::collect_parallel_with_budget_obs(pool, pages, page_size, rel, threads, &Obs::off())
+    }
+
+    /// The observed variant of
+    /// [`collect_parallel_with_budget`](Self::collect_parallel_with_budget);
+    /// see [`collect_parallel_obs`](Self::collect_parallel_obs).
+    pub fn collect_parallel_with_budget_obs(
+        pool: &BufferPool,
+        pages: usize,
+        page_size: usize,
+        rel: &Relation,
+        threads: usize,
+        obs: &Obs,
+    ) -> Result<StatsSummary> {
         let config = StatsConfig::for_budget_pages(pages, page_size);
         let charge = pages.max(config.memory_pages(page_size));
         let reservations: Vec<Mutex<Option<Reservation>>> = (0..Self::shard_count(rel))
             .map(|_| pool.reserve(charge).map(|r| Mutex::new(Some(r))))
             .collect::<Result<_>>()?;
-        let collected = Self::collect_sharded(rel, threads, |shard| {
+        let collected = Self::collect_sharded(rel, threads, obs, |shard| {
             let mut collector = Self::new_shard(config);
             collector.reservation = reservations[shard]
                 .lock()
@@ -387,6 +415,7 @@ impl StatsCollector {
     fn collect_sharded(
         rel: &Relation,
         threads: usize,
+        obs: &Obs,
         make: impl Fn(usize) -> Result<StatsCollector> + Sync,
     ) -> Result<StatsCollector> {
         let threads = if threads == 0 {
@@ -394,19 +423,26 @@ impl StatsCollector {
         } else {
             threads
         };
+        let _stats_span = obs.span(Phase::Stats);
         let num_shards = Self::shard_count(rel);
+        obs.count("stats_shards", num_shards as u64);
         let grid = page_shards(rel.num_pages(), num_shards);
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<StatsCollector>>> =
             (0..num_shards).map(|_| Mutex::new(None)).collect();
-        run_workers(threads.max(1).min(num_shards), |_| loop {
-            let i = cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= num_shards {
-                return Ok(());
+        run_workers(threads.max(1).min(num_shards), |w| {
+            let mut wobs = obs.worker(w);
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= num_shards {
+                    return Ok(());
+                }
+                let started = wobs.start();
+                let mut collector = make(i)?;
+                collector.consume(rel.scan_range(grid[i].clone()))?;
+                *slots[i].lock().expect("shard slot poisoned") = Some(collector);
+                wobs.record_task(Phase::Stats, i, started);
             }
-            let mut collector = make(i)?;
-            collector.consume(rel.scan_range(grid[i].clone()))?;
-            *slots[i].lock().expect("shard slot poisoned") = Some(collector);
         })?;
         let mut folded: Option<StatsCollector> = None;
         for slot in slots {

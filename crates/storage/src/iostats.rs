@@ -103,6 +103,18 @@ impl std::ops::Add for IoStats {
     }
 }
 
+impl std::ops::AddAssign for IoStats {
+    fn add_assign(&mut self, rhs: IoStats) {
+        *self = self.plus(&rhs);
+    }
+}
+
+impl std::iter::Sum for IoStats {
+    fn sum<I: Iterator<Item = IoStats>>(iter: I) -> IoStats {
+        iter.fold(IoStats::new(), |acc, s| acc + s)
+    }
+}
+
 impl std::fmt::Display for IoStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -318,6 +330,11 @@ mod tests {
         assert_eq!(c.seq_reads, 2);
         assert_eq!(c.seq_writes, 5);
         assert_eq!(c.total(), 7);
+        let mut acc = a;
+        acc += b;
+        assert_eq!(acc, c);
+        let summed: IoStats = [a, b, c].into_iter().sum();
+        assert_eq!(summed.total(), 14);
     }
 
     #[test]

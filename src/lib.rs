@@ -9,6 +9,8 @@
 //! * [`stats`] — bounded-memory streaming statistics (SpaceSaving top-k,
 //!   Count-Min, KMV distinct count, fallback histograms) that replace the
 //!   `CorrelationTable` oracle with one-pass sketch summaries.
+//! * [`obs`] — zero-cost-when-off tracing, metrics and skew profiling:
+//!   phase spans, counters, histograms and chrome://tracing emitters.
 //! * [`par`] — the multi-threaded execution engine: worker pool, sharded
 //!   spill writers and the deterministic concurrent residual stager behind
 //!   `NocapJoin::run_parallel`.
@@ -19,6 +21,7 @@
 pub use nocap;
 pub use nocap_joins as joins;
 pub use nocap_model as model;
+pub use nocap_obs as obs;
 pub use nocap_par as par;
 pub use nocap_stats as stats;
 pub use nocap_storage as storage;

@@ -22,6 +22,7 @@ use nocap_suite::joins::testutil::assert_parallel_equivalence;
 use nocap_suite::joins::{DhhJoin, SortMergeJoin};
 use nocap_suite::model::{JoinRunReport, JoinSpec};
 use nocap_suite::nocap::{NocapConfig, NocapJoin};
+use nocap_suite::obs::{Obs, Phase};
 use nocap_suite::stats::{StatsCollector, StatsConfig};
 use nocap_suite::storage::{BufferPool, SimDevice};
 use nocap_suite::workload::jcch::{self, JcchConfig, JcchSkew};
@@ -302,6 +303,138 @@ fn collect_parallel_summaries_are_bit_identical_on_generated_workloads() {
             );
         }
     }
+}
+
+/// Shared body of the recorder differential checks: a recorder-off
+/// sequential baseline against recorder-on parallel runs at 1/2/4/8
+/// workers. Recording must not change the join output or the per-phase
+/// modeled I/O, and every recorded trace must carry the expected
+/// main-thread phases, the listed histograms and one timeline per worker.
+fn assert_recording_is_invisible(
+    label: &str,
+    baseline: &JoinRunReport,
+    expected_phases: &[Phase],
+    expected_histograms: &[&str],
+    workers_exact: bool,
+    run: impl Fn(usize, &Obs) -> JoinRunReport,
+) {
+    assert!(
+        baseline.trace.is_none(),
+        "{label}: Obs::off() must not attach a trace"
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let obs = Obs::recording();
+        let traced = run(threads, &obs);
+        assert_eq!(
+            traced.output_records, baseline.output_records,
+            "{label}: recording changed the join output at {threads} threads"
+        );
+        assert_eq!(
+            traced.partition_io, baseline.partition_io,
+            "{label}: recording changed the partition-phase I/O at {threads} threads"
+        );
+        assert_eq!(
+            traced.probe_io, baseline.probe_io,
+            "{label}: recording changed the probe-phase I/O at {threads} threads"
+        );
+        let trace = traced
+            .trace
+            .as_ref()
+            .expect("a recording run attaches its trace to the report");
+        for &phase in expected_phases {
+            assert!(
+                trace.phase_secs(phase) > 0.0,
+                "{label}: phase {phase} missing from the trace at {threads} threads"
+            );
+        }
+        for &hist in expected_histograms {
+            assert!(
+                trace.histograms.contains_key(hist),
+                "{label}: histogram {hist} missing at {threads} threads"
+            );
+        }
+        let workers: std::collections::BTreeSet<usize> =
+            trace.spans.iter().filter_map(|s| s.worker).collect();
+        if workers_exact {
+            // Algorithms whose worker closures are span-bracketed record one
+            // timeline per worker no matter how the work is distributed.
+            assert_eq!(
+                workers,
+                (0..threads).collect(),
+                "{label}: every worker must contribute a timeline at {threads} threads"
+            );
+        } else {
+            // Task-claiming algorithms only record workers that won at least
+            // one task, so the set is a non-empty subset of the pool.
+            assert!(
+                !workers.is_empty() && workers.iter().all(|&w| w < threads),
+                "{label}: worker ids {workers:?} out of range at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn nocap_trace_recording_changes_nothing_and_captures_the_execution_shape() {
+    let workload = Workload::Synthetic(Correlation::Zipf { alpha: 1.1 });
+    let spec = JoinSpec::paper_synthetic(128, 48);
+    let join = NocapJoin::new(spec, NocapConfig::default());
+    let wl = generate(&workload);
+    let baseline = join.run(&wl.r, &wl.s, &wl.mcvs).expect("recorder-off run");
+    assert_recording_is_invisible(
+        "nocap",
+        &baseline,
+        &[Phase::Partition, Phase::Probe, Phase::Total],
+        &["partition_records", "partition_pages"],
+        true,
+        |threads, obs| {
+            let wl = generate(&workload);
+            join.run_parallel_obs(&wl.r, &wl.s, &wl.mcvs, threads, obs)
+                .expect("recorded run")
+        },
+    );
+}
+
+#[test]
+fn dhh_trace_recording_changes_nothing_and_captures_the_execution_shape() {
+    let workload = Workload::Synthetic(Correlation::Zipf { alpha: 1.1 });
+    let spec = JoinSpec::paper_synthetic(128, 48);
+    let dhh = DhhJoin::with_defaults(spec);
+    let wl = generate(&workload);
+    let baseline = dhh.run(&wl.r, &wl.s, &wl.mcvs).expect("recorder-off run");
+    assert_recording_is_invisible(
+        "dhh",
+        &baseline,
+        &[Phase::Partition, Phase::Probe, Phase::Total],
+        &["partition_records", "partition_pages"],
+        true,
+        |threads, obs| {
+            let wl = generate(&workload);
+            dhh.run_parallel_obs(&wl.r, &wl.s, &wl.mcvs, threads, obs)
+                .expect("recorded run")
+        },
+    );
+}
+
+#[test]
+fn smj_trace_recording_changes_nothing_and_captures_the_execution_shape() {
+    let workload = Workload::Synthetic(Correlation::Zipf { alpha: 1.1 });
+    let spec = JoinSpec::paper_synthetic(128, 32);
+    let smj = SortMergeJoin::new(spec);
+    let wl = generate(&workload);
+    let baseline = smj.run(&wl.r, &wl.s).expect("recorder-off run");
+    assert_recording_is_invisible(
+        "smj",
+        &baseline,
+        &[Phase::SortRunGen, Phase::Merge, Phase::Total],
+        &["run_pages", "final_run_pages"],
+        false,
+        |threads, obs| {
+            let wl = generate(&workload);
+            smj.run_parallel_obs(&wl.r, &wl.s, threads, obs)
+                .expect("recorded run")
+        },
+    );
 }
 
 #[test]
