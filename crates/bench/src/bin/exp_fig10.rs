@@ -13,7 +13,7 @@ fn main() {
     let n_r = 20_000usize;
     let n_s = 160_000usize;
     let record_bytes = 256usize;
-    let device_profile = DeviceProfile::ssd_no_sync();
+    let device_profile = DeviceProfile::osync_off();
     let sigma = n_s as f64 / n_r as f64;
 
     for (name, correlation) in [

@@ -9,9 +9,14 @@
 //! Scaled-down geometry (see DESIGN.md §2): n_R = 20 K, n_S = 160 K,
 //! 256-byte records. Pass `--quick` to use an even smaller workload.
 
-use nocap_bench::harness::{ocap_lower_bound, print_series_block, run_algorithms, AlgorithmSet};
+use nocap::{NocapConfig, NocapJoin};
+use nocap_bench::harness::{
+    io_audit_enabled, maybe_audit_io, ocap_lower_bound, print_series_block, run_algorithms,
+    AlgorithmSet,
+};
 use nocap_model::JoinSpec;
-use nocap_storage::{DeviceProfile, SimDevice};
+use nocap_obs::Obs;
+use nocap_storage::{DeviceProfile, SimDevice, TracedDevice};
 use nocap_workload::{synthetic, Correlation, SyntheticConfig};
 
 fn main() {
@@ -30,7 +35,13 @@ fn main() {
     ];
 
     for (name, correlation) in correlations {
-        let device = SimDevice::new_ref();
+        // NOCAP_IO_AUDIT wraps the device so the audited rerun below sees
+        // device-level events; the wrapper is pass-through for the sweep.
+        let device = if io_audit_enabled() {
+            TracedDevice::new_ref(SimDevice::new_ref())
+        } else {
+            SimDevice::new_ref()
+        };
         let config = SyntheticConfig {
             n_r,
             n_s,
@@ -59,8 +70,8 @@ fn main() {
 
         for &budget in &budgets {
             let spec = JoinSpec::paper_synthetic(record_bytes, budget);
-            let no_sync = DeviceProfile::ssd_no_sync();
-            let sync = DeviceProfile::ssd_sync();
+            let no_sync = DeviceProfile::osync_off();
+            let sync = DeviceProfile::osync_on();
             let results = run_algorithms(&workload, &spec, &no_sync, &AlgorithmSet::all());
             let lookup = |name: &str| results.iter().find(|m| m.algorithm == name);
             let ocap_ios = ocap_lower_bound(&workload.ct, &spec);
@@ -118,6 +129,23 @@ fn main() {
             &series[..5],
             &strip_last(&lat_sync_rows),
         );
+
+        // NOCAP_IO_AUDIT: rerun NOCAP once at the tightest budget with the
+        // recorder on and cross-check the device-level event stream against
+        // the cost model's per-phase snapshots.
+        if io_audit_enabled() {
+            let spec = JoinSpec::paper_synthetic(record_bytes, budgets[0]);
+            let join = NocapJoin::new(spec, NocapConfig::default());
+            let obs = Obs::recording();
+            let report = join
+                .run_obs(&workload.r, &workload.s, &workload.mcvs, &obs)
+                .expect("audited NOCAP run");
+            maybe_audit_io(
+                &format!("fig8_{name}_nocap"),
+                &report,
+                &DeviceProfile::osync_off(),
+            );
+        }
     }
 }
 

@@ -1,0 +1,139 @@
+//! Modeled-vs-observed I/O audit on a real `FileDevice`.
+//!
+//! Runs one NOCAP and one SMJ join on a temporary-directory `FileDevice`
+//! wrapped in a latency-measuring `TracedDevice`, replays the captured
+//! device-level event stream through `IoAudit`, and:
+//!
+//! * asserts the **model audit** is exact — every marker window's folded
+//!   event counts equal the engine's own `IoStats` snapshot deltas, with no
+//!   events outside the windows;
+//! * prints the **declaration audit** (declared `IoKind` vs observed access
+//!   pattern per phase) and fails on any flagged contradiction;
+//! * prints the measured-vs-modeled **latency table** with the empirical
+//!   μ/τ asymmetries of this container's filesystem, and each phase's model
+//!   error under the `osync_off` profile;
+//! * writes the combined audits to `BENCH_io.json` (`--out <path>` to
+//!   relocate), the checked-in record of how far the analytic device model
+//!   sits from a real device here.
+//!
+//! Pass `--quick` for a smaller workload (the CI smoke setting).
+
+use std::sync::Arc;
+
+use nocap::{NocapConfig, NocapJoin};
+use nocap_joins::SortMergeJoin;
+use nocap_model::{JoinRunReport, JoinSpec};
+use nocap_obs::{IoAudit, Obs};
+use nocap_storage::{DeviceProfile, FileDevice, TracedDevice};
+use nocap_workload::{synthetic, Correlation, SyntheticConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let out = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_io.json".to_string())
+    };
+    let (n_r, n_s) = if quick {
+        (6_000, 48_000)
+    } else {
+        (20_000, 160_000)
+    };
+    let record_bytes = 128;
+    let buffer_pages = 48;
+    let threads = 4;
+    let profile = DeviceProfile::osync_off();
+
+    println!(
+        "# exp_io_audit: n_R = {n_r}, n_S = {n_s}, {record_bytes}-byte records, \
+         B = {buffer_pages} pages, {threads} workers, FileDevice (temp dir)"
+    );
+
+    // A real device behind a latency-measuring tracer: every page access is
+    // timed around the actual syscalls.
+    let file_device = FileDevice::new_temp().expect("temp FileDevice");
+    println!("# device dir: {}", file_device.dir().display());
+    let device = TracedDevice::with_latency_ref(Arc::new(file_device));
+
+    let workload = synthetic::generate(
+        device.clone(),
+        &SyntheticConfig {
+            n_r,
+            n_s,
+            record_bytes,
+            correlation: Correlation::Zipf { alpha: 1.1 },
+            mcv_count: n_r / 20,
+            seed: 0x10AD,
+        },
+    )
+    .expect("workload generation");
+    device.reset_stats();
+
+    let spec = JoinSpec::paper_synthetic(record_bytes, buffer_pages);
+    let audit_run = |name: &str, run: &dyn Fn(&Obs) -> JoinRunReport| -> (String, IoAudit) {
+        device.reset_stats();
+        let obs = Obs::recording();
+        let report = run(&obs);
+        assert_eq!(
+            report.output_records,
+            workload.expected_join_output(),
+            "{name}: wrong join output"
+        );
+        let trace = report.trace.as_ref().expect("recording attaches a trace");
+        let audit = IoAudit::from_trace(trace, profile);
+        println!("# ---- {name} ----");
+        for line in audit.report_text().lines() {
+            println!("#   {line}");
+        }
+        assert!(
+            audit.mismatches().is_empty(),
+            "{name}: traced events disagree with the engine's modeled I/O"
+        );
+        assert_eq!(audit.leading_events, 0, "{name}: events before any marker");
+        assert_eq!(
+            audit.trailing_events, 0,
+            "{name}: events after the last marker"
+        );
+        assert!(
+            audit.flagged_declarations().is_empty(),
+            "{name}: declared I/O kinds contradict the observed access patterns"
+        );
+        (name.to_string(), audit)
+    };
+
+    let nocap = NocapJoin::new(spec, NocapConfig::default());
+    let smj = SortMergeJoin::new(spec);
+    let audits = [
+        audit_run("NOCAP", &|obs| {
+            nocap
+                .run_parallel_obs(&workload.r, &workload.s, &workload.mcvs, threads, obs)
+                .expect("NOCAP run")
+        }),
+        audit_run("SMJ", &|obs| {
+            smj.run_parallel_obs(&workload.r, &workload.s, threads, obs)
+                .expect("SMJ run")
+        }),
+    ];
+
+    // ---- BENCH_io.json -------------------------------------------------
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        " \"config\": {{\n  \"device\": \"FileDevice\",\n  \"n_r\": {n_r},\n  \"n_s\": {n_s},\n  \
+         \"record_bytes\": {record_bytes},\n  \"buffer_pages\": {buffer_pages},\n  \
+         \"threads\": {threads},\n  \"quick\": {quick}\n }},\n"
+    ));
+    for (i, (name, audit)) in audits.iter().enumerate() {
+        json.push_str(&format!(
+            " \"{}\": {}",
+            name.to_lowercase(),
+            audit.to_json()
+        ));
+        json.push_str(if i + 1 < audits.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("}\n");
+    std::fs::write(&out, json).expect("write BENCH_io.json");
+    println!("# wrote {out}");
+    println!("# model audit exact for NOCAP and SMJ: every traced window matches the engine");
+}

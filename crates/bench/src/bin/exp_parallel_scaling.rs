@@ -20,12 +20,12 @@
 use std::time::Instant;
 
 use nocap::{NocapConfig, NocapJoin};
-use nocap_bench::harness::report_trace;
+use nocap_bench::harness::{io_audit_enabled, maybe_audit_io, report_trace};
 use nocap_joins::{DhhJoin, SortMergeJoin};
 use nocap_model::{JoinRunReport, JoinSpec};
 use nocap_obs::Obs;
 use nocap_stats::{StatsCollector, StatsConfig};
-use nocap_storage::SimDevice;
+use nocap_storage::{DeviceProfile, SimDevice, TracedDevice};
 use nocap_workload::{synthetic, Correlation, GeneratedWorkload, SyntheticConfig};
 
 /// The shared timing protocol of every table below: runs `run(threads)`
@@ -111,6 +111,7 @@ fn traced_breakdown(
         "{algo}: recording must not change the probe-phase I/O"
     );
     report_trace(algo, &report);
+    maybe_audit_io(algo, &report, &DeviceProfile::osync_off());
     println!();
 }
 
@@ -133,7 +134,14 @@ fn main() {
     );
     println!("# detected available parallelism: {cores} hardware thread(s)");
 
-    let device = SimDevice::new_ref();
+    // NOCAP_IO_AUDIT wraps the device so the traced breakdowns capture
+    // device-level events; the wrapper is pass-through for the timed runs
+    // (no recorder attached there).
+    let device = if io_audit_enabled() {
+        TracedDevice::new_ref(SimDevice::new_ref())
+    } else {
+        SimDevice::new_ref()
+    };
     let config = SyntheticConfig {
         n_r,
         n_s,

@@ -267,8 +267,10 @@ impl LegacySorter {
         let mut layout = None;
         for run in &runs {
             if run.records() > 0 {
+                // One-off geometry probe: a random access at the device,
+                // mirroring the arena sorter's declaration.
                 let first = run
-                    .read(IoKind::SeqRead)
+                    .read(IoKind::RandRead)
                     .next()
                     .transpose()?
                     .expect("non-empty run yields a record");

@@ -4,7 +4,7 @@
 use nocap::{NocapConfig, NocapJoin, OcapConfig};
 use nocap_joins::{DhhConfig, DhhJoin, GraceHashJoin, HistoJoin, SortMergeJoin};
 use nocap_model::{CorrelationTable, JoinRunReport, JoinSpec};
-use nocap_obs::ExecutionTrace;
+use nocap_obs::{ExecutionTrace, IoAudit};
 use nocap_storage::{DeviceProfile, Relation};
 use nocap_workload::GeneratedWorkload;
 
@@ -196,5 +196,45 @@ pub fn report_trace(label: &str, report: &JoinRunReport) {
     if let Some(trace) = &report.trace {
         print_trace_breakdown(label, trace);
         maybe_dump_trace(label, trace);
+    }
+}
+
+/// True when the `NOCAP_IO_AUDIT` environment hook is active. Experiment
+/// bins use this to decide whether to wrap their `SimDevice` in a
+/// `TracedDevice` so the audited runs actually see device-level events.
+pub fn io_audit_enabled() -> bool {
+    std::env::var("NOCAP_IO_AUDIT").is_ok_and(|v| !v.is_empty())
+}
+
+/// Honors the `NOCAP_IO_AUDIT=<base|1>` environment hook: replays a traced
+/// run's device-level I/O stream through [`IoAudit`] against `profile`,
+/// prints the audit report as `#`-prefixed comment lines, and — when the
+/// value is a path base rather than `1` — writes the full audit JSON to
+/// `<base>.<label>.io_audit.json`. A no-op when the variable is unset or
+/// the report carries no trace; warns when the trace has no device events
+/// (the run's device was not wrapped in a `TracedDevice`).
+pub fn maybe_audit_io(label: &str, report: &JoinRunReport, profile: &DeviceProfile) {
+    let Ok(base) = std::env::var("NOCAP_IO_AUDIT") else {
+        return;
+    };
+    if base.is_empty() {
+        return;
+    }
+    let Some(trace) = &report.trace else {
+        return;
+    };
+    if trace.io_events.is_empty() {
+        println!("# io audit [{label}]: no device-level events (device not traced)");
+        return;
+    }
+    let audit = IoAudit::from_trace(trace, *profile);
+    println!("# io audit [{label}]");
+    for line in audit.report_text().lines() {
+        println!("#   {line}");
+    }
+    if base != "1" {
+        let path = format!("{base}.{label}.io_audit.json");
+        std::fs::write(&path, audit.to_json()).expect("write NOCAP_IO_AUDIT output");
+        println!("# wrote io audit: {path}");
     }
 }

@@ -176,6 +176,10 @@ impl NocapJoin {
         stats_pages: usize,
         obs: &Obs,
     ) -> nocap_storage::Result<JoinRunReport> {
+        // Attach before the sketch pass so stats-phase reads land in the
+        // same I/O trace as the join; the inner attach in `run_with_plan_obs`
+        // nests onto this one.
+        let _io_trace = obs.attach_io(s.device());
         let pool = BufferPool::new(self.spec.buffer_pages);
         let summary = StatsCollector::collect_parallel_with_budget_obs(
             &pool,
@@ -212,6 +216,7 @@ impl NocapJoin {
     ) -> nocap_storage::Result<JoinRunReport> {
         let spec = &self.spec;
         let device = r.device().clone();
+        let _io_trace = obs.attach_io(&device);
         let pool = BufferPool::new(spec.buffer_pages);
         // One page streams the input, one buffers the join output.
         let _io_pages = pool.reserve(2)?;

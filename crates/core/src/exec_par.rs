@@ -152,6 +152,10 @@ impl NocapJoin {
         threads: usize,
         obs: &Obs,
     ) -> nocap_storage::Result<JoinRunReport> {
+        // Attach before the sketch pass so stats-phase reads land in the
+        // same I/O trace as the join; the inner attach in
+        // `run_parallel_with_plan_obs` nests onto this one.
+        let _io_trace = obs.attach_io(s.device());
         let pool = BufferPool::new(self.spec().buffer_pages);
         let summary = StatsCollector::collect_parallel_with_budget_obs(
             &pool,
@@ -197,6 +201,7 @@ impl NocapJoin {
         };
         let spec = *self.spec();
         let device = r.device().clone();
+        let _io_trace = obs.attach_io(&device);
         let pool = BufferPool::new(spec.buffer_pages);
         // Identical budget breakdown to the sequential path: one streaming
         // input page, one output page, then the plan's fixed structures.

@@ -172,6 +172,7 @@ impl DhhJoin {
     ) -> nocap_storage::Result<JoinRunReport> {
         let spec = &self.spec;
         let device = r.device().clone();
+        let _io_trace = obs.attach_io(&device);
         let timer = obs.run_timer();
         let base = device.stats();
         let pool = BufferPool::new(spec.buffer_pages);
@@ -334,6 +335,7 @@ impl DhhJoin {
         };
         let spec = &self.spec;
         let device = r.device().clone();
+        let _io_trace = obs.attach_io(&device);
         let timer = obs.run_timer();
         let base = device.stats();
         let pool = BufferPool::new(spec.buffer_pages);

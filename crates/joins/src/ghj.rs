@@ -58,6 +58,7 @@ impl GraceHashJoin {
     ) -> nocap_storage::Result<JoinRunReport> {
         let spec = &self.spec;
         let device = r.device().clone();
+        let _io_trace = obs.attach_io(&device);
         let timer = obs.run_timer();
         let base = device.stats();
 
@@ -132,6 +133,7 @@ impl GraceHashJoin {
         };
         let spec = &self.spec;
         let device = r.device().clone();
+        let _io_trace = obs.attach_io(&device);
         let timer = obs.run_timer();
         let base = device.stats();
 

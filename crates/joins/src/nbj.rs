@@ -44,6 +44,7 @@ impl NestedBlockJoin {
         };
         let spec = &self.spec;
         let device = r.device().clone();
+        let _io_trace = obs.attach_io(&device);
         let pool = BufferPool::new(spec.buffer_pages);
         let _io_pages = pool.reserve(2)?;
         let chunk_records = JoinHashTable::capacity_for_pages(
@@ -62,21 +63,21 @@ impl NestedBlockJoin {
         let mut loader = ChunkLoader::new();
         loop {
             let mut table = JoinHashTable::new(inner.layout(), spec.page_size, spec.fudge);
-            let build_started = obs.start();
+            let build_span = obs.span(Phase::Build);
             let loaded = loader.fill(&mut table, chunk_records, || inner_scan.next_page())?;
-            obs.record(Phase::Build, build_started);
+            drop(build_span);
             if table.is_empty() {
                 break;
             }
             chunks += 1;
-            let scan_started = obs.start();
+            let scan_span = obs.span(Phase::Scan);
             let mut outer_scan = outer.scan();
             while let Some(page) = outer_scan.next_page()? {
                 for rec in page.record_refs() {
                     output += table.probe_count(rec.key());
                 }
             }
-            obs.record(Phase::Scan, scan_started);
+            drop(scan_span);
             if loaded < chunk_records {
                 break;
             }

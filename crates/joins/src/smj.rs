@@ -170,6 +170,7 @@ impl SortMergeJoin {
     ) -> nocap_storage::Result<JoinRunReport> {
         let spec = &self.spec;
         let device = r.device().clone();
+        let _io_trace = obs.attach_io(&device);
         let timer = obs.run_timer();
         let base = device.stats();
 

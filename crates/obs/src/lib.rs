@@ -19,6 +19,13 @@
 //!   counters in plain per-worker `Vec`s — no locks, no atomics during
 //!   recording — and flushes them into the recorder with a single lock
 //!   acquisition when the worker finishes.
+//! * Device-level I/O rides the same channel: [`Obs::attach_io`] installs
+//!   an event sink on a `nocap-storage` `TracedDevice`, every page access
+//!   is stamped with the issuing worker and innermost phase through
+//!   thread-local marks the recording layer maintains, and [`IoAudit`]
+//!   replays the stream against the engine's modeled per-phase snapshots
+//!   (model audit), the declared [`IoKind`]s (declaration audit) and the
+//!   [`DeviceProfile`](nocap_storage::DeviceProfile) latency model.
 //! * All timestamps are monotonic-clock offsets from the recorder's epoch.
 //!   **Clocks live only in this channel**: nothing in the engine reads time
 //!   to make a decision, so `tests/parallel_determinism.rs` passes with
@@ -36,12 +43,20 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod audit;
 mod hist;
+mod io;
 mod recorder;
 mod trace;
 
+pub use audit::{
+    DeclarationRow, FileHeatmap, IoAudit, IoWindow, LatencyRow, PhaseIoRow, HEATMAP_BUCKETS,
+};
 pub use hist::HistogramSummary;
-pub use recorder::{Obs, PhaseSpan, Recorder, RunTimer, SpanStart, TraceRecorder, WorkerObs};
+pub use io::{io_kind_name, io_marker_name, io_op_name, IoEventRec, IoMarkerRec, IoPhaseMark};
+pub use recorder::{
+    IoTraceGuard, Obs, PhaseSpan, Recorder, RunTimer, SpanStart, TraceRecorder, WorkerObs,
+};
 pub use trace::{ExecutionTrace, SpanRec};
 
 /// Execution phases the engine reports spans under.

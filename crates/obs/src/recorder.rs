@@ -1,9 +1,13 @@
 //! The recording handles: [`Obs`], [`WorkerObs`] and the [`Recorder`] sink.
 
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use nocap_storage::device::DeviceRef;
+
 use crate::hist::HistogramSummary;
+use crate::io::{self, IoPhaseMark, IoSinkState, IoWorkerMark, ObsIoSink};
 use crate::trace::{ExecutionTrace, SpanRec};
 use crate::Phase;
 
@@ -101,6 +105,7 @@ impl Recorder for TraceRecorder {
             counters: st.counters,
             histograms: Default::default(),
             gauges: st.gauges,
+            ..Default::default()
         };
         // Canonical span order: by start time, then phase, so the emitted
         // trace is stable regardless of worker flush order.
@@ -120,6 +125,9 @@ impl Recorder for TraceRecorder {
 struct ObsInner {
     rec: Arc<dyn Recorder>,
     epoch: Instant,
+    /// Buffers for device-level I/O events, shared by every clone of this
+    /// handle so nested [`Obs::attach_io`] scopes reuse one sequence order.
+    io: Arc<IoSinkState>,
 }
 
 /// Cheap cloneable observability handle threaded through the executors.
@@ -146,10 +154,12 @@ impl Obs {
     /// A handle recording into a caller-supplied sink. The epoch for span
     /// timestamps is the moment this handle is created.
     pub fn with_recorder(rec: Arc<dyn Recorder>) -> Self {
+        let epoch = Instant::now();
         Obs {
             inner: Some(ObsInner {
                 rec,
-                epoch: Instant::now(),
+                epoch,
+                io: Arc::new(IoSinkState::new(epoch)),
             }),
         }
     }
@@ -164,12 +174,32 @@ impl Obs {
     }
 
     /// Opens a main-thread phase span; it closes (and records) on drop.
+    ///
+    /// While the span is open, device I/O traced on this thread is
+    /// attributed to `phase` (innermost span wins).
     pub fn span(&self, phase: Phase) -> PhaseSpan {
         PhaseSpan {
             inner: self
                 .inner
                 .as_ref()
                 .map(|i| (i.clone(), phase, Self::now_ns(i))),
+            _mark: if self.inner.is_some() {
+                io::mark_phase(phase)
+            } else {
+                IoPhaseMark::inactive()
+            },
+        }
+    }
+
+    /// Marks the calling thread's traced device I/O as belonging to `phase`
+    /// until the guard drops, without opening a span. Used inside worker
+    /// closures, where the span itself is recorded separately. No-op when
+    /// recording is off.
+    pub fn io_phase(&self, phase: Phase) -> IoPhaseMark {
+        if self.inner.is_some() {
+            io::mark_phase(phase)
+        } else {
+            IoPhaseMark::inactive()
         }
     }
 
@@ -220,7 +250,9 @@ impl Obs {
     /// Creates the per-worker recording handle for worker `worker`.
     ///
     /// The returned handle buffers locally (lock-free) and flushes into the
-    /// recorder when dropped.
+    /// recorder when dropped. While it lives, traced device I/O issued by
+    /// the calling thread is attributed to this worker id — create the
+    /// handle on the thread that does the work and drop it there.
     pub fn worker(&self, worker: usize) -> WorkerObs {
         WorkerObs {
             inner: self.inner.as_ref().map(|i| WorkerInner {
@@ -228,7 +260,36 @@ impl Obs {
                 worker,
                 spans: Vec::new(),
                 counters: Vec::new(),
+                _mark: io::mark_worker(worker),
             }),
+        }
+    }
+
+    /// Installs this handle's I/O sink on `device` for the lifetime of the
+    /// returned guard (no-op when recording is off, or when `device` is not
+    /// a `TracedDevice`).
+    ///
+    /// Every `_obs` executor entry point calls this on its input device, so
+    /// wrapping a workload's device in `TracedDevice` is all it takes to get
+    /// the device-level event stream into the run's [`ExecutionTrace`].
+    /// Attaching snapshots the device counters once, so the event stream
+    /// starts marker-bounded; nested attachments (an executor inside
+    /// `collect_and_run`) share the outer sink. The sink is removed when the
+    /// outermost guard drops.
+    pub fn attach_io(&self, device: &DeviceRef) -> IoTraceGuard {
+        let Some(i) = self.inner.as_ref() else {
+            return IoTraceGuard { inner: None };
+        };
+        if i.io.depth.fetch_add(1, Ordering::SeqCst) == 0 {
+            device.set_io_sink(Some(Arc::new(ObsIoSink {
+                state: i.io.clone(),
+            })));
+            // Opening marker: a snapshot through the traced device, so every
+            // subsequent event falls inside a marker-bounded window.
+            let _ = device.stats();
+        }
+        IoTraceGuard {
+            inner: Some((i.io.clone(), device.clone())),
         }
     }
 
@@ -244,7 +305,41 @@ impl Obs {
 
     /// Drains the accumulated trace (`None` when off or the sink keeps none).
     pub fn take_trace(&self) -> Option<ExecutionTrace> {
-        self.inner.as_ref().and_then(|i| i.rec.take_trace())
+        self.inner.as_ref().and_then(|i| {
+            let mut trace = i.rec.take_trace()?;
+            let (events, markers) = i.io.drain();
+            trace.io_events = events;
+            trace.io_markers = markers;
+            Some(trace)
+        })
+    }
+}
+
+/// RAII guard returned by [`Obs::attach_io`]: detaches the I/O sink from the
+/// device when the outermost guard drops, closing the event stream with a
+/// final counter-snapshot marker.
+pub struct IoTraceGuard {
+    inner: Option<(Arc<IoSinkState>, DeviceRef)>,
+}
+
+impl std::fmt::Debug for IoTraceGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IoTraceGuard")
+            .field("attached", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Drop for IoTraceGuard {
+    fn drop(&mut self) {
+        if let Some((state, device)) = self.inner.take() {
+            if state.depth.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Closing marker before detaching, so trailing events (if
+                // any) are still bounded; then remove the sink.
+                let _ = device.stats();
+                device.set_io_sink(None);
+            }
+        }
     }
 }
 
@@ -252,6 +347,8 @@ impl Obs {
 #[derive(Debug)]
 pub struct PhaseSpan {
     inner: Option<(ObsInner, Phase, u64)>,
+    /// Attributes traced device I/O on this thread to the span's phase.
+    _mark: IoPhaseMark,
 }
 
 impl Drop for PhaseSpan {
@@ -305,6 +402,8 @@ struct WorkerInner {
     worker: usize,
     spans: Vec<SpanRec>,
     counters: Vec<(String, u64)>,
+    /// Attributes traced device I/O on this thread to this worker id.
+    _mark: IoWorkerMark,
 }
 
 /// Per-worker recording handle: buffers spans and counters in plain local

@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 
 use crate::hist::HistogramSummary;
+use crate::io::{io_kind_name, io_marker_name, io_op_name, IoEventRec, IoMarkerRec};
 use crate::Phase;
 
 /// One completed span: a phase interval on the main thread (`worker: None`)
@@ -42,6 +43,13 @@ pub struct ExecutionTrace {
     pub histograms: BTreeMap<String, HistogramSummary>,
     /// Named high-water-mark gauges.
     pub gauges: BTreeMap<String, u64>,
+    /// Device-level I/O events captured through `Obs::attach_io` on a
+    /// `TracedDevice`, in global sequence order. Empty when no traced device
+    /// was attached.
+    pub io_events: Vec<IoEventRec>,
+    /// Device counter snapshots/resets interleaved with [`Self::io_events`]
+    /// (compare sequence numbers to place them in the stream).
+    pub io_markers: Vec<IoMarkerRec>,
 }
 
 impl ExecutionTrace {
@@ -174,7 +182,41 @@ impl ExecutionTrace {
             &mut out,
             self.gauges.iter().map(|(k, v)| (k, v.to_string())),
         );
-        out.push_str("}\n}\n");
+        out.push_str("},\n  \"io_events\": [");
+        for (i, e) in self.io_events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"seq\": {}, \"t_ns\": {}, \"worker\": {}, \"phase\": {}, \"file\": {}, \"page\": {}, \"kind\": {}, \"op\": {}, \"latency_ns\": {}}}",
+                e.seq,
+                e.t_ns,
+                json_opt(e.worker),
+                e.phase.map_or_else(|| "null".to_string(), |p| json_str(p.name())),
+                e.file.0,
+                e.page,
+                json_str(io_kind_name(e.kind)),
+                json_str(io_op_name(e.op)),
+                e.latency_ns.map_or_else(|| "null".to_string(), |l| l.to_string()),
+            ));
+        }
+        out.push_str("\n  ],\n  \"io_markers\": [");
+        for (i, m) in self.io_markers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"seq\": {}, \"t_ns\": {}, \"kind\": {}, \"seq_reads\": {}, \"rand_reads\": {}, \"seq_writes\": {}, \"rand_writes\": {}}}",
+                m.seq,
+                m.t_ns,
+                json_str(io_marker_name(m.kind)),
+                m.stats.seq_reads,
+                m.stats.rand_reads,
+                m.stats.seq_writes,
+                m.stats.rand_writes,
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
         out
     }
 
@@ -184,6 +226,13 @@ impl ExecutionTrace {
     /// microseconds since the recorder epoch. Thread ids give the per-worker
     /// timelines: tid 0 is the coordinating thread, tid `w + 1` is worker
     /// `w`. Task indices ride along in `args.task`.
+    ///
+    /// Traced device I/O gets its own lane per issuing thread: tid 1000 for
+    /// the coordinating thread, tid `1000 + w + 1` for worker `w`. Each page
+    /// access is a complete event named after its declared `IoKind`, with
+    /// the enclosing phase as the category and `file`/`page` in the args;
+    /// its duration is the measured latency when available, else a nominal
+    /// 100 ns tick so the access is visible on the timeline.
     pub fn to_chrome_trace(&self) -> String {
         let mut out = String::from("{\"traceEvents\": [\n");
         let mut tids: Vec<Option<usize>> = self.spans.iter().map(|s| s.worker).collect();
@@ -194,6 +243,23 @@ impl ExecutionTrace {
             let (tid, name) = match w {
                 None => (0, "main".to_string()),
                 Some(w) => (w + 1, format!("worker {w}")),
+            };
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \"args\": {{\"name\": {}}}}}",
+                json_str(&name)
+            ));
+        }
+        let mut io_tids: Vec<Option<usize>> = self.io_events.iter().map(|e| e.worker).collect();
+        io_tids.sort_unstable();
+        io_tids.dedup();
+        for w in &io_tids {
+            let (tid, name) = match w {
+                None => (1000, "io main".to_string()),
+                Some(w) => (1000 + w + 1, format!("io worker {w}")),
             };
             if !first {
                 out.push_str(",\n");
@@ -223,17 +289,35 @@ impl ExecutionTrace {
                 args
             ));
         }
+        for e in &self.io_events {
+            let tid = e.worker.map_or(1000, |w| 1000 + w + 1);
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\": {}, \"cat\": {}, \"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}, \"args\": {{\"file\": {}, \"page\": {}, \"op\": {}}}}}",
+                json_str(io_kind_name(e.kind)),
+                json_str(e.phase.map_or("unattributed", |p| p.name())),
+                tid,
+                e.t_ns as f64 / 1e3,
+                e.latency_ns.unwrap_or(100) as f64 / 1e3,
+                e.file.0,
+                e.page,
+                json_str(io_op_name(e.op)),
+            ));
+        }
         out.push_str("\n]}\n");
         out
     }
 }
 
-fn json_opt(v: Option<usize>) -> String {
+pub(crate) fn json_opt(v: Option<usize>) -> String {
     v.map_or_else(|| "null".to_string(), |v| v.to_string())
 }
 
 /// JSON string literal with the escapes that can occur in metric names.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -86,6 +86,8 @@ where
 {
     run_workers(threads, |w| {
         let mut wobs = obs.worker(w);
+        // Attribute traced device I/O from this worker thread to the phase.
+        let _io = obs.io_phase(phase);
         let started = wobs.start();
         let result = f(w, &mut wobs);
         wobs.record(phase, started);
@@ -117,6 +119,7 @@ where
     let cursor = AtomicUsize::new(0);
     let partials = run_workers(threads.max(1).min(count.max(1)), |w| {
         let mut wobs = obs.worker(w);
+        let _io = obs.io_phase(phase);
         let mut sum = 0u64;
         loop {
             let task = cursor.fetch_add(1, Ordering::Relaxed);
@@ -168,6 +171,7 @@ where
     let cursor = AtomicUsize::new(0);
     let per_worker = run_workers(threads.max(1).min(count.max(1)), |w| {
         let mut wobs = obs.worker(w);
+        let _io = obs.io_phase(phase);
         let mut state = init();
         let mut done: Vec<(usize, T)> = Vec::new();
         loop {

@@ -432,6 +432,8 @@ impl StatsCollector {
             (0..num_shards).map(|_| Mutex::new(None)).collect();
         run_workers(threads.max(1).min(num_shards), |w| {
             let mut wobs = obs.worker(w);
+            // Attribute traced device reads from this worker to the stats phase.
+            let _io = obs.io_phase(Phase::Stats);
             loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= num_shards {

@@ -75,6 +75,13 @@ pub trait BlockDevice: Send + Sync {
 
     /// Resets the I/O counters to zero (files are kept).
     fn reset_stats(&self);
+
+    /// Attaches (or, with `None`, detaches) a device-level I/O event sink.
+    ///
+    /// Only [`TracedDevice`](crate::TracedDevice) reports events; the base
+    /// devices accept and ignore the sink, so `Obs::attach_io` can be called
+    /// unconditionally on any [`DeviceRef`].
+    fn set_io_sink(&self, _sink: Option<Arc<dyn crate::traced::IoEventSink>>) {}
 }
 
 // ---------------------------------------------------------------------------

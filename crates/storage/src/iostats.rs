@@ -218,19 +218,34 @@ impl DeviceProfile {
         }
     }
 
-    /// The PCIe SSD of §5.1 with `O_SYNC` off: μ = 1.28, τ = 1.2.
-    pub fn ssd_no_sync() -> Self {
+    /// The paper's PCIe SSD with `O_SYNC` **off** (§5.1, "Experimental
+    /// Setup"): μ = 1.28, τ = 1.2, random reads ≈ 1.2× sequential. The
+    /// default profile of every experiment.
+    pub fn osync_off() -> Self {
         DeviceProfile::from_asymmetry(25.0, 1.28, 1.2, 1.2)
     }
 
-    /// The PCIe SSD of §5.1 with `O_SYNC` on: μ = 3.3, τ = 3.2.
-    pub fn ssd_sync() -> Self {
+    /// The paper's PCIe SSD with `O_SYNC` **on** (§5.1): μ = 3.3, τ = 3.2.
+    /// Synchronous writes widen the read/write asymmetry, which is what makes
+    /// write-frugal partitioning (Fig. 8's right column) pay off.
+    pub fn osync_on() -> Self {
         DeviceProfile::from_asymmetry(25.0, 3.3, 3.2, 1.2)
     }
 
-    /// The AWS i3.4xlarge NVMe device of §5.2: μ = 1.2, τ = 1.14.
+    /// The AWS i3.4xlarge NVMe device of the TPC-H evaluation (§5.2):
+    /// μ = 1.2, τ = 1.14.
     pub fn aws_i3() -> Self {
         DeviceProfile::from_asymmetry(25.0, 1.2, 1.14, 1.2)
+    }
+
+    /// Alias of [`DeviceProfile::osync_off`] (the original constructor name).
+    pub fn ssd_no_sync() -> Self {
+        DeviceProfile::osync_off()
+    }
+
+    /// Alias of [`DeviceProfile::osync_on`] (the original constructor name).
+    pub fn ssd_sync() -> Self {
+        DeviceProfile::osync_on()
     }
 
     /// μ, the random-write / sequential-read asymmetry.
@@ -339,15 +354,18 @@ mod tests {
 
     #[test]
     fn asymmetry_ratios_match_the_paper() {
-        let no_sync = DeviceProfile::ssd_no_sync();
+        let no_sync = DeviceProfile::osync_off();
         assert!((no_sync.mu() - 1.28).abs() < 1e-9);
         assert!((no_sync.tau() - 1.2).abs() < 1e-9);
-        let sync = DeviceProfile::ssd_sync();
+        let sync = DeviceProfile::osync_on();
         assert!((sync.mu() - 3.3).abs() < 1e-9);
         assert!((sync.tau() - 3.2).abs() < 1e-9);
         let aws = DeviceProfile::aws_i3();
         assert!((aws.mu() - 1.2).abs() < 1e-9);
         assert!((aws.tau() - 1.14).abs() < 1e-9);
+        // The original constructor names stay as aliases.
+        assert_eq!(DeviceProfile::ssd_no_sync(), no_sync);
+        assert_eq!(DeviceProfile::ssd_sync(), sync);
     }
 
     #[test]

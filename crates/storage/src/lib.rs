@@ -32,6 +32,10 @@
 //! * [`sort`] — external sort (arena-backed run generation over a fixed
 //!   chunk grid + loser-tree multiway merge) used by the sort-merge join
 //!   baseline.
+//! * [`traced`] — [`TracedDevice`], a purely observational [`BlockDevice`]
+//!   wrapper that reports every page access (file, page, declared
+//!   [`IoKind`], optional measured latency) to an attached [`IoEventSink`];
+//!   the substrate of the modeled-vs-observed I/O audit in `nocap-obs`.
 //!
 //! The crate has no dependencies and is deliberately self-contained so that
 //! the algorithm crates (`nocap` and `nocap-joins`) only talk to storage
@@ -58,6 +62,7 @@ pub mod record;
 pub mod relation;
 pub mod sort;
 pub mod spill;
+pub mod traced;
 
 pub use bloom::BloomFilter;
 pub use buffer::{BufferPool, Reservation};
@@ -69,6 +74,7 @@ pub use record::{Record, RecordBatch, RecordLayout, RecordRef};
 pub use relation::{Relation, RelationBuilder, RelationScan};
 pub use sort::{run_chunks, sort_chunk, ExternalSorter, LoserTree, MergeIterator, SortScratch};
 pub use spill::{PartitionHandle, PartitionReader, PartitionWriter};
+pub use traced::{IoEventSink, IoMarkerKind, IoOp, TracedDevice};
 
 /// Errors produced by the storage layer.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -237,11 +237,13 @@ impl ExternalSorter {
         let mut geometry = None;
 
         // Figure out layout/page size from the first non-empty run by reading
-        // its first page; all runs of one sort share the same geometry.
+        // its first page; all runs of one sort share the same geometry. A
+        // one-off page fetch is a random access at the device — declaring it
+        // sequential would misprice it and trip the I/O declaration audit.
         for run in &runs {
             if run.records() > 0 {
                 let page = run
-                    .read(IoKind::SeqRead)
+                    .read(IoKind::RandRead)
                     .next_page()?
                     .expect("non-empty run has a page");
                 geometry = Some((page.record_layout(), page.size()));
@@ -639,6 +641,31 @@ mod tests {
         let after_merge = dev.stats().since(&after_runs);
         assert!(after_merge.rand_reads > 0, "merging reads runs randomly");
         assert_eq!(after_merge.seq_reads, 0);
+    }
+
+    #[test]
+    fn merge_cascade_declares_every_read_random() {
+        // The cascade's one-off geometry probe fetches a single page of the
+        // first non-empty run; at the device that access is random, exactly
+        // like the cursor reads that follow. Pinned so the modeled counters
+        // keep matching what the device-level declaration audit observes:
+        // the only sequential reads in a whole sort are the input scan.
+        let dev = SimDevice::new_ref();
+        let rel = build_relation(dev.clone(), &shuffled(2_000));
+        dev.reset_stats();
+        let mut sorter = ExternalSorter::new(dev.clone(), 3);
+        let out = sorter.sort_to_runs(&rel, 2).unwrap();
+        let io = dev.stats();
+        assert!(
+            io.rand_reads > 0,
+            "merging down to {} runs requires a cascade",
+            out.runs.len()
+        );
+        assert_eq!(
+            io.seq_reads,
+            rel.num_pages() as u64,
+            "every read outside the input scan must be declared random"
+        );
     }
 
     #[test]

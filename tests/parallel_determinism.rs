@@ -22,9 +22,10 @@ use nocap_suite::joins::testutil::assert_parallel_equivalence;
 use nocap_suite::joins::{DhhJoin, SortMergeJoin};
 use nocap_suite::model::{JoinRunReport, JoinSpec};
 use nocap_suite::nocap::{NocapConfig, NocapJoin};
-use nocap_suite::obs::{Obs, Phase};
+use nocap_suite::obs::{IoAudit, Obs, Phase};
 use nocap_suite::stats::{StatsCollector, StatsConfig};
-use nocap_suite::storage::{BufferPool, SimDevice};
+use nocap_suite::storage::device::DeviceRef;
+use nocap_suite::storage::{BufferPool, DeviceProfile, SimDevice, TracedDevice};
 use nocap_suite::workload::jcch::{self, JcchConfig, JcchSkew};
 use nocap_suite::workload::{synthetic, Correlation, GeneratedWorkload, SyntheticConfig};
 
@@ -37,7 +38,12 @@ enum Workload {
 /// Generates the workload fresh on its own device (same seed → identical
 /// relations, clean I/O counters).
 fn generate(workload: &Workload) -> GeneratedWorkload {
-    let device = SimDevice::new_ref();
+    generate_on(SimDevice::new_ref(), workload)
+}
+
+/// [`generate`] on a caller-supplied device, so the traced-device suites can
+/// build the identical workload behind a `TracedDevice` wrapper.
+fn generate_on(device: DeviceRef, workload: &Workload) -> GeneratedWorkload {
     let wl = match workload {
         Workload::Synthetic(correlation) => synthetic::generate(
             device.clone(),
@@ -435,6 +441,132 @@ fn smj_trace_recording_changes_nothing_and_captures_the_execution_shape() {
                 .expect("recorded run")
         },
     );
+}
+
+/// Shared body of the traced-device differential checks: the same join on a
+/// `TracedDevice(SimDevice)` with I/O recording on must reproduce the
+/// bare-device recorder-off baseline bit for bit at every thread count, and
+/// the captured event stream must audit *exactly* against the engine's own
+/// per-phase counter snapshots — zero model-audit mismatches, no events
+/// outside the marker windows, and the two non-empty windows folding to
+/// precisely `partition_io` and `probe_io`.
+fn assert_traced_run_audits_exactly(
+    label: &str,
+    workload: &Workload,
+    baseline: &JoinRunReport,
+    run: impl Fn(&GeneratedWorkload, usize, &Obs) -> JoinRunReport,
+) {
+    for threads in [1usize, 2, 4, 8] {
+        let device = TracedDevice::new_ref(SimDevice::new_ref());
+        let wl = generate_on(device, workload);
+        let obs = Obs::recording();
+        let traced = run(&wl, threads, &obs);
+        assert_eq!(
+            traced.output_records, baseline.output_records,
+            "{label}: the traced device changed the join output at {threads} threads"
+        );
+        assert_eq!(
+            traced.partition_io, baseline.partition_io,
+            "{label}: the traced device changed the partition-phase I/O at {threads} threads"
+        );
+        assert_eq!(
+            traced.probe_io, baseline.probe_io,
+            "{label}: the traced device changed the probe-phase I/O at {threads} threads"
+        );
+        let trace = traced
+            .trace
+            .as_ref()
+            .expect("a recording run attaches its trace to the report");
+        assert!(
+            !trace.io_events.is_empty(),
+            "{label}: no I/O events captured at {threads} threads"
+        );
+        let audit = IoAudit::from_trace(trace, DeviceProfile::default());
+        assert!(
+            audit.mismatches().is_empty(),
+            "{label}: model audit mismatched at {threads} threads\n{}",
+            audit.report_text()
+        );
+        assert_eq!(
+            audit.leading_events, 0,
+            "{label}: events before the first marker at {threads} threads"
+        );
+        assert_eq!(
+            audit.trailing_events, 0,
+            "{label}: events after the last marker at {threads} threads"
+        );
+        // Every observed page access folds into exactly one marker window,
+        // and the two windows with any traffic are the engine's own
+        // partition-pass and probe-pass deltas.
+        let busy: Vec<_> = audit
+            .windows
+            .iter()
+            .filter(|w| w.expected.total() > 0)
+            .collect();
+        assert_eq!(
+            busy.len(),
+            2,
+            "{label}: expected exactly the partition and probe windows to \
+             carry I/O at {threads} threads"
+        );
+        assert_eq!(
+            busy[0].folded, traced.partition_io,
+            "{label}: traced events disagree with the partition-phase \
+             counters at {threads} threads"
+        );
+        assert_eq!(
+            busy[1].folded, traced.probe_io,
+            "{label}: traced events disagree with the probe-phase counters \
+             at {threads} threads"
+        );
+        // The declaration audit cross-checks every access pattern the engine
+        // declares; a flag here means some path lies about its `IoKind`.
+        assert!(
+            audit.flagged_declarations().is_empty(),
+            "{label}: declared I/O kinds contradict observed access patterns \
+             at {threads} threads\n{}",
+            audit.report_text()
+        );
+    }
+}
+
+#[test]
+fn nocap_traced_device_runs_are_identical_and_audit_exactly() {
+    let workload = Workload::Synthetic(Correlation::Zipf { alpha: 1.1 });
+    let spec = JoinSpec::paper_synthetic(128, 48);
+    let join = NocapJoin::new(spec, NocapConfig::default());
+    let wl = generate(&workload);
+    let baseline = join.run(&wl.r, &wl.s, &wl.mcvs).expect("recorder-off run");
+    assert_traced_run_audits_exactly("nocap", &workload, &baseline, |wl, threads, obs| {
+        join.run_parallel_obs(&wl.r, &wl.s, &wl.mcvs, threads, obs)
+            .expect("traced run")
+    });
+}
+
+#[test]
+fn dhh_traced_device_runs_are_identical_and_audit_exactly() {
+    let workload = Workload::Synthetic(Correlation::Zipf { alpha: 1.1 });
+    let spec = JoinSpec::paper_synthetic(128, 48);
+    let dhh = DhhJoin::with_defaults(spec);
+    let wl = generate(&workload);
+    let baseline = dhh.run(&wl.r, &wl.s, &wl.mcvs).expect("recorder-off run");
+    assert_traced_run_audits_exactly("dhh", &workload, &baseline, |wl, threads, obs| {
+        dhh.run_parallel_obs(&wl.r, &wl.s, &wl.mcvs, threads, obs)
+            .expect("traced run")
+    });
+}
+
+#[test]
+fn smj_traced_device_runs_are_identical_and_audit_exactly() {
+    let workload = Workload::Synthetic(Correlation::Zipf { alpha: 1.1 });
+    let spec = JoinSpec::paper_synthetic(128, 32);
+    let smj = SortMergeJoin::new(spec);
+    let wl = generate(&workload);
+    let baseline = smj.run(&wl.r, &wl.s).expect("recorder-off run");
+    assert_traced_run_audits_exactly("smj", &workload, &baseline, |wl, threads, obs| {
+        smj.run_parallel_obs(&wl.r, &wl.s, threads, obs)
+            .expect("traced run")
+    });
 }
 
 #[test]
