@@ -11,8 +11,8 @@
 
 use nocap::{NocapConfig, NocapJoin};
 use nocap_bench::harness::{
-    io_audit_enabled, maybe_audit_io, ocap_lower_bound, print_series_block, run_algorithms,
-    AlgorithmSet,
+    fault_stack, faults_seed, io_audit_enabled, maybe_audit_io, ocap_lower_bound,
+    print_fault_summary, print_series_block, run_algorithms, AlgorithmSet,
 };
 use nocap_model::JoinSpec;
 use nocap_obs::Obs;
@@ -37,10 +37,21 @@ fn main() {
     for (name, correlation) in correlations {
         // NOCAP_IO_AUDIT wraps the device so the audited rerun below sees
         // device-level events; the wrapper is pass-through for the sweep.
-        let device = if io_audit_enabled() {
+        let base = if io_audit_enabled() {
             TracedDevice::new_ref(SimDevice::new_ref())
         } else {
             SimDevice::new_ref()
+        };
+        // NOCAP_FAULTS layers checksums + retry over a seeded errors-only
+        // fault schedule; recovered faults leave the sweep's measured I/O
+        // bit-identical (the #I/Os panel is unchanged), while the latency
+        // panels absorb the checksum layer's real CPU cost.
+        let (device, faults) = match faults_seed() {
+            Some(seed) => {
+                let (device, rig) = fault_stack(base, seed, 2_000);
+                (device, Some(rig))
+            }
+            None => (base, None),
         };
         let config = SyntheticConfig {
             n_r,
@@ -51,6 +62,9 @@ fn main() {
             seed: 0x0CA9,
         };
         let workload = synthetic::generate(device, &config).expect("workload generation");
+        if let Some(rig) = &faults {
+            rig.arm();
+        }
         let pages_r = JoinSpec::paper_synthetic(record_bytes, 64).pages_r(n_r);
 
         // Sweep from ~0.5·√(F·‖R‖) to ‖R‖ pages, doubling each step.
@@ -145,6 +159,10 @@ fn main() {
                 &report,
                 &DeviceProfile::osync_off(),
             );
+        }
+
+        if let Some(rig) = &faults {
+            print_fault_summary(&format!("fig8_{name}"), rig);
         }
     }
 }

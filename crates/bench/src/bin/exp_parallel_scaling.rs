@@ -20,7 +20,9 @@
 use std::time::Instant;
 
 use nocap::{NocapConfig, NocapJoin};
-use nocap_bench::harness::{io_audit_enabled, maybe_audit_io, report_trace};
+use nocap_bench::harness::{
+    fault_stack, faults_seed, io_audit_enabled, maybe_audit_io, print_fault_summary, report_trace,
+};
 use nocap_joins::{DhhJoin, SortMergeJoin};
 use nocap_model::{JoinRunReport, JoinSpec};
 use nocap_obs::Obs;
@@ -137,10 +139,21 @@ fn main() {
     // NOCAP_IO_AUDIT wraps the device so the traced breakdowns capture
     // device-level events; the wrapper is pass-through for the timed runs
     // (no recorder attached there).
-    let device = if io_audit_enabled() {
+    let base = if io_audit_enabled() {
         TracedDevice::new_ref(SimDevice::new_ref())
     } else {
         SimDevice::new_ref()
+    };
+    // NOCAP_FAULTS layers checksums + retry over a seeded errors-only fault
+    // schedule. Recovered faults leave the modeled I/O bit-identical, so
+    // every parallel-vs-sequential assertion below still holds — that
+    // invariance under injection is exactly what the smoke run checks.
+    let (device, faults) = match faults_seed() {
+        Some(seed) => {
+            let (device, rig) = fault_stack(base, seed, 2_000);
+            (device, Some(rig))
+        }
+        None => (base, None),
     };
     let config = SyntheticConfig {
         n_r,
@@ -152,6 +165,9 @@ fn main() {
     };
     let wl: GeneratedWorkload =
         synthetic::generate(device.clone(), &config).expect("workload generation");
+    if let Some(rig) = &faults {
+        rig.arm();
+    }
     let spec = JoinSpec::paper_synthetic(record_bytes, buffer_pages);
 
     // ---- NOCAP --------------------------------------------------------
@@ -216,4 +232,8 @@ fn main() {
             println!("{threads},{best:.4},{speedup:.2},{identical}");
         },
     );
+
+    if let Some(rig) = &faults {
+        print_fault_summary("parallel_scaling", rig);
+    }
 }

@@ -1,11 +1,14 @@
 //! Shared experiment-harness helpers: run every algorithm on one workload
 //! and print figure-style rows.
 
+use std::sync::Arc;
+
 use nocap::{NocapConfig, NocapJoin, OcapConfig};
 use nocap_joins::{DhhConfig, DhhJoin, GraceHashJoin, HistoJoin, SortMergeJoin};
 use nocap_model::{CorrelationTable, JoinRunReport, JoinSpec};
 use nocap_obs::{ExecutionTrace, IoAudit};
-use nocap_storage::{DeviceProfile, Relation};
+use nocap_storage::device::DeviceRef;
+use nocap_storage::{CheckedDevice, DeviceProfile, FaultDevice, FaultPlan, Relation, RetryPolicy};
 use nocap_workload::GeneratedWorkload;
 
 /// One measured data point of a figure: an algorithm at one x-value.
@@ -197,6 +200,85 @@ pub fn report_trace(label: &str, report: &JoinRunReport) {
         print_trace_breakdown(label, trace);
         maybe_dump_trace(label, trace);
     }
+}
+
+/// Parses the `NOCAP_FAULTS=<seed>` environment hook: when set and
+/// non-empty, experiment bins wrap their device in the fault-tolerance
+/// stack ([`fault_stack`]) seeded with this value. Numeric values are used
+/// directly; any other string is hashed (FNV-1a 64) so mnemonic seeds like
+/// `NOCAP_FAULTS=smoke` work too.
+pub fn faults_seed() -> Option<u64> {
+    let v = std::env::var("NOCAP_FAULTS").ok()?;
+    if v.is_empty() {
+        return None;
+    }
+    Some(v.parse().unwrap_or_else(|_| {
+        v.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+        })
+    }))
+}
+
+/// Concrete handles into the fault-tolerance stack built by [`fault_stack`],
+/// kept so the bin can arm the schedule after workload generation and print
+/// the injection/recovery summary at the end.
+pub struct FaultInjection {
+    fault: Arc<FaultDevice>,
+    checked: Arc<CheckedDevice>,
+}
+
+impl FaultInjection {
+    /// Starts injecting faults. Call *after* generating the workload so the
+    /// schedule's op counters start at the first join run.
+    pub fn arm(&self) {
+        self.fault.arm();
+    }
+}
+
+/// Builds the engine-facing fault-tolerance stack over `inner`:
+/// `CheckedDevice` (checksums + bounded retry, no backoff sleeps) →
+/// `FaultDevice` carrying [`FaultPlan::errors_only`]`(seed, ops_hint)` →
+/// `inner`. Errors-only because the bins assert parallel-vs-sequential I/O
+/// equality, which recovered transient errors preserve exactly. The stack
+/// starts disarmed; arm it via the returned [`FaultInjection`].
+pub fn fault_stack(inner: DeviceRef, seed: u64, ops_hint: u64) -> (DeviceRef, FaultInjection) {
+    let fault = FaultDevice::new_arc(inner, FaultPlan::errors_only(seed, ops_hint));
+    let checked = CheckedDevice::new_arc(
+        fault.clone() as DeviceRef,
+        RetryPolicy {
+            max_attempts: 8,
+            backoff_micros: 0,
+        },
+    );
+    let device = checked.clone() as DeviceRef;
+    (device, FaultInjection { fault, checked })
+}
+
+/// Prints the fault-injection and recovery counters as `#`-prefixed comment
+/// lines, and asserts the run actually *recovered*: an errors-only schedule
+/// is recoverable by construction, so any exhausted operation means the
+/// retry layer is broken.
+pub fn print_fault_summary(label: &str, rig: &FaultInjection) {
+    let fs = rig.fault.fault_stats();
+    let rs = rig.checked.retry_stats();
+    println!(
+        "# fault injection [{label}]: {} errors, {} delays injected; \
+         {} read retries, {} append retries, {} recovered, {} exhausted",
+        fs.injected_errors,
+        fs.injected_delays,
+        rs.read_retries,
+        rs.append_retries,
+        rs.recovered,
+        rs.exhausted
+    );
+    assert_eq!(
+        rs.exhausted, 0,
+        "{label}: a recoverable schedule must never exhaust the retry budget"
+    );
+    assert!(
+        fs.injected_errors == 0 || rs.recovered > 0,
+        "{label}: injected errors were never recovered by the retry layer"
+    );
 }
 
 /// True when the `NOCAP_IO_AUDIT` environment hook is active. Experiment

@@ -22,13 +22,13 @@
 //! the §4.1 memory breakdown is enforced at run time, not just assumed.
 
 use nocap_model::pairwise::smart_partition_join;
-use nocap_model::{JoinRunReport, JoinSpec, RoundedHashParams};
+use nocap_model::{BudgetLadder, DegradedRun, JoinRunReport, JoinSpec, RoundedHashParams};
 use nocap_obs::{Obs, Phase};
 use nocap_par::QuotaStager;
 use nocap_stats::{StatsCollector, StatsSummary};
 use nocap_storage::{
     BufferPool, IoKind, JoinHashTable, PartitionHandle, PartitionWriter, RecordBatch, RecordLayout,
-    RecordRef, Relation,
+    RecordRef, Relation, SpillGuard,
 };
 
 use crate::plan::NocapPlan;
@@ -193,6 +193,43 @@ impl NocapJoin {
         self.run_with_collected_stats_obs(r, s, &summary, obs)
     }
 
+    /// [`run`](Self::run) with graceful degradation: when `admission`
+    /// cannot grant the spec's budget — or planning/execution fails with
+    /// [`OutOfMemory`](nocap_storage::StorageError::OutOfMemory) — the
+    /// budget walks down the [`BudgetLadder`] (`B → ¾B → …`) and the join
+    /// is re-planned at the smaller budget, trading passes for memory
+    /// instead of failing. Every step is recorded in the returned
+    /// [`DegradedRun`] and, when `obs` records, in the trace counters
+    /// `degradation_steps` / `degraded_budget_pages`.
+    pub fn run_degrading(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        mcvs: &[(u64, u64)],
+        admission: &BufferPool,
+        ladder: &BudgetLadder,
+    ) -> nocap_storage::Result<DegradedRun> {
+        self.run_degrading_obs(r, s, mcvs, admission, ladder, &Obs::off())
+    }
+
+    /// The observed variant of [`run_degrading`](Self::run_degrading).
+    pub fn run_degrading_obs(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        mcvs: &[(u64, u64)],
+        admission: &BufferPool,
+        ladder: &BudgetLadder,
+        obs: &Obs,
+    ) -> nocap_storage::Result<DegradedRun> {
+        nocap_model::run_degrading(admission, self.spec.buffer_pages, ladder, obs, |budget| {
+            // Re-plan at the degraded budget: a smaller B designates fewer
+            // keys and spills more, but the plan stays feasible.
+            let degraded = NocapJoin::new(self.spec.with_buffer_pages(budget), self.config);
+            degraded.run_obs(r, s, mcvs, obs)
+        })
+    }
+
     /// Executes the join with an explicit, pre-computed plan.
     pub fn run_with_plan(
         &self,
@@ -225,6 +262,12 @@ impl NocapJoin {
 
         let timer = obs.run_timer();
         let base_stats = device.stats();
+        // Every spill handle is adopted here the moment it is finished, so
+        // an error anywhere below — partitioning, probing, a faulted device
+        // — deletes all spill files on unwind. The guard also replaces the
+        // old success-path delete loops (deletion is not modeled I/O, so
+        // end-of-scope timing is equivalent).
+        let mut spill_guard = SpillGuard::new();
 
         let mem_set = plan.mem_key_set();
         let disk_map = plan.disk_map();
@@ -266,9 +309,14 @@ impl NocapJoin {
         drop(r_partition_span);
         let spill_span = obs.span(Phase::Spill);
         let rest_build = rest.finish_build()?;
+        spill_guard.adopt_all(rest_build.spilled.iter().flatten().cloned());
         let r_disk_handles: Vec<PartitionHandle> = r_disk_writers
             .into_iter()
-            .map(|w| w.finish())
+            .map(|w| {
+                let h = w.finish()?;
+                spill_guard.adopt(h.clone());
+                Ok(h)
+            })
             .collect::<nocap_storage::Result<_>>()?;
         drop(spill_span);
         {
@@ -342,7 +390,11 @@ impl NocapJoin {
         let probe_span = obs.span(Phase::Probe);
         let s_disk_handles: Vec<PartitionHandle> = s_disk_writers
             .into_iter()
-            .map(|w| w.finish())
+            .map(|w| {
+                let h = w.finish()?;
+                spill_guard.adopt(h.clone());
+                Ok(h)
+            })
             .collect::<nocap_storage::Result<_>>()?;
         for (r_part, s_part) in r_disk_handles.iter().zip(s_disk_handles.iter()) {
             output += smart_partition_join(r_part, s_part, spec, 1)?;
@@ -353,19 +405,14 @@ impl NocapJoin {
                 continue;
             };
             let s_part = s_writer.finish()?;
+            spill_guard.adopt(s_part.clone());
             output += smart_partition_join(r_part, &s_part, spec, 1)?;
-            s_part.delete()?;
         }
         drop(probe_span);
         let probe_io = device.stats().since(&probe_base);
 
-        // Clean up spill files (not counted as I/O).
-        for h in r_disk_handles.into_iter().chain(s_disk_handles) {
-            h.delete()?;
-        }
-        for h in rest_build.spilled.into_iter().flatten() {
-            h.delete()?;
-        }
+        // Dropping the guard deletes every spill file (not counted as I/O).
+        drop(spill_guard);
 
         obs.gauge_max("buffer_pool_peak_pages", pool.peak() as u64);
         let mut report = JoinRunReport::new("NOCAP");
@@ -705,6 +752,55 @@ mod tests {
             );
             previous = report.total_ios();
         }
+    }
+
+    #[test]
+    fn run_degrading_trades_memory_for_passes_under_admission_pressure() {
+        use nocap_model::BudgetLadder;
+        let device = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(128, 64);
+        let counts = |k: u64| if k < 5 { 150 } else { 2 };
+        let (r, s, mcvs) = build_workload(device.clone(), &spec, 2_000, counts);
+        let join = NocapJoin::new(spec, NocapConfig::default());
+
+        // Roomy admission: first-try success, same result as a plain run.
+        let roomy = nocap_storage::BufferPool::new(256);
+        let run = join
+            .run_degrading(&r, &s, &mcvs, &roomy, &BudgetLadder::default())
+            .unwrap();
+        assert_eq!(run.steps(), 0);
+        assert_eq!(run.budget_pages, 64);
+        assert_eq!(run.report.output_records, expected_output(2_000, counts));
+        assert_eq!(roomy.in_use(), 0);
+
+        // Tight admission (37 pages): 64 and 48 are rejected, 36 runs.
+        let tight = nocap_storage::BufferPool::new(37);
+        let degraded = join
+            .run_degrading(&r, &s, &mcvs, &tight, &BudgetLadder::default())
+            .unwrap();
+        assert_eq!(degraded.budget_pages, 36);
+        assert_eq!(degraded.steps(), 2);
+        assert_eq!(
+            degraded.report.output_records,
+            expected_output(2_000, counts),
+            "a degraded run is still correct"
+        );
+        assert!(
+            degraded.report.total_ios() >= run.report.total_ios(),
+            "less memory can never mean less I/O"
+        );
+        assert_eq!(tight.in_use(), 0);
+
+        // Admission below the ladder floor: a clean error, nothing leaked.
+        let hopeless = nocap_storage::BufferPool::new(2);
+        let err = join
+            .run_degrading(&r, &s, &mcvs, &hopeless, &BudgetLadder::default())
+            .expect_err("the floor cannot be granted");
+        assert!(matches!(
+            err,
+            nocap_storage::StorageError::OutOfMemory { .. }
+        ));
+        assert_eq!(hopeless.in_use(), 0);
     }
 
     #[test]

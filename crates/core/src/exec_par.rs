@@ -38,7 +38,10 @@ use nocap_model::JoinRunReport;
 use nocap_obs::{Obs, Phase};
 use nocap_par::{page_shards, run_workers_obs, sum_tasks_obs, ParallelStager, SharedWriterSet};
 use nocap_stats::StatsCollector;
-use nocap_storage::{BufferPool, IoKind, JoinHashTable, PartitionHandle, Relation, Reservation};
+use nocap_storage::{
+    into_inner_unpoisoned, lock_unpoisoned, BufferPool, IoKind, JoinHashTable, PartitionHandle,
+    Relation, Reservation, SpillGuard,
+};
 
 use crate::exec::{record_partition_skew, NocapJoin, RestGeometry};
 use crate::plan::NocapPlan;
@@ -247,10 +250,7 @@ impl NocapJoin {
                     if mem_set.contains(&rec.key()) {
                         // R is the primary-key side: cached keys are rare, so
                         // this lock is cold.
-                        ht_shared
-                            .lock()
-                            .expect("hash table lock poisoned")
-                            .insert_ref(rec);
+                        lock_unpoisoned(&ht_shared).insert_ref(rec);
                     } else if let Some(&pid) = disk_map.get(&rec.key()) {
                         r_disk.push(pid as usize, rec)?;
                     } else {
@@ -264,9 +264,14 @@ impl NocapJoin {
         drop(r_partition_span);
         let spill_span = obs.span(Phase::Spill);
         let rest_build = stager.finish(stages)?;
+        // As in the sequential executor: every finished spill handle is
+        // adopted immediately, so any later error deletes all spill files.
+        let mut spill_guard = SpillGuard::new();
+        spill_guard.adopt_all(rest_build.spilled.iter().flatten().cloned());
         let r_disk_handles = r_disk.finish_dense()?;
+        spill_guard.adopt_all(r_disk_handles.iter().cloned());
         drop(spill_span);
-        let mut ht_mem = ht_shared.into_inner().expect("hash table lock poisoned");
+        let mut ht_mem = into_inner_unpoisoned(ht_shared);
         {
             let _build_span = obs.span(Phase::Build);
             for rec in rest_build.staged_records.iter() {
@@ -333,7 +338,9 @@ impl NocapJoin {
         let probe_base = device.stats();
         let probe_span = obs.span(Phase::Probe);
         let s_disk_handles = s_disk.finish_dense()?;
+        spill_guard.adopt_all(s_disk_handles.iter().cloned());
         let s_rest_handles = s_rest.finish_all()?;
+        spill_guard.adopt_all(s_rest_handles.iter().flatten().cloned());
         let mut pairs: Vec<(PartitionHandle, PartitionHandle)> = Vec::new();
         for (r_part, s_part) in r_disk_handles.iter().zip(s_disk_handles.iter()) {
             pairs.push((r_part.clone(), s_part.clone()));
@@ -349,16 +356,8 @@ impl NocapJoin {
         drop(probe_span);
         let probe_io = device.stats().since(&probe_base);
 
-        // Clean up spill files (not counted as I/O).
-        for h in r_disk_handles.into_iter().chain(s_disk_handles) {
-            h.delete()?;
-        }
-        for h in rest_build.spilled.into_iter().flatten() {
-            h.delete()?;
-        }
-        for h in s_rest_handles.into_iter().flatten() {
-            h.delete()?;
-        }
+        // Dropping the guard deletes every spill file (not counted as I/O).
+        drop(spill_guard);
 
         obs.gauge_max("buffer_pool_peak_pages", pool.peak() as u64);
         let mut report = JoinRunReport::new("NOCAP");

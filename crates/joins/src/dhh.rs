@@ -35,7 +35,7 @@ use std::collections::HashSet;
 use std::sync::Mutex;
 
 use nocap_model::pairwise::smart_partition_join;
-use nocap_model::{JoinRunReport, JoinSpec};
+use nocap_model::{BudgetLadder, DegradedRun, JoinRunReport, JoinSpec};
 use nocap_obs::{Obs, Phase};
 use nocap_par::{
     default_threads, even_caps, page_shards, run_workers_obs, sum_tasks_obs, ParallelStager,
@@ -44,8 +44,8 @@ use nocap_par::{
 use nocap_stats::StatsSummary;
 use nocap_storage::device::DeviceRef;
 use nocap_storage::{
-    BufferPool, IoKind, JoinHashTable, PartitionHandle, PartitionWriter, RecordBatch, RecordLayout,
-    RecordRef, Relation, Reservation,
+    into_inner_unpoisoned, lock_unpoisoned, BufferPool, IoKind, JoinHashTable, PartitionHandle,
+    PartitionWriter, RecordBatch, RecordLayout, RecordRef, Relation, Reservation, SpillGuard,
 };
 
 /// SplitMix64 hash for partition routing.
@@ -206,6 +206,11 @@ impl DhhJoin {
             let _spill_span = obs.span(Phase::Spill);
             partitioner.finish()?
         };
+        // Adopt every spill handle as it is finished so any later error
+        // deletes all spill files on unwind; the guard replaces the old
+        // success-path delete loops (deletion is not modeled I/O).
+        let mut spill_guard = SpillGuard::new();
+        spill_guard.adopt_all(build.spilled.iter().flatten().cloned());
         let mut ht_mem = skew_table;
         {
             let _build_span = obs.span(Phase::Build);
@@ -261,15 +266,14 @@ impl DhhJoin {
                 continue;
             };
             let s_part = s_writer.finish()?;
+            spill_guard.adopt(s_part.clone());
             output += smart_partition_join(r_part, &s_part, spec, 1)?;
-            s_part.delete()?;
         }
         drop(probe_span);
         let probe_io = device.stats().since(&probe_base);
 
-        for h in build.spilled.into_iter().flatten() {
-            h.delete()?;
-        }
+        // Dropping the guard deletes every spill file (not counted as I/O).
+        drop(spill_guard);
 
         obs.gauge_max("buffer_pool_peak_pages", pool.peak() as u64);
         let mut report = JoinRunReport::new("DHH");
@@ -278,6 +282,40 @@ impl DhhJoin {
         report.probe_io = probe_io;
         report.finish_run(timer, obs);
         Ok(report)
+    }
+
+    /// [`run`](Self::run) with graceful degradation: when `admission`
+    /// cannot grant the spec's budget — or execution fails with
+    /// [`OutOfMemory`](nocap_storage::StorageError::OutOfMemory) — the
+    /// budget walks down the [`BudgetLadder`] (`B → ¾B → …`) and DHH
+    /// re-runs with a smaller budget (more partitions spill, more passes),
+    /// instead of failing. Every step is recorded in the returned
+    /// [`DegradedRun`].
+    pub fn run_degrading(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        mcvs: &[(u64, u64)],
+        admission: &BufferPool,
+        ladder: &BudgetLadder,
+    ) -> nocap_storage::Result<DegradedRun> {
+        self.run_degrading_obs(r, s, mcvs, admission, ladder, &Obs::off())
+    }
+
+    /// The observed variant of [`run_degrading`](Self::run_degrading).
+    pub fn run_degrading_obs(
+        &self,
+        r: &Relation,
+        s: &Relation,
+        mcvs: &[(u64, u64)],
+        admission: &BufferPool,
+        ladder: &BudgetLadder,
+        obs: &Obs,
+    ) -> nocap_storage::Result<DegradedRun> {
+        nocap_model::run_degrading(admission, self.spec.buffer_pages, ladder, obs, |budget| {
+            let degraded = DhhJoin::new(self.spec.with_buffer_pages(budget), self.config);
+            degraded.run_obs(r, s, mcvs, obs)
+        })
     }
 
     /// Executes `r ⋈ s` on `threads` worker threads.
@@ -369,10 +407,7 @@ impl DhhJoin {
                     if skew_keys.contains(&rec.key()) {
                         // R is the primary-key side: each skew key appears
                         // once in R, so this lock is cold.
-                        ht_shared
-                            .lock()
-                            .expect("skew table lock poisoned")
-                            .insert_ref(rec);
+                        lock_unpoisoned(&ht_shared).insert_ref(rec);
                     } else {
                         let p = (hash_key(rec.key()) % stager.num_partitions() as u64) as usize;
                         stager.insert(&mut stage, p, rec)?;
@@ -386,7 +421,11 @@ impl DhhJoin {
             let _spill_span = obs.span(Phase::Spill);
             stager.finish(stages)?
         };
-        let mut ht_mem = ht_shared.into_inner().expect("skew table lock poisoned");
+        // As in the sequential path: adopt spill handles as they finish so
+        // any later error deletes all spill files on unwind.
+        let mut spill_guard = SpillGuard::new();
+        spill_guard.adopt_all(build.spilled.iter().flatten().cloned());
+        let mut ht_mem = into_inner_unpoisoned(ht_shared);
         {
             let _build_span = obs.span(Phase::Build);
             for rec in build.staged_records.iter() {
@@ -435,6 +474,7 @@ impl DhhJoin {
         let probe_base = device.stats();
         let probe_span = obs.span(Phase::Probe);
         let s_handles = s_writers.finish_all()?;
+        spill_guard.adopt_all(s_handles.iter().flatten().cloned());
         let mut pairs: Vec<(PartitionHandle, PartitionHandle)> = Vec::new();
         for (maybe_r, maybe_s) in build.spilled.iter().zip(s_handles.iter()) {
             if let (Some(r_part), Some(s_part)) = (maybe_r, maybe_s) {
@@ -447,13 +487,8 @@ impl DhhJoin {
         drop(probe_span);
         let probe_io = device.stats().since(&probe_base);
 
-        // Clean up spill files (not counted as I/O).
-        for h in build.spilled.into_iter().flatten() {
-            h.delete()?;
-        }
-        for h in s_handles.into_iter().flatten() {
-            h.delete()?;
-        }
+        // Dropping the guard deletes every spill file (not counted as I/O).
+        drop(spill_guard);
 
         obs.gauge_max("buffer_pool_peak_pages", pool.peak() as u64);
         let mut report = JoinRunReport::new("DHH");
@@ -870,6 +905,29 @@ mod tests {
                     .unwrap()
             },
         );
+    }
+
+    #[test]
+    fn run_degrading_stays_correct_under_admission_pressure() {
+        use nocap_model::BudgetLadder;
+        use nocap_storage::BufferPool;
+        let dev = SimDevice::new_ref();
+        let spec = JoinSpec::paper_synthetic(128, 48);
+        let counts = |k: u64| if k < 8 { 200 } else { 2 };
+        let (r, s) = build_workload(dev.clone(), &spec, 2_000, counts);
+        let expected = naive_join_count(&r, &s).unwrap();
+        let stats = mcvs(2_000, counts, 100);
+        let join = DhhJoin::with_defaults(spec);
+
+        // 48 and 36 rejected by a 28-page admission pool; 27 runs.
+        let tight = BufferPool::new(28);
+        let degraded = join
+            .run_degrading(&r, &s, &stats, &tight, &BudgetLadder::default())
+            .unwrap();
+        assert_eq!(degraded.budget_pages, 27);
+        assert_eq!(degraded.steps(), 2);
+        assert_eq!(degraded.report.output_records, expected);
+        assert_eq!(tight.in_use(), 0);
     }
 
     #[test]

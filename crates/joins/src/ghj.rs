@@ -14,7 +14,7 @@ use nocap_obs::{Obs, Phase};
 use nocap_par::{page_shards, run_workers_obs, sum_tasks_obs, SharedWriterSet};
 use nocap_storage::device::DeviceRef;
 use nocap_storage::{
-    BufferPool, IoKind, JoinHashTable, PartitionHandle, PartitionWriter, Relation,
+    BufferPool, IoKind, JoinHashTable, PartitionHandle, PartitionWriter, Relation, SpillGuard,
 };
 
 /// SplitMix64 with a per-recursion-level salt so nested partitioning uses an
@@ -68,9 +68,15 @@ impl GraceHashJoin {
         let _input_page = pool.reserve(1)?;
         let _output_buffers = pool.reserve(num_partitions.min(pool.available()))?;
 
+        // Adopt each relation's partitions as they finish so a failure while
+        // partitioning S or probing deletes R's files too; the guard
+        // replaces the old success-path delete loop.
+        let mut spill_guard = SpillGuard::new();
         let partition_span = obs.span(Phase::Partition);
         let r_parts = partition_relation_scan(&device, r, spec, num_partitions, 0)?;
+        spill_guard.adopt_all(r_parts.iter().cloned());
         let s_parts = partition_relation_scan(&device, s, spec, num_partitions, 0)?;
+        spill_guard.adopt_all(s_parts.iter().cloned());
         drop(partition_span);
         let partition_io = device.stats().since(&base);
         record_ghj_skew(obs, &r_parts, &s_parts);
@@ -85,9 +91,8 @@ impl GraceHashJoin {
         drop(probe_span);
         let probe_io = device.stats().since(&probe_base);
 
-        for h in r_parts.into_iter().chain(s_parts) {
-            h.delete()?;
-        }
+        // Dropping the guard deletes every spill file (not counted as I/O).
+        drop(spill_guard);
 
         obs.gauge_max("buffer_pool_peak_pages", pool.peak() as u64);
         let mut report = JoinRunReport::new("GHJ");
@@ -164,9 +169,12 @@ impl GraceHashJoin {
                 })?;
                 writers.finish_dense()
             };
+        let mut spill_guard = SpillGuard::new();
         let partition_span = obs.span(Phase::Partition);
         let r_parts = partition_parallel(r)?;
+        spill_guard.adopt_all(r_parts.iter().cloned());
         let s_parts = partition_parallel(s)?;
+        spill_guard.adopt_all(s_parts.iter().cloned());
         drop(partition_span);
         let partition_io = device.stats().since(&base);
         record_ghj_skew(obs, &r_parts, &s_parts);
@@ -179,9 +187,8 @@ impl GraceHashJoin {
         drop(probe_span);
         let probe_io = device.stats().since(&probe_base);
 
-        for h in r_parts.into_iter().chain(s_parts) {
-            h.delete()?;
-        }
+        // Dropping the guard deletes every spill file (not counted as I/O).
+        drop(spill_guard);
 
         obs.gauge_max("buffer_pool_peak_pages", pool.peak() as u64);
         let mut report = JoinRunReport::new("GHJ");
@@ -220,14 +227,16 @@ impl GraceHashJoin {
             return nbj_partition_join(r_part, s_part, spec, |_, _| {});
         }
         let num_partitions = spec.buffer_pages.saturating_sub(1).max(2);
+        // Fail-clean recursion: the sub-partitions are deleted when the
+        // guard drops, whether the nested joins succeed or not.
+        let mut guard = SpillGuard::new();
         let r_sub = partition_handle(device, r_part, spec, num_partitions, depth)?;
+        guard.adopt_all(r_sub.iter().cloned());
         let s_sub = partition_handle(device, s_part, spec, num_partitions, depth)?;
+        guard.adopt_all(s_sub.iter().cloned());
         let mut output = 0u64;
         for (rp, sp) in r_sub.iter().zip(s_sub.iter()) {
             output += self.join_pair(device, rp, sp, depth + 1)?;
-        }
-        for h in r_sub.into_iter().chain(s_sub) {
-            h.delete()?;
         }
         Ok(output)
     }
@@ -275,7 +284,17 @@ fn partition_relation_scan(
             writers[p].push_ref(rec)?;
         }
     }
-    writers.into_iter().map(|w| w.finish()).collect()
+    // Fail-clean finish: a mid-loop error deletes the handles produced so
+    // far (unfinished writers delete their own files on drop).
+    let mut guard = SpillGuard::new();
+    let mut out = Vec::with_capacity(writers.len());
+    for w in writers {
+        let h = w.finish()?;
+        guard.adopt(h.clone());
+        out.push(h);
+    }
+    let _ = guard.release();
+    Ok(out)
 }
 
 /// Hash-partitions an existing spill partition into `m` sub-partitions
@@ -307,14 +326,20 @@ fn partition_handle(
         }
     }
     let layout = layout.unwrap_or(spec.r_layout);
-    writers
-        .into_iter()
-        .map(|w| match w {
-            Some(w) => w.finish(),
+    // Fail-clean finish, as in `partition_relation_scan`.
+    let mut guard = SpillGuard::new();
+    let mut out = Vec::with_capacity(writers.len());
+    for w in writers {
+        let h = match w {
+            Some(w) => w.finish()?,
             None => PartitionWriter::new(device.clone(), layout, spec.page_size, IoKind::RandWrite)
-                .finish(),
-        })
-        .collect()
+                .finish()?,
+        };
+        guard.adopt(h.clone());
+        out.push(h);
+    }
+    let _ = guard.release();
+    Ok(out)
 }
 
 #[cfg(test)]

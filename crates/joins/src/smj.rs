@@ -26,11 +26,15 @@
 //! is `n · (B − 1)` pages at `n` workers — the classic memory/time trade of
 //! parallel run generation; the modeled I/O is unaffected.)
 
+use std::sync::Mutex;
+
 use nocap_model::{JoinRunReport, JoinSpec};
 use nocap_obs::{Obs, Phase};
 use nocap_par::{default_threads, ordered_tasks_obs};
 use nocap_storage::sort::{run_chunks, sort_chunk, ExternalSorter, LoserTree, SortScratch};
-use nocap_storage::{PartitionHandle, Relation};
+use nocap_storage::{
+    into_inner_unpoisoned, lock_unpoisoned, PartitionHandle, Relation, SpillGuard,
+};
 
 /// Smallest buffer budget SMJ accepts, in pages.
 ///
@@ -191,8 +195,14 @@ impl SortMergeJoin {
         let s_share = fan_in - r_share;
         debug_assert!(s_share >= 2, "clamp above keeps a two-way S merge");
 
+        // Adopt each relation's final runs as soon as they exist so a
+        // failure while sorting S (or during the fused merge) deletes R's
+        // runs too; the guard replaces the old success-path delete loop.
+        let mut run_guard = SpillGuard::new();
         let r_runs = sorted_runs(r, budget, r_share, threads, obs)?;
+        run_guard.adopt_all(r_runs.iter().cloned());
         let s_runs = sorted_runs(s, budget, s_share, threads, obs)?;
+        run_guard.adopt_all(s_runs.iter().cloned());
         let partition_io = device.stats().since(&base);
         if obs.is_recording() {
             obs.values(
@@ -210,9 +220,8 @@ impl SortMergeJoin {
         };
         let probe_io = device.stats().since(&probe_base);
 
-        for run in r_runs.into_iter().chain(s_runs) {
-            run.delete()?;
-        }
+        // Dropping the guard deletes every run file (not counted as I/O).
+        drop(run_guard);
 
         let mut report = JoinRunReport::new("SMJ");
         report.output_records = output;
@@ -235,6 +244,11 @@ fn sorted_runs(
     obs: &Obs,
 ) -> nocap_storage::Result<Vec<PartitionHandle>> {
     let chunks = run_chunks(relation.num_pages(), budget);
+    // `ordered_tasks_obs` drops the already-completed results when a task
+    // fails (or siblings are cancelled) — and each result here owns a run
+    // file. Adopting every run into a shared guard the moment it is written
+    // guarantees a failed fan-out deletes all of them.
+    let chunk_guard = Mutex::new(SpillGuard::new());
     let runs = {
         let _run_gen_span = obs.span(Phase::SortRunGen);
         ordered_tasks_obs(
@@ -243,9 +257,16 @@ fn sorted_runs(
             Phase::SortRunGen,
             chunks.len(),
             SortScratch::new,
-            |scratch, i| sort_chunk(relation, chunks[i].clone(), scratch),
+            |scratch, i| {
+                let run = sort_chunk(relation, chunks[i].clone(), scratch)?;
+                lock_unpoisoned(&chunk_guard).adopt(run.clone());
+                Ok(run)
+            },
         )?
     };
+    // Success: the merge cascade below takes over ownership (it is itself
+    // fail-clean), so disarm the run-generation guard.
+    let _ = into_inner_unpoisoned(chunk_guard).release();
     if obs.is_recording() {
         obs.values("run_pages", runs.iter().map(|h| h.pages() as u64));
         obs.count("initial_runs", runs.len() as u64);

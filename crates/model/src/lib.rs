@@ -21,6 +21,10 @@
 //!   including the Chernoff-bound overflow correction.
 //! * [`dhh_cost`] — `g_DHH`: the estimated extra I/O of handing the residual
 //!   (non-MCV) keys to a DHH/GHJ-style partitioner with a given budget.
+//! * [`degrade`] — the [`BudgetLadder`]: bounded budget degradation under
+//!   memory pressure (`B → ¾B → …`), exploiting the cost model's
+//!   monotonicity in `B` — a smaller budget costs more passes, never
+//!   correctness.
 //!
 //! Costs in this crate are *estimates* expressed in normalized page I/Os
 //! (one sequential page read = 1). The executors in `nocap` and
@@ -32,6 +36,7 @@
 
 pub mod classic_cost;
 pub mod ct;
+pub mod degrade;
 pub mod dhh_cost;
 pub mod estimate;
 pub mod hash_cost;
@@ -42,6 +47,7 @@ pub mod spec;
 
 pub use classic_cost::{best_partition_join, ghj_cost, nbj_cost, smj_cost, PartitionJoinMethod};
 pub use ct::CorrelationTable;
+pub use degrade::{run_degrading, BudgetLadder, DegradationAttempt, DegradedRun};
 pub use dhh_cost::g_dhh;
 pub use estimate::McvEstimate;
 pub use hash_cost::{g_ph, g_rh, rounded_passes, RoundedHashParams};

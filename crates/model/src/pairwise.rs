@@ -202,28 +202,37 @@ pub fn smart_partition_join(
             }
         }
         let layout = layout.unwrap_or(spec.r_layout);
-        writers
-            .into_iter()
-            .map(|w| match w {
-                Some(w) => w.finish(),
+        // Fail-clean finish: a mid-loop error deletes the handles produced
+        // so far (unfinished writers delete their own files on drop).
+        let mut guard = nocap_storage::SpillGuard::new();
+        let mut out = Vec::with_capacity(writers.len());
+        for w in writers {
+            let h = match w {
+                Some(w) => w.finish()?,
                 None => nocap_storage::PartitionWriter::new(
                     device.clone(),
                     layout,
                     spec.page_size,
                     IoKind::RandWrite,
                 )
-                .finish(),
-            })
-            .collect()
+                .finish()?,
+            };
+            guard.adopt(h.clone());
+            out.push(h);
+        }
+        let _ = guard.release();
+        Ok(out)
     };
+    // Fail-clean recursion: the sub-partitions are deleted when the guard
+    // drops, whether the nested joins succeed or not.
+    let mut guard = nocap_storage::SpillGuard::new();
     let r_sub = repartition(r_partition)?;
+    guard.adopt_all(r_sub.iter().cloned());
     let s_sub = repartition(s_partition)?;
+    guard.adopt_all(s_sub.iter().cloned());
     let mut output = 0u64;
     for (rp, sp) in r_sub.iter().zip(s_sub.iter()) {
         output += smart_partition_join(rp, sp, spec, depth + 1)?;
-    }
-    for h in r_sub.into_iter().chain(s_sub) {
-        h.delete()?;
     }
     Ok(output)
 }

@@ -10,7 +10,11 @@
 //!
 //! * [`pool`] — a scoped [`run_workers`] fan-out helper, a work-queue
 //!   [`sum_tasks`] helper for the partition-wise probe phase, and
-//!   [`default_threads`] (the `NOCAP_THREADS` environment knob). The
+//!   [`default_threads`] (the `NOCAP_THREADS` environment knob). All
+//!   fan-outs are **fail-clean**: worker panics are caught and surfaced as
+//!   `StorageError::WorkerPanicked`, and a [`cancel`] token
+//!   ([`CancelToken`]) propagates the first error so siblings stop at their
+//!   next task boundary instead of finishing doomed work. The
 //!   `*_obs` variants ([`run_workers_obs`], [`sum_tasks_obs`],
 //!   [`ordered_tasks_obs`]) additionally record per-worker / per-task spans
 //!   through `nocap-obs`, producing the per-worker timelines of the
@@ -48,15 +52,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cancel;
 pub mod pool;
 pub mod quota;
 pub mod quota_stage;
 pub mod shard;
 pub mod stage;
 
+pub use cancel::CancelToken;
 pub use pool::{
-    default_threads, ordered_tasks, ordered_tasks_obs, run_workers, run_workers_obs, sum_tasks,
-    sum_tasks_obs,
+    default_threads, ordered_tasks, ordered_tasks_obs, run_workers, run_workers_cancel,
+    run_workers_obs, sum_tasks, sum_tasks_obs,
 };
 pub use quota::even_caps;
 pub use quota_stage::{QuotaStager, QuotaStagerBuild};

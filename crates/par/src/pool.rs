@@ -15,14 +15,26 @@
 //!   `SortMergeJoin::run_parallel`), with per-worker reusable state so the
 //!   tasks themselves stay allocation-free.
 //!
-//! Both are built on `std::thread::scope`, so borrowed state (the shared
-//! hash table, the writer sets, the device) needs no `'static` gymnastics
-//! and worker panics propagate to the caller.
+//! All are built on `std::thread::scope`, so borrowed state (the shared
+//! hash table, the writer sets, the device) needs no `'static` gymnastics.
+//!
+//! **Fail-clean contract.** Every fan-out catches worker panics and
+//! converts them to [`StorageError::WorkerPanicked`] (the process never
+//! aborts because one task misbehaved), and every fan-out runs under a
+//! [`CancelToken`]: the first worker error trips the token, siblings
+//! observe it at their next task boundary and bail with
+//! [`StorageError::Cancelled`], and the caller receives the recorded root
+//! cause — not whichever victim finished last. Cleanup relies on RAII
+//! (spill guards, reservations, poison-tolerant locks), so a cancelled or
+//! panicked run releases everything it acquired.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use nocap_obs::{Obs, Phase, WorkerObs};
-use nocap_storage::Result;
+use nocap_storage::{Result, StorageError};
+
+use crate::cancel::CancelToken;
 
 /// Default worker count: the `NOCAP_THREADS` environment variable if set to
 /// a positive integer, otherwise the machine's available parallelism,
@@ -44,35 +56,109 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Renders a panic payload into the deterministic part of
+/// [`StorageError::WorkerPanicked`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs `threads` workers, each receiving its worker id `0..threads`, and
 /// collects their results in worker order.
 ///
-/// The first worker error (in worker order) is returned if any worker
-/// fails; worker panics propagate. With `threads == 1` the closure runs on
-/// the calling thread — no spawn overhead, which keeps
-/// `run_parallel(1)` an honest baseline for scaling measurements.
+/// If any worker fails, the returned error is the run's **root cause**: the
+/// first error (in wall-clock order) that tripped the internal cancel
+/// token. Worker panics are caught and surfaced as
+/// [`StorageError::WorkerPanicked`] instead of aborting the process. With
+/// `threads == 1` the closure runs on the calling thread — no spawn
+/// overhead, which keeps `run_parallel(1)` an honest baseline for scaling
+/// measurements.
 pub fn run_workers<T, F>(threads: usize, f: F) -> Result<Vec<T>>
 where
     T: Send,
     F: Fn(usize) -> Result<T> + Sync,
 {
+    run_workers_cancel(threads, &CancelToken::new(), |w, _| f(w))
+}
+
+/// [`run_workers`] with an explicit [`CancelToken`]: the closure receives
+/// the token and is expected to poll [`CancelToken::check`] at its task
+/// boundaries, so sibling workers stop promptly once any worker fails.
+///
+/// The first worker error or panic trips the token; workers that return
+/// [`StorageError::Cancelled`] are victims, not causes, and never overwrite
+/// the recorded root cause. Panics are caught per worker (on the spawned
+/// thread *and* on the `threads == 1` inline path) and converted to
+/// [`StorageError::WorkerPanicked`].
+pub fn run_workers_cancel<T, F>(threads: usize, token: &CancelToken, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize, &CancelToken) -> Result<T> + Sync,
+{
     let threads = threads.max(1);
-    if threads == 1 {
-        return Ok(vec![f(0)?]);
+    // Unwind safety: the closure only shares poison-tolerant structures
+    // (sync-helper locks, atomics, the cancel token) whose state mutates at
+    // item granularity, so observing them after a sibling's panic is sound.
+    let guarded = |w: usize| -> Result<T> {
+        match catch_unwind(AssertUnwindSafe(|| f(w, token))) {
+            Ok(Ok(value)) => Ok(value),
+            Ok(Err(err)) => {
+                token.cancel(&err);
+                Err(err)
+            }
+            Err(payload) => {
+                let err = StorageError::WorkerPanicked(panic_message(payload));
+                token.cancel(&err);
+                Err(err)
+            }
+        }
+    };
+    let results: Vec<Result<T>> = if threads == 1 {
+        vec![guarded(0)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let guarded = &guarded;
+                    scope.spawn(move || guarded(w))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    // `guarded` already caught in-closure panics; this only
+                    // fires if the thread died outside it (e.g. a panicking
+                    // TLS destructor).
+                    h.join().unwrap_or_else(|payload| {
+                        Err(StorageError::WorkerPanicked(panic_message(payload)))
+                    })
+                })
+                .collect()
+        })
+    };
+    let mut values = Vec::with_capacity(results.len());
+    let mut first_err = None;
+    for result in results {
+        match result {
+            Ok(v) => values.push(v),
+            Err(e) => {
+                if first_err.is_none() || matches!(first_err, Some(StorageError::Cancelled)) {
+                    first_err = Some(e);
+                }
+            }
+        }
     }
-    let results: Vec<Result<T>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|w| {
-                let f = &f;
-                scope.spawn(move || f(w))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    });
-    results.into_iter().collect()
+    match first_err {
+        None => Ok(values),
+        // Prefer the temporally-first error the token recorded over
+        // whichever failure sits first in worker order.
+        Some(fallback) => Err(token.reason().unwrap_or(fallback)),
+    }
 }
 
 /// [`run_workers`] with per-worker observability: each worker's whole
@@ -117,11 +203,14 @@ where
     F: Fn(usize) -> Result<u64> + Sync,
 {
     let cursor = AtomicUsize::new(0);
-    let partials = run_workers(threads.max(1).min(count.max(1)), |w| {
+    let token = CancelToken::new();
+    let partials = run_workers_cancel(threads.max(1).min(count.max(1)), &token, |w, token| {
         let mut wobs = obs.worker(w);
         let _io = obs.io_phase(phase);
         let mut sum = 0u64;
         loop {
+            // Task boundary: once a sibling fails, stop claiming work.
+            token.check()?;
             let task = cursor.fetch_add(1, Ordering::Relaxed);
             if task >= count {
                 return Ok(sum);
@@ -169,12 +258,15 @@ where
     F: Fn(&mut S, usize) -> Result<T> + Sync,
 {
     let cursor = AtomicUsize::new(0);
-    let per_worker = run_workers(threads.max(1).min(count.max(1)), |w| {
+    let token = CancelToken::new();
+    let per_worker = run_workers_cancel(threads.max(1).min(count.max(1)), &token, |w, token| {
         let mut wobs = obs.worker(w);
         let _io = obs.io_phase(phase);
         let mut state = init();
         let mut done: Vec<(usize, T)> = Vec::new();
         loop {
+            // Task boundary: once a sibling fails, stop claiming work.
+            token.check()?;
             let task = cursor.fetch_add(1, Ordering::Relaxed);
             if task >= count {
                 return Ok(done);
@@ -216,6 +308,92 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, StorageError::Io(_)));
+    }
+
+    #[test]
+    fn run_workers_catches_panics_at_every_thread_count() {
+        for threads in [1usize, 2, 4, 8] {
+            let err = run_workers(threads, |w| -> Result<usize> {
+                if w == 0 {
+                    panic!("task {w} exploded");
+                }
+                Ok(w)
+            })
+            .unwrap_err();
+            match err {
+                StorageError::WorkerPanicked(msg) => {
+                    assert!(msg.contains("exploded"), "payload preserved: {msg}")
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn run_workers_cancel_reports_root_cause_not_victims() {
+        // Worker 2 fails first (others wait on the token), so the root
+        // cause must be worker 2's error even though worker 0 sits earlier
+        // in worker order and returns Cancelled.
+        let token = CancelToken::new();
+        let err = run_workers_cancel(4, &token, |w, token| -> Result<usize> {
+            if w == 2 {
+                return Err(StorageError::Io("root cause".into()));
+            }
+            // Siblings poll until cancelled.
+            for _ in 0..10_000 {
+                if token.is_cancelled() {
+                    return Err(StorageError::Cancelled);
+                }
+                std::thread::yield_now();
+            }
+            Ok(w)
+        })
+        .unwrap_err();
+        assert_eq!(err, StorageError::Io("root cause".into()));
+        assert_eq!(token.reason(), Some(StorageError::Io("root cause".into())));
+    }
+
+    #[test]
+    fn sum_tasks_stops_claiming_after_first_error() {
+        use std::sync::atomic::AtomicU64;
+        let executed = AtomicU64::new(0);
+        let err = sum_tasks(2, 10_000, |i| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            if i == 0 {
+                Err(StorageError::Io("early".into()))
+            } else {
+                // Give the failing task time to trip the token.
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                Ok(1)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, StorageError::Io("early".into()));
+        assert!(
+            executed.load(Ordering::Relaxed) < 10_000,
+            "siblings should stop at a task boundary instead of draining the queue"
+        );
+    }
+
+    #[test]
+    fn a_panicking_worker_does_not_poison_siblings() {
+        // The shared mutex is poisoned by worker 0's panic; a poison-
+        // tolerant sibling still finishes, and the caller sees one clean
+        // WorkerPanicked error.
+        let shared = std::sync::Mutex::new(0u64);
+        let err = run_workers(4, |w| -> Result<u64> {
+            if w == 0 {
+                let _guard = shared.lock().unwrap();
+                panic!("poisoning panic");
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            let mut guard = nocap_storage::lock_unpoisoned(&shared);
+            *guard += 1;
+            Ok(*guard)
+        })
+        .unwrap_err();
+        assert!(matches!(err, StorageError::WorkerPanicked(_)));
+        assert_eq!(*nocap_storage::lock_unpoisoned(&shared), 3);
     }
 
     #[test]

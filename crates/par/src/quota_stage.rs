@@ -15,6 +15,7 @@ use nocap_model::JoinSpec;
 use nocap_storage::device::DeviceRef;
 use nocap_storage::{
     IoKind, PartitionHandle, PartitionWriter, RecordBatch, RecordLayout, RecordRef, Result,
+    SpillGuard,
 };
 
 /// What the stager hands back after the build-side pass.
@@ -132,18 +133,28 @@ impl QuotaStager {
 
     /// Finishes the pass: remaining staged records merge into one arena for
     /// the caller's in-memory hash table, spilled partitions become handles.
+    ///
+    /// Fail-clean: if any writer fails to finish, the handles produced so
+    /// far are deleted (and the remaining unfinished writers delete their
+    /// own files on drop) before the error is returned.
     pub fn finish(self) -> Result<QuotaStagerBuild> {
         let mut staged_records = RecordBatch::new(self.layout);
         for mut batch in self.staged {
             staged_records.append(&mut batch);
         }
+        let mut guard = SpillGuard::new();
         let mut spilled = Vec::with_capacity(self.writers.len());
         for writer in self.writers {
             spilled.push(match writer {
-                Some(w) => Some(w.finish()?),
+                Some(w) => {
+                    let handle = w.finish()?;
+                    guard.adopt(handle.clone());
+                    Some(handle)
+                }
                 None => None,
             });
         }
+        let _ = guard.release();
         Ok(QuotaStagerBuild {
             staged_records,
             spilled,

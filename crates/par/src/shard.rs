@@ -20,7 +20,10 @@ use std::ops::Range;
 use std::sync::Mutex;
 
 use nocap_storage::device::DeviceRef;
-use nocap_storage::{IoKind, PartitionHandle, PartitionWriter, RecordLayout, RecordRef, Result};
+use nocap_storage::{
+    into_inner_unpoisoned, lock_unpoisoned, IoKind, PartitionHandle, PartitionWriter, RecordLayout,
+    RecordRef, Result, SpillGuard,
+};
 
 /// Splits `0..num_pages` into `workers` contiguous ranges whose lengths
 /// differ by at most one page. Trailing ranges may be empty when there are
@@ -58,23 +61,17 @@ impl SharedPartitionWriter {
     /// Appends one borrowed record, flushing the shared buffer page when
     /// full. The lock is held for a single key store plus payload `memcpy`.
     pub fn push(&self, record: RecordRef<'_>) -> Result<()> {
-        self.inner
-            .lock()
-            .expect("writer lock poisoned")
-            .push_ref(record)
+        lock_unpoisoned(&self.inner).push_ref(record)
     }
 
     /// Records appended so far.
     pub fn records(&self) -> usize {
-        self.inner.lock().expect("writer lock poisoned").records()
+        lock_unpoisoned(&self.inner).records()
     }
 
     /// Flushes the partial buffer page and returns the finished partition.
     pub fn finish(self) -> Result<PartitionHandle> {
-        self.inner
-            .into_inner()
-            .expect("writer lock poisoned")
-            .finish()
+        into_inner_unpoisoned(self.inner).finish()
     }
 }
 
@@ -160,27 +157,46 @@ impl SharedWriterSet {
     }
 
     /// Finishes every present writer, yielding one handle per slot.
+    ///
+    /// Fail-clean: if any writer fails to finish, the handles produced so
+    /// far are deleted (and the remaining unfinished writers delete their
+    /// own files on drop) before the error is returned.
     pub fn finish_all(self) -> Result<Vec<Option<PartitionHandle>>> {
-        self.writers
-            .into_iter()
-            .map(|w| w.map(SharedPartitionWriter::finish).transpose())
-            .collect()
+        let mut guard = SpillGuard::new();
+        let mut out = Vec::with_capacity(self.writers.len());
+        for slot in self.writers {
+            match slot {
+                None => out.push(None),
+                Some(writer) => {
+                    let handle = writer.finish()?;
+                    guard.adopt(handle.clone());
+                    out.push(Some(handle));
+                }
+            }
+        }
+        let _ = guard.release();
+        Ok(out)
     }
 
     /// Finishes a fully-populated set, yielding one handle per partition.
+    /// Fail-clean like [`finish_all`](Self::finish_all).
     ///
     /// # Panics
     ///
     /// Panics if any slot was masked out; use [`finish_all`](Self::finish_all)
     /// for masked sets.
     pub fn finish_dense(self) -> Result<Vec<PartitionHandle>> {
-        self.writers
-            .into_iter()
-            .map(|w| {
-                w.expect("finish_dense called on a masked writer set")
-                    .finish()
-            })
-            .collect()
+        let mut guard = SpillGuard::new();
+        let mut out = Vec::with_capacity(self.writers.len());
+        for slot in self.writers {
+            let handle = slot
+                .expect("finish_dense called on a masked writer set")
+                .finish()?;
+            guard.adopt(handle.clone());
+            out.push(handle);
+        }
+        let _ = guard.release();
+        Ok(out)
     }
 }
 

@@ -37,7 +37,8 @@ use std::sync::Mutex;
 use nocap_model::JoinSpec;
 use nocap_storage::device::DeviceRef;
 use nocap_storage::{
-    IoKind, PartitionHandle, PartitionWriter, RecordBatch, RecordLayout, RecordRef, Result,
+    into_inner_unpoisoned, lock_unpoisoned, IoKind, PartitionHandle, PartitionWriter, RecordBatch,
+    RecordLayout, RecordRef, Result, SpillGuard,
 };
 
 struct PartShared {
@@ -165,7 +166,7 @@ impl ParallelStager {
         p: usize,
         extra: Option<RecordRef<'_>>,
     ) -> Result<()> {
-        let mut guard = self.parts[p].writer.lock().expect("stager lock poisoned");
+        let mut guard = lock_unpoisoned(&self.parts[p].writer);
         let writer = guard.get_or_insert_with(|| {
             PartitionWriter::new(
                 self.device.clone(),
@@ -192,29 +193,31 @@ impl ParallelStager {
         let mut staged_records = RecordBatch::new(self.layout);
         let mut spilled = Vec::with_capacity(self.parts.len());
         let mut pob = Vec::with_capacity(self.parts.len());
+        // If finishing any partition fails, the guard deletes the handles
+        // already produced (unfinished writers clean up via their own Drop);
+        // on success the caller takes ownership.
+        let mut guard = SpillGuard::new();
         for (p, part) in self.parts.into_iter().enumerate() {
             let is_spilled = part.spilled.load(Ordering::Acquire);
             pob.push(is_spilled);
             if is_spilled {
-                let mut writer = part
-                    .writer
-                    .into_inner()
-                    .expect("stager lock poisoned")
-                    .unwrap_or_else(|| {
-                        PartitionWriter::new(
-                            self.device.clone(),
-                            self.layout,
-                            self.spec.page_size,
-                            IoKind::RandWrite,
-                        )
-                    });
+                let mut writer = into_inner_unpoisoned(part.writer).unwrap_or_else(|| {
+                    PartitionWriter::new(
+                        self.device.clone(),
+                        self.layout,
+                        self.spec.page_size,
+                        IoKind::RandWrite,
+                    )
+                });
                 for stage in &mut stages {
                     for rec in stage.staged[p].iter() {
                         writer.push_ref(rec)?;
                     }
                     stage.staged[p].clear();
                 }
-                spilled.push(Some(writer.finish()?));
+                let handle = writer.finish()?;
+                guard.adopt(handle.clone());
+                spilled.push(Some(handle));
             } else {
                 for stage in &mut stages {
                     staged_records.append(&mut stage.staged[p]);
@@ -222,6 +225,7 @@ impl ParallelStager {
                 spilled.push(None);
             }
         }
+        let _ = guard.release();
         Ok(StagerBuild {
             staged_records,
             spilled,

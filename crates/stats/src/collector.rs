@@ -19,7 +19,10 @@ use std::sync::Mutex;
 use nocap_model::McvEstimate;
 use nocap_obs::{Obs, Phase};
 use nocap_par::{default_threads, page_shards, run_workers};
-use nocap_storage::{BufferPool, Record, Relation, RelationScan, Reservation, Result};
+use nocap_storage::{
+    into_inner_unpoisoned, lock_unpoisoned, BufferPool, Record, Relation, RelationScan,
+    Reservation, Result,
+};
 
 use crate::countmin::CountMinSketch;
 use crate::distinct::KmvSketch;
@@ -397,10 +400,7 @@ impl StatsCollector {
             .collect::<Result<_>>()?;
         let collected = Self::collect_sharded(rel, threads, obs, |shard| {
             let mut collector = Self::new_shard(config);
-            collector.reservation = reservations[shard]
-                .lock()
-                .expect("reservation slot poisoned")
-                .take();
+            collector.reservation = lock_unpoisoned(&reservations[shard]).take();
             Ok(collector)
         })?;
         Ok(collected.finish())
@@ -442,16 +442,13 @@ impl StatsCollector {
                 let started = wobs.start();
                 let mut collector = make(i)?;
                 collector.consume(rel.scan_range(grid[i].clone()))?;
-                *slots[i].lock().expect("shard slot poisoned") = Some(collector);
+                *lock_unpoisoned(&slots[i]) = Some(collector);
                 wobs.record_task(Phase::Stats, i, started);
             }
         })?;
         let mut folded: Option<StatsCollector> = None;
         for slot in slots {
-            let shard = slot
-                .into_inner()
-                .expect("shard slot poisoned")
-                .expect("every shard was collected");
+            let shard = into_inner_unpoisoned(slot).expect("every shard was collected");
             match folded.as_mut() {
                 None => folded = Some(shard),
                 Some(acc) => acc.merge(&shard),

@@ -22,6 +22,7 @@
 
 use std::sync::{Arc, Mutex};
 
+use crate::sync::lock_unpoisoned;
 use crate::{Result, StorageError};
 
 #[derive(Debug)]
@@ -50,7 +51,9 @@ impl BufferPool {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, PoolState> {
-        self.state.lock().expect("buffer pool lock poisoned")
+        // Poison-tolerant: pool state mutates at counter granularity, so a
+        // panicking holder can never leave it inconsistent.
+        lock_unpoisoned(&self.state)
     }
 
     /// Total page budget (the paper's *B*).

@@ -32,6 +32,7 @@ use std::sync::{Arc, Mutex, RwLock};
 
 use crate::iostats::{AtomicIoStats, IoKind, IoStats};
 use crate::page::Page;
+use crate::sync::{lock_unpoisoned, read_unpoisoned, write_unpoisoned};
 use crate::{Result, StorageError};
 
 /// Identifier of a file (a growable sequence of pages) on a device.
@@ -120,9 +121,7 @@ impl SimDevice {
     /// Total number of pages currently stored across all files (useful for
     /// asserting that temporary files were cleaned up).
     pub fn resident_pages(&self) -> usize {
-        self.files
-            .read()
-            .expect("device lock poisoned")
+        read_unpoisoned(&self.files)
             .values()
             .map(|pages| pages.len())
             .sum()
@@ -130,24 +129,19 @@ impl SimDevice {
 
     /// Number of live (not yet deleted) files.
     pub fn live_files(&self) -> usize {
-        self.files.read().expect("device lock poisoned").len()
+        read_unpoisoned(&self.files).len()
     }
 }
 
 impl BlockDevice for SimDevice {
     fn create_file(&self) -> FileId {
         let id = FileId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        self.files
-            .write()
-            .expect("device lock poisoned")
-            .insert(id, Vec::new());
+        write_unpoisoned(&self.files).insert(id, Vec::new());
         id
     }
 
     fn file_pages(&self, file: FileId) -> Result<usize> {
-        self.files
-            .read()
-            .expect("device lock poisoned")
+        read_unpoisoned(&self.files)
             .get(&file)
             .map(|pages| pages.len())
             .ok_or(StorageError::UnknownFile(file))
@@ -157,7 +151,7 @@ impl BlockDevice for SimDevice {
         // Copy the page before taking the lock so writers hold it only for
         // the vector push.
         let stored = Arc::new(page.clone());
-        let mut files = self.files.write().expect("device lock poisoned");
+        let mut files = write_unpoisoned(&self.files);
         let pages = files
             .get_mut(&file)
             .ok_or(StorageError::UnknownFile(file))?;
@@ -167,7 +161,7 @@ impl BlockDevice for SimDevice {
     }
 
     fn read_page(&self, file: FileId, index: usize, kind: IoKind) -> Result<Arc<Page>> {
-        let files = self.files.read().expect("device lock poisoned");
+        let files = read_unpoisoned(&self.files);
         let pages = files.get(&file).ok_or(StorageError::UnknownFile(file))?;
         let arc = pages
             .get(index)
@@ -182,9 +176,7 @@ impl BlockDevice for SimDevice {
     }
 
     fn delete_file(&self, file: FileId) -> Result<()> {
-        self.files
-            .write()
-            .expect("device lock poisoned")
+        write_unpoisoned(&self.files)
             .remove(&file)
             .map(|_| ())
             .ok_or(StorageError::UnknownFile(file))
@@ -295,7 +287,7 @@ impl Drop for FileDevice {
 
 impl BlockDevice for FileDevice {
     fn create_file(&self) -> FileId {
-        let mut st = self.state.lock().expect("device lock poisoned");
+        let mut st = lock_unpoisoned(&self.state);
         let id = FileId(st.next_id);
         st.next_id += 1;
         let path = self.file_path(id);
@@ -311,9 +303,7 @@ impl BlockDevice for FileDevice {
     }
 
     fn file_pages(&self, file: FileId) -> Result<usize> {
-        self.state
-            .lock()
-            .expect("device lock poisoned")
+        lock_unpoisoned(&self.state)
             .files
             .get(&file)
             .map(|m| m.pages)
@@ -321,7 +311,7 @@ impl BlockDevice for FileDevice {
     }
 
     fn append_page(&self, file: FileId, page: &Page, kind: IoKind) -> Result<usize> {
-        let mut st = self.state.lock().expect("device lock poisoned");
+        let mut st = lock_unpoisoned(&self.state);
         let meta = st
             .files
             .get_mut(&file)
@@ -353,7 +343,7 @@ impl BlockDevice for FileDevice {
         // Resolve metadata under the lock, then do the syscalls outside it so
         // concurrent readers of different offsets are not serialized.
         let (path, page_size, pages) = {
-            let st = self.state.lock().expect("device lock poisoned");
+            let st = lock_unpoisoned(&self.state);
             let meta = st.files.get(&file).ok_or(StorageError::UnknownFile(file))?;
             (meta.path.clone(), meta.page_size, meta.pages)
         };
@@ -371,10 +361,7 @@ impl BlockDevice for FileDevice {
     }
 
     fn delete_file(&self, file: FileId) -> Result<()> {
-        let meta = self
-            .state
-            .lock()
-            .expect("device lock poisoned")
+        let meta = lock_unpoisoned(&self.state)
             .files
             .remove(&file)
             .ok_or(StorageError::UnknownFile(file))?;

@@ -36,6 +36,15 @@
 //!   wrapper that reports every page access (file, page, declared
 //!   [`IoKind`], optional measured latency) to an attached [`IoEventSink`];
 //!   the substrate of the modeled-vs-observed I/O audit in `nocap-obs`.
+//! * [`fault`] — [`FaultDevice`], a deterministic fault-injection wrapper
+//!   (transient/persistent errors, bit-flip corruption, latency spikes)
+//!   driven by a seeded schedule; the substrate of the differential fault
+//!   matrix.
+//! * [`checked`] — [`CheckedDevice`], out-of-band per-page checksums
+//!   verified on every read plus a bounded [`RetryPolicy`] that re-drives
+//!   transient failures.
+//! * [`sync`] — poison-tolerant lock helpers shared by every crate, so one
+//!   panicked worker cannot cascade panics through shared state.
 //!
 //! The crate has no dependencies and is deliberately self-contained so that
 //! the algorithm crates (`nocap` and `nocap-joins`) only talk to storage
@@ -54,7 +63,9 @@
 
 pub mod bloom;
 pub mod buffer;
+pub mod checked;
 pub mod device;
+pub mod fault;
 pub mod hash_table;
 pub mod iostats;
 pub mod page;
@@ -62,18 +73,22 @@ pub mod record;
 pub mod relation;
 pub mod sort;
 pub mod spill;
+pub mod sync;
 pub mod traced;
 
 pub use bloom::BloomFilter;
 pub use buffer::{BufferPool, Reservation};
+pub use checked::{page_checksum, CheckedDevice, RetryPolicy, RetryStats};
 pub use device::{BlockDevice, FileDevice, FileId, SimDevice};
+pub use fault::{FaultDevice, FaultKind, FaultPlan, FaultSpec, FaultStats, FaultTarget};
 pub use hash_table::{JoinHashTable, ProbeIter};
 pub use iostats::{AtomicIoStats, DeviceProfile, IoKind, IoStats};
 pub use page::{Page, DEFAULT_PAGE_SIZE};
 pub use record::{Record, RecordBatch, RecordLayout, RecordRef};
 pub use relation::{Relation, RelationBuilder, RelationScan};
 pub use sort::{run_chunks, sort_chunk, ExternalSorter, LoserTree, MergeIterator, SortScratch};
-pub use spill::{PartitionHandle, PartitionReader, PartitionWriter};
+pub use spill::{PartitionHandle, PartitionReader, PartitionWriter, SpillGuard};
+pub use sync::{into_inner_unpoisoned, lock_unpoisoned, read_unpoisoned, write_unpoisoned};
 pub use traced::{IoEventSink, IoMarkerKind, IoOp, TracedDevice};
 
 /// Errors produced by the storage layer.
@@ -105,8 +120,17 @@ pub enum StorageError {
     /// An I/O error from the underlying operating system (only produced by
     /// [`FileDevice`]).
     Io(String),
-    /// A page failed to deserialize (corrupt header or truncated body).
+    /// A page failed to deserialize (corrupt header or truncated body) or a
+    /// checksum verification failed.
     CorruptPage(String),
+    /// A worker thread panicked; the payload message is preserved so the
+    /// top-level caller sees a deterministic error instead of a process
+    /// abort.
+    WorkerPanicked(String),
+    /// The operation was abandoned because a sibling worker already failed
+    /// (first-error cancellation). The root cause is reported separately;
+    /// this variant only marks the cancelled siblings.
+    Cancelled,
 }
 
 impl std::fmt::Display for StorageError {
@@ -132,6 +156,10 @@ impl std::fmt::Display for StorageError {
             ),
             StorageError::Io(msg) => write!(f, "I/O error: {msg}"),
             StorageError::CorruptPage(msg) => write!(f, "corrupt page: {msg}"),
+            StorageError::WorkerPanicked(msg) => write!(f, "worker thread panicked: {msg}"),
+            StorageError::Cancelled => {
+                write!(f, "operation cancelled after a sibling worker failed")
+            }
         }
     }
 }

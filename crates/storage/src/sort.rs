@@ -220,17 +220,27 @@ impl ExternalSorter {
 
     /// Phase 1: sort each chunk of the fixed page grid and write it out as a
     /// run — the sequential walk over [`run_chunks`], one reused scratch.
+    /// Fail-clean: a mid-grid error deletes the runs already written.
     fn generate_runs(&mut self, relation: &Relation) -> Result<Vec<PartitionHandle>> {
         let mut scratch = SortScratch::new();
-        run_chunks(relation.num_pages(), self.budget_pages)
-            .into_iter()
-            .map(|chunk| sort_chunk(relation, chunk, &mut scratch))
-            .collect()
+        let mut guard = crate::SpillGuard::new();
+        let mut runs = Vec::new();
+        for chunk in run_chunks(relation.num_pages(), self.budget_pages) {
+            let run = sort_chunk(relation, chunk, &mut scratch)?;
+            guard.adopt(run.clone());
+            runs.push(run);
+        }
+        let _ = guard.release();
+        Ok(runs)
     }
 
     /// Phase 2: one merge pass combining groups of up to `B − 1` runs into
-    /// longer runs.
+    /// longer runs. Fail-clean: an error anywhere in the pass deletes both
+    /// the input runs and the merged runs produced so far (double-deleting
+    /// an input a successful group merge already removed is ignored).
     fn merge_pass(&mut self, runs: Vec<PartitionHandle>) -> Result<Vec<PartitionHandle>> {
+        let mut guard = crate::SpillGuard::new();
+        guard.adopt_all(runs.iter().cloned());
         let fan_in = (self.budget_pages - 1).max(2);
         let mut next_level = Vec::new();
         let mut group = Vec::new();
@@ -253,20 +263,28 @@ impl ExternalSorter {
         let (layout, page_size) = match geometry {
             Some(g) => g,
             // All runs empty: nothing to merge.
-            None => return Ok(runs),
+            None => {
+                let _ = guard.release();
+                return Ok(runs);
+            }
         };
 
         for run in runs {
             group.push(run);
             if group.len() == fan_in {
-                next_level.push(self.merge_group(std::mem::take(&mut group), layout, page_size)?);
+                let merged = self.merge_group(std::mem::take(&mut group), layout, page_size)?;
+                guard.adopt(merged.clone());
+                next_level.push(merged);
             }
         }
         if group.len() == 1 {
             next_level.push(group.pop().expect("single leftover run"));
         } else if !group.is_empty() {
-            next_level.push(self.merge_group(group, layout, page_size)?);
+            let merged = self.merge_group(group, layout, page_size)?;
+            guard.adopt(merged.clone());
+            next_level.push(merged);
         }
+        let _ = guard.release();
         Ok(next_level)
     }
 
@@ -276,6 +294,12 @@ impl ExternalSorter {
         layout: RecordLayout,
         page_size: usize,
     ) -> Result<PartitionHandle> {
+        // The input runs are consumed whether the merge succeeds (their
+        // records now live in the merged run) or fails (the caller's guard
+        // is about to delete everything anyway); the writer deletes its own
+        // partial output file on drop if `finish` is never reached.
+        let mut guard = crate::SpillGuard::new();
+        guard.adopt_all(runs.iter().cloned());
         let mut writer =
             PartitionWriter::new(self.device.clone(), layout, page_size, IoKind::SeqWrite);
         let mut tree = LoserTree::new(&runs)?;
@@ -283,9 +307,7 @@ impl ExternalSorter {
             writer.push_ref(rec)?;
         }
         let merged = writer.finish()?;
-        for run in runs {
-            run.delete()?;
-        }
+        drop(guard);
         Ok(merged)
     }
 }

@@ -17,6 +17,11 @@ use crate::record::{Record, RecordLayout, RecordRef};
 use crate::Result;
 
 /// Writer for one spill partition.
+///
+/// The writer owns its spill file until [`finish`](Self::finish) hands it
+/// over as a [`PartitionHandle`]: dropping an unfinished writer (e.g. while
+/// unwinding out of a failed partitioning phase) deletes the file, so error
+/// paths can never leak half-written partitions.
 pub struct PartitionWriter {
     device: DeviceRef,
     file: FileId,
@@ -24,6 +29,7 @@ pub struct PartitionWriter {
     write_kind: IoKind,
     records: usize,
     pages: usize,
+    finished: bool,
 }
 
 impl PartitionWriter {
@@ -46,6 +52,7 @@ impl PartitionWriter {
             write_kind,
             records: 0,
             pages: 0,
+            finished: false,
         }
     }
 
@@ -84,8 +91,9 @@ impl PartitionWriter {
         if !self.page.is_empty() {
             self.flush()?;
         }
+        self.finished = true;
         Ok(PartitionHandle {
-            device: self.device,
+            device: self.device.clone(),
             file: self.file,
             pages: self.pages,
             records: self.records,
@@ -98,6 +106,15 @@ impl PartitionWriter {
         self.pages += 1;
         self.page.clear();
         Ok(())
+    }
+}
+
+impl Drop for PartitionWriter {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Best effort: a failing delete during unwind must not panic.
+            let _ = self.device.delete_file(self.file);
+        }
     }
 }
 
@@ -234,6 +251,66 @@ impl Iterator for PartitionReader {
     }
 }
 
+/// RAII owner of finished spill partitions: every adopted
+/// [`PartitionHandle`] is deleted when the guard drops, whether the scope
+/// exits normally or by error/unwind.
+///
+/// Executors adopt each handle the moment it is finished, so no error path
+/// between partitioning and probe can leak spill files. Producers that hand
+/// handles to a caller on success (stagers, writer sets) instead call
+/// [`release`](Self::release) once all handles exist, transferring cleanup
+/// responsibility upward.
+///
+/// Deletion is not an I/O in the paper's cost model, so deferring it to
+/// end-of-scope changes no modeled counter.
+#[derive(Default)]
+pub struct SpillGuard {
+    handles: Vec<PartitionHandle>,
+}
+
+impl SpillGuard {
+    /// Creates an empty guard.
+    pub fn new() -> Self {
+        SpillGuard::default()
+    }
+
+    /// Adopts one handle for end-of-scope deletion.
+    pub fn adopt(&mut self, handle: PartitionHandle) {
+        self.handles.push(handle);
+    }
+
+    /// Adopts every handle in the iterator.
+    pub fn adopt_all<I: IntoIterator<Item = PartitionHandle>>(&mut self, handles: I) {
+        self.handles.extend(handles);
+    }
+
+    /// Number of handles currently guarded.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Returns `true` if no handles are guarded.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Disarms the guard and returns the handles without deleting them —
+    /// the success path of producers that transfer ownership to the caller.
+    pub fn release(mut self) -> Vec<PartitionHandle> {
+        std::mem::take(&mut self.handles)
+    }
+}
+
+impl Drop for SpillGuard {
+    fn drop(&mut self) {
+        for handle in self.handles.drain(..) {
+            // Best effort: the file may be shared with an already-deleted
+            // clone, and cleanup during unwind must not panic.
+            let _ = handle.delete();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,6 +405,56 @@ mod tests {
         let _ = handle.read_all(IoKind::RandRead).unwrap();
         assert_eq!(dev.stats().rand_reads as usize, handle.pages());
         assert_eq!(dev.stats().seq_reads, 0);
+    }
+
+    #[test]
+    fn dropping_an_unfinished_writer_deletes_its_file() {
+        let sim = std::sync::Arc::new(SimDevice::new());
+        let dev: crate::device::DeviceRef = sim.clone();
+        {
+            let mut w = PartitionWriter::new(dev.clone(), layout(), 128, IoKind::RandWrite);
+            for k in 0..64u64 {
+                w.push(&Record::with_fill(k, 8, 0)).unwrap();
+            }
+            assert_eq!(sim.live_files(), 1);
+        }
+        assert_eq!(sim.live_files(), 0, "unfinished writer must clean up");
+        assert_eq!(sim.resident_pages(), 0);
+        // A finished writer hands ownership to the handle instead.
+        let mut w = PartitionWriter::new(dev, layout(), 128, IoKind::RandWrite);
+        w.push(&Record::with_fill(1, 8, 0)).unwrap();
+        let handle = w.finish().unwrap();
+        assert_eq!(sim.live_files(), 1);
+        handle.delete().unwrap();
+        assert_eq!(sim.live_files(), 0);
+    }
+
+    #[test]
+    fn spill_guard_deletes_on_drop_and_release_disarms() {
+        let sim = std::sync::Arc::new(SimDevice::new());
+        let dev: crate::device::DeviceRef = sim.clone();
+        let make = |dev: &crate::device::DeviceRef| {
+            let mut w = PartitionWriter::new(dev.clone(), layout(), 128, IoKind::RandWrite);
+            w.push(&Record::with_fill(1, 8, 0)).unwrap();
+            w.finish().unwrap()
+        };
+        {
+            let mut guard = SpillGuard::new();
+            guard.adopt(make(&dev));
+            guard.adopt_all([make(&dev), make(&dev)]);
+            assert_eq!(guard.len(), 3);
+            assert_eq!(sim.live_files(), 3);
+        }
+        assert_eq!(sim.live_files(), 0, "guard must delete on drop");
+
+        let mut guard = SpillGuard::new();
+        guard.adopt(make(&dev));
+        let handles = guard.release();
+        assert_eq!(sim.live_files(), 1, "released handles survive the guard");
+        for h in handles {
+            h.delete().unwrap();
+        }
+        assert_eq!(sim.live_files(), 0);
     }
 
     #[test]

@@ -31,6 +31,7 @@ use std::time::Instant;
 use crate::device::{BlockDevice, DeviceRef, FileId};
 use crate::iostats::{IoKind, IoStats};
 use crate::page::Page;
+use crate::sync::{read_unpoisoned, write_unpoisoned};
 use crate::Result;
 
 /// Which device operation produced an I/O event.
@@ -120,7 +121,7 @@ impl TracedDevice {
     }
 
     fn current_sink(&self) -> Option<Arc<dyn IoEventSink>> {
-        self.sink.read().expect("io sink lock poisoned").clone()
+        read_unpoisoned(&self.sink).clone()
     }
 }
 
@@ -190,7 +191,7 @@ impl BlockDevice for TracedDevice {
     }
 
     fn set_io_sink(&self, sink: Option<Arc<dyn IoEventSink>>) {
-        *self.sink.write().expect("io sink lock poisoned") = sink;
+        *write_unpoisoned(&self.sink) = sink;
     }
 }
 

@@ -1,0 +1,412 @@
+//! The differential fault matrix: every join executor against the full
+//! fault-tolerance stack (engine → `CheckedDevice` → `FaultDevice` →
+//! `SimDevice`), pinned both ways:
+//!
+//! * **Recoverable schedules** (transient errors, corrupt reads, latency
+//!   spikes) must be absorbed by checksums and bounded retry: the run
+//!   succeeds with the fault-free output, and — for error-only schedules,
+//!   where every injected failure is stopped *before* the inner device —
+//!   with bit-identical per-phase modeled [`IoStats`] too.
+//! * **Persistent schedules** must fail *cleanly*: a `Result::Err` carrying
+//!   the injected fault (never a panic, never a secondary `Cancelled` /
+//!   `WorkerPanicked` shadow), zero leaked spill files or pages on the base
+//!   device, and an engine that runs the very next join correctly once the
+//!   fault clears.
+//!
+//! Both halves run at 1, 2, 4 and 8 worker threads: under concurrent
+//! execution the *placement* of an injected fault is schedule-dependent, but
+//! recovery and fail-clean behavior must not be.
+//!
+//! [`IoStats`]: nocap_suite::storage::IoStats
+
+use std::sync::Arc;
+
+use nocap_suite::joins::{DhhJoin, SortMergeJoin};
+use nocap_suite::model::{JoinRunReport, JoinSpec};
+use nocap_suite::nocap::{NocapConfig, NocapJoin};
+use nocap_suite::storage::device::DeviceRef;
+use nocap_suite::storage::{
+    BlockDevice, CheckedDevice, FaultDevice, FaultKind, FaultPlan, FaultSpec, FileDevice, IoKind,
+    Page, Record, RecordLayout, Result, RetryPolicy, SimDevice, StorageError,
+};
+use nocap_suite::workload::{synthetic, Correlation, GeneratedWorkload, SyntheticConfig};
+
+/// Budget used by every run in the matrix: small enough that all three
+/// executors spill (so the fault schedule can hit spill writes and re-reads,
+/// not just the base-relation scan).
+const BUDGET_PAGES: usize = 48;
+
+fn workload_config() -> SyntheticConfig {
+    SyntheticConfig {
+        n_r: 2_000,
+        n_s: 16_000,
+        record_bytes: 128,
+        correlation: Correlation::Zipf { alpha: 1.1 },
+        mcv_count: 200,
+        seed: 0xFA17,
+    }
+}
+
+/// Generates the matrix workload on `device` and resets the I/O counters, so
+/// every comparison below sees run-only stats.
+fn generate_on(device: DeviceRef) -> GeneratedWorkload {
+    let wl = synthetic::generate(device.clone(), &workload_config()).expect("workload");
+    device.reset_stats();
+    wl
+}
+
+/// Retry policy for the matrix: generous enough to outlast the widest
+/// recoverable schedule (3 transient failures + 2 corruptions can pile onto
+/// one logical read), no backoff sleeps.
+fn patient() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 8,
+        backoff_micros: 0,
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Join {
+    Nocap,
+    Dhh,
+    Smj,
+}
+
+impl Join {
+    fn all() -> [Join; 3] {
+        [Join::Nocap, Join::Dhh, Join::Smj]
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Join::Nocap => "nocap",
+            Join::Dhh => "dhh",
+            Join::Smj => "smj",
+        }
+    }
+
+    fn run(&self, wl: &GeneratedWorkload, threads: usize) -> Result<JoinRunReport> {
+        let spec = JoinSpec::paper_synthetic(128, BUDGET_PAGES);
+        match self {
+            Join::Nocap => NocapJoin::new(spec, NocapConfig::default())
+                .run_parallel(&wl.r, &wl.s, &wl.mcvs, threads),
+            Join::Dhh => DhhJoin::with_defaults(spec).run_parallel(&wl.r, &wl.s, &wl.mcvs, threads),
+            Join::Smj => SortMergeJoin::new(spec).run_parallel(&wl.r, &wl.s, threads),
+        }
+    }
+}
+
+/// The full stack, with concrete handles kept at every layer so tests can
+/// arm the schedule and read the fault/retry/leak oracles.
+struct FaultRig {
+    sim: Arc<SimDevice>,
+    fault: Arc<FaultDevice>,
+    checked: Arc<CheckedDevice>,
+    wl: GeneratedWorkload,
+}
+
+fn rig(specs: Vec<FaultSpec>, policy: RetryPolicy) -> FaultRig {
+    let sim = Arc::new(SimDevice::new());
+    let fault = FaultDevice::new_arc(sim.clone() as DeviceRef, specs);
+    let checked = CheckedDevice::new_arc(fault.clone() as DeviceRef, policy);
+    let wl = generate_on(checked.clone() as DeviceRef);
+    FaultRig {
+        sim,
+        fault,
+        checked,
+        wl,
+    }
+}
+
+#[test]
+fn transient_schedules_recover_to_the_fault_free_output_at_every_thread_count() {
+    for (i, join) in Join::all().iter().enumerate() {
+        let base_wl = generate_on(SimDevice::new_ref());
+        let baseline = join.run(&base_wl, 1).expect("fault-free baseline");
+        let seed = 0xA11CE + i as u64;
+        for threads in [1usize, 2, 4, 8] {
+            let rig = rig(FaultPlan::transient(seed, 400), patient());
+            rig.fault.arm();
+            let report = join
+                .run(&rig.wl, threads)
+                .expect("a recoverable schedule must be retried to success");
+            assert_eq!(
+                report.output_records,
+                rig.wl.expected_join_output(),
+                "{}: wrong output under faults at {threads} threads",
+                join.name()
+            );
+            assert_eq!(
+                report.output_records,
+                baseline.output_records,
+                "{}: faulted run diverged from the fault-free baseline at {threads} threads",
+                join.name()
+            );
+            let fs = rig.fault.fault_stats();
+            assert!(
+                fs.injected_errors + fs.injected_corruptions + fs.injected_delays > 0,
+                "{}: the schedule never fired at {threads} threads — the matrix pinned nothing",
+                join.name()
+            );
+            let rs = rig.checked.retry_stats();
+            assert!(
+                rs.recovered > 0,
+                "{}: injected errors must have been recovered, not avoided",
+                join.name()
+            );
+            assert_eq!(
+                rs.exhausted,
+                0,
+                "{}: no operation may run out of attempts on a recoverable schedule",
+                join.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn error_only_schedules_leave_output_and_modeled_io_bit_identical() {
+    // Injected *errors* fail the op before it reaches the inner device, so a
+    // fully retried run must carry exactly the fault-free modeled counters —
+    // the property that lets the determinism pins coexist with the fault
+    // layer. (Corrupt reads are excluded here: catching one costs an honest
+    // physical re-read, which the corruption test below accounts for.)
+    let schedule = || {
+        vec![
+            FaultSpec::any(FaultKind::TransientError { failures: 3 })
+                .reads()
+                .after(23),
+            FaultSpec::any(FaultKind::TransientError { failures: 2 })
+                .appends()
+                .after(7),
+            FaultSpec::any(FaultKind::TransientError { failures: 2 })
+                .reads()
+                .after(301),
+        ]
+    };
+    for join in Join::all() {
+        let base_wl = generate_on(SimDevice::new_ref());
+        let baseline = join.run(&base_wl, 1).expect("fault-free baseline");
+        let base_stats = base_wl.r.device().stats();
+        for threads in [1usize, 4] {
+            let rig = rig(schedule(), patient());
+            rig.fault.arm();
+            let report = join
+                .run(&rig.wl, threads)
+                .expect("transient errors must be retried to success");
+            assert_eq!(
+                report.output_records,
+                baseline.output_records,
+                "{}",
+                join.name()
+            );
+            assert_eq!(
+                report.partition_io,
+                baseline.partition_io,
+                "{}: partition-phase modeled I/O perturbed at {threads} threads",
+                join.name()
+            );
+            assert_eq!(
+                report.probe_io,
+                baseline.probe_io,
+                "{}: probe-phase modeled I/O perturbed at {threads} threads",
+                join.name()
+            );
+            assert_eq!(
+                rig.checked.stats(),
+                base_stats,
+                "{}: injected errors leaked into the device counters at {threads} threads",
+                join.name()
+            );
+            let fs = rig.fault.fault_stats();
+            assert_eq!(
+                fs.injected_errors,
+                7,
+                "{}: all three windows (3+2+2) must fire in full",
+                join.name()
+            );
+            let rs = rig.checked.retry_stats();
+            assert_eq!(rs.read_retries, 5, "{}", join.name());
+            assert_eq!(rs.append_retries, 2, "{}", join.name());
+            assert_eq!(rs.checksum_failures, 0, "{}", join.name());
+            assert_eq!(rs.exhausted, 0, "{}", join.name());
+        }
+    }
+}
+
+#[test]
+fn corruption_is_caught_by_checksums_and_retried_to_the_correct_output() {
+    // Bit-flips on reads: the FaultDevice flips one body bit in a private
+    // copy, the CheckedDevice's out-of-band checksum catches every flip, and
+    // an honest re-read recovers. Output must be exact; the re-reads make
+    // the physical counters legitimately larger, so they are not compared.
+    let schedule = || {
+        vec![
+            FaultSpec::any(FaultKind::CorruptRead { failures: 2 })
+                .reads()
+                .after(50),
+            FaultSpec::any(FaultKind::CorruptRead { failures: 1 })
+                .reads()
+                .after(400),
+        ]
+    };
+    for join in Join::all() {
+        for threads in [1usize, 4] {
+            let rig = rig(schedule(), patient());
+            rig.fault.arm();
+            let report = join
+                .run(&rig.wl, threads)
+                .expect("corrupted reads must be caught and re-driven");
+            assert_eq!(
+                report.output_records,
+                rig.wl.expected_join_output(),
+                "{}: corruption reached the join output at {threads} threads",
+                join.name()
+            );
+            let fs = rig.fault.fault_stats();
+            assert_eq!(
+                fs.injected_corruptions,
+                3,
+                "{}: both corruption windows (2+1) must fire in full",
+                join.name()
+            );
+            let rs = rig.checked.retry_stats();
+            assert_eq!(
+                rs.checksum_failures,
+                3,
+                "{}: every flipped page must be caught by its checksum",
+                join.name()
+            );
+            assert_eq!(rs.read_retries, 3, "{}", join.name());
+            assert_eq!(rs.exhausted, 0, "{}", join.name());
+        }
+    }
+}
+
+#[test]
+fn persistent_faults_fail_cleanly_with_zero_leaked_files_or_pages() {
+    for (i, join) in Join::all().iter().enumerate() {
+        let seed = 0xD15C + i as u64;
+        for threads in [1usize, 2, 4, 8] {
+            let rig = rig(FaultPlan::persistent(seed, 300), patient());
+            let base_pages = rig.wl.r.num_pages() + rig.wl.s.num_pages();
+            rig.fault.arm();
+            let err = join
+                .run(&rig.wl, threads)
+                .expect_err("a persistent read fault cannot be retried away");
+            // The surfaced error must be the injected fault itself — never a
+            // panic, and never the Cancelled/WorkerPanicked shadows the
+            // cancellation machinery uses internally.
+            assert!(
+                matches!(err, StorageError::Io(_) | StorageError::CorruptPage(_)),
+                "{}: root cause must be the injected fault at {threads} threads, got: {err}",
+                join.name()
+            );
+            assert_eq!(
+                rig.sim.live_files(),
+                2,
+                "{}: spill files leaked after a failed run at {threads} threads",
+                join.name()
+            );
+            assert_eq!(
+                rig.sim.resident_pages(),
+                base_pages,
+                "{}: spill pages leaked after a failed run at {threads} threads",
+                join.name()
+            );
+            // The engine and device must remain fully serviceable: once the
+            // fault clears, the same relations join correctly (locks are not
+            // poisoned, no partial state lingers).
+            rig.fault.disarm();
+            let report = join
+                .run(&rig.wl, threads)
+                .expect("the engine must survive a failed run intact");
+            assert_eq!(
+                report.output_records,
+                rig.wl.expected_join_output(),
+                "{}: post-failure rerun produced wrong output at {threads} threads",
+                join.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn file_device_on_disk_bit_flip_is_caught_and_service_restored_after_repair() {
+    // The same checksum layer over a real filesystem: corrupt the backing
+    // file directly on disk, watch CorruptPage surface through the bounded
+    // retry, then repair the byte and watch the device serve reads again.
+    fn page_with(keys: &[u64]) -> Page {
+        let mut p = Page::empty(256, RecordLayout::new(8));
+        for &k in keys {
+            assert!(p.push(&Record::with_fill(k, 8, 0)).unwrap());
+        }
+        p
+    }
+
+    let file_dev = Arc::new(FileDevice::new_temp().expect("temp device"));
+    let dir = file_dev.dir().clone();
+    let checked = CheckedDevice::new_arc(
+        file_dev.clone() as DeviceRef,
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_micros: 0,
+        },
+    );
+    let f = checked.create_file();
+    let pages: Vec<Page> = (0..3)
+        .map(|p| page_with(&[p * 100 + 1, p * 100 + 2, p * 100 + 3]))
+        .collect();
+    for page in &pages {
+        checked
+            .append_page(f, page, IoKind::SeqWrite)
+            .expect("append");
+    }
+
+    // Flip one body byte of page 1 directly in the backing file.
+    let path = dir.join(format!("file-{}.pages", f.0));
+    let flip = |offset: usize| {
+        let mut bytes = std::fs::read(&path).expect("read backing file");
+        bytes[offset] ^= 0x40;
+        std::fs::write(&path, bytes).expect("write backing file");
+    };
+    let corrupt_at = 256 + 4 + 3; // page 1, past the 4-byte header
+    flip(corrupt_at);
+
+    let err = checked
+        .read_page(f, 1, IoKind::RandRead)
+        .expect_err("the checksum must catch an on-disk bit flip");
+    assert!(matches!(err, StorageError::CorruptPage(_)), "{err}");
+    assert_eq!(
+        checked.retry_stats().checksum_failures,
+        3,
+        "every attempt re-reads the corrupt page and fails verification"
+    );
+    assert_eq!(checked.retry_stats().exhausted, 1);
+
+    // Neighboring pages are unaffected.
+    assert_eq!(
+        checked
+            .read_page(f, 0, IoKind::RandRead)
+            .expect("clean page")
+            .as_bytes(),
+        pages[0].as_bytes()
+    );
+    assert_eq!(
+        checked
+            .read_page(f, 2, IoKind::RandRead)
+            .expect("clean page")
+            .as_bytes(),
+        pages[2].as_bytes()
+    );
+
+    // Repair the byte: the device serves the original page again.
+    flip(corrupt_at);
+    assert_eq!(
+        checked
+            .read_page(f, 1, IoKind::RandRead)
+            .expect("repaired page verifies")
+            .as_bytes(),
+        pages[1].as_bytes()
+    );
+}

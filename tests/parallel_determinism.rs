@@ -25,7 +25,10 @@ use nocap_suite::nocap::{NocapConfig, NocapJoin};
 use nocap_suite::obs::{IoAudit, Obs, Phase};
 use nocap_suite::stats::{StatsCollector, StatsConfig};
 use nocap_suite::storage::device::DeviceRef;
-use nocap_suite::storage::{BufferPool, DeviceProfile, SimDevice, TracedDevice};
+use nocap_suite::storage::{
+    BlockDevice, BufferPool, CheckedDevice, DeviceProfile, FaultDevice, FaultPlan, FaultStats,
+    RetryPolicy, RetryStats, SimDevice, TracedDevice,
+};
 use nocap_suite::workload::jcch::{self, JcchConfig, JcchSkew};
 use nocap_suite::workload::{synthetic, Correlation, GeneratedWorkload, SyntheticConfig};
 
@@ -567,6 +570,40 @@ fn smj_traced_device_runs_are_identical_and_audit_exactly() {
         smj.run_parallel_obs(&wl.r, &wl.s, threads, obs)
             .expect("traced run")
     });
+}
+
+#[test]
+fn disarmed_fault_and_checksum_layers_are_invisible_to_the_determinism_pins() {
+    // The fault-tolerance stack compiled in but switched off must be free:
+    // a disarmed FaultDevice plus a CheckedDevice produce bit-identical
+    // output, per-phase modeled I/O and device counters at every thread
+    // count, with zero fault or retry activity — so the rest of this file's
+    // pins hold unchanged with the layers in place.
+    let workload = Workload::Synthetic(Correlation::Zipf { alpha: 1.1 });
+    let spec = JoinSpec::paper_synthetic(128, 48);
+    let join = NocapJoin::new(spec, NocapConfig::default());
+    let wl = generate(&workload);
+    let baseline = join.run(&wl.r, &wl.s, &wl.mcvs).expect("bare-device run");
+    let base_stats = wl.r.device().stats();
+    for threads in [1usize, 2, 4, 8] {
+        let sim = std::sync::Arc::new(SimDevice::new());
+        let fault = FaultDevice::new_arc(sim.clone() as DeviceRef, FaultPlan::persistent(7, 200));
+        let checked = CheckedDevice::new_arc(fault.clone() as DeviceRef, RetryPolicy::default());
+        let wl = generate_on(checked.clone() as DeviceRef, &workload);
+        let report = join
+            .run_parallel(&wl.r, &wl.s, &wl.mcvs, threads)
+            .expect("run through the disarmed stack");
+        assert_eq!(report.output_records, baseline.output_records);
+        assert_eq!(report.partition_io, baseline.partition_io);
+        assert_eq!(report.probe_io, baseline.probe_io);
+        assert_eq!(
+            checked.stats(),
+            base_stats,
+            "disarmed wrappers must not perturb the device counters"
+        );
+        assert_eq!(fault.fault_stats(), FaultStats::default());
+        assert_eq!(checked.retry_stats(), RetryStats::default());
+    }
 }
 
 #[test]
