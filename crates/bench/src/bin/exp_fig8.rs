@@ -11,12 +11,12 @@
 
 use nocap::{NocapConfig, NocapJoin};
 use nocap_bench::harness::{
-    fault_stack, faults_seed, io_audit_enabled, maybe_audit_io, ocap_lower_bound,
-    print_fault_summary, print_series_block, run_algorithms, AlgorithmSet,
+    base_device, device_mode, fault_stack, faults_seed, io_audit_enabled, maybe_audit_io,
+    ocap_lower_bound, print_fault_summary, print_series_block, run_algorithms, AlgorithmSet,
 };
 use nocap_model::JoinSpec;
 use nocap_obs::Obs;
-use nocap_storage::{DeviceProfile, SimDevice, TracedDevice};
+use nocap_storage::DeviceProfile;
 use nocap_workload::{synthetic, Correlation, SyntheticConfig};
 
 fn main() {
@@ -27,6 +27,7 @@ fn main() {
         (20_000, 160_000)
     };
     let record_bytes = 256;
+    println!("# exp_fig8: device = {}", device_mode().label());
     let correlations = [
         ("zipf_1.3", Correlation::Zipf { alpha: 1.3 }),
         ("zipf_1.0", Correlation::Zipf { alpha: 1.0 }),
@@ -35,13 +36,11 @@ fn main() {
     ];
 
     for (name, correlation) in correlations {
-        // NOCAP_IO_AUDIT wraps the device so the audited rerun below sees
-        // device-level events; the wrapper is pass-through for the sweep.
-        let base = if io_audit_enabled() {
-            TracedDevice::new_ref(SimDevice::new_ref())
-        } else {
-            SimDevice::new_ref()
-        };
+        // NOCAP_DEVICE selects the base device (SimDevice or the block-layer
+        // FileDevice); NOCAP_IO_AUDIT additionally wraps it in a tracer so
+        // the audited rerun below sees device-level events. Both wrappers
+        // are pass-through for the sweep.
+        let base = base_device();
         // NOCAP_FAULTS layers checksums + retry over a seeded errors-only
         // fault schedule; recovered faults leave the sweep's measured I/O
         // bit-identical (the #I/Os panel is unchanged), while the latency

@@ -1,6 +1,7 @@
 //! Modeled-vs-observed I/O audit on a real `FileDevice`.
 //!
-//! Runs one NOCAP and one SMJ join on a temporary-directory `FileDevice`
+//! Runs one NOCAP, one DHH and one SMJ join on a temporary-directory
+//! `FileDevice` (the block layer: handle cache, read-ahead, write-behind)
 //! wrapped in a latency-measuring `TracedDevice`, replays the captured
 //! device-level event stream through `IoAudit`, and:
 //!
@@ -12,20 +13,47 @@
 //! * prints the measured-vs-modeled **latency table** with the empirical
 //!   μ/τ asymmetries of this container's filesystem, and each phase's model
 //!   error under the `osync_off` profile;
+//! * reruns NOCAP under `SyncPolicy::Sync` vs `SyncPolicy::None` and joins
+//!   the two measured latency tables into a **sync comparison** against the
+//!   `osync_on` / `osync_off` analytic profiles — the measured on/off cost
+//!   ratio per I/O kind next to the ratio the paper's device model assumes;
 //! * writes the combined audits to `BENCH_io.json` (`--out <path>` to
 //!   relocate), the checked-in record of how far the analytic device model
 //!   sits from a real device here.
 //!
 //! Pass `--quick` for a smaller workload (the CI smoke setting).
 
-use std::sync::Arc;
-
 use nocap::{NocapConfig, NocapJoin};
-use nocap_joins::SortMergeJoin;
+use nocap_joins::{DhhJoin, SortMergeJoin};
 use nocap_model::{JoinRunReport, JoinSpec};
-use nocap_obs::{IoAudit, Obs};
-use nocap_storage::{DeviceProfile, FileDevice, TracedDevice};
+use nocap_obs::{IoAudit, Obs, SyncComparison};
+use nocap_storage::{DeviceProfile, FileDevice, SyncPolicy, TracedDevice};
 use nocap_workload::{synthetic, Correlation, SyntheticConfig};
+
+/// Replays a recorded run's device-level event stream through [`IoAudit`],
+/// prints the report and asserts the model and declaration audits are exact.
+fn audited(name: &str, report: &JoinRunReport, profile: DeviceProfile) -> IoAudit {
+    let trace = report.trace.as_ref().expect("recording attaches a trace");
+    let audit = IoAudit::from_trace(trace, profile);
+    println!("# ---- {name} ----");
+    for line in audit.report_text().lines() {
+        println!("#   {line}");
+    }
+    assert!(
+        audit.mismatches().is_empty(),
+        "{name}: traced events disagree with the engine's modeled I/O"
+    );
+    assert_eq!(audit.leading_events, 0, "{name}: events before any marker");
+    assert_eq!(
+        audit.trailing_events, 0,
+        "{name}: events after the last marker"
+    );
+    assert!(
+        audit.flagged_declarations().is_empty(),
+        "{name}: declared I/O kinds contradict the observed access patterns"
+    );
+    audit
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -45,6 +73,18 @@ fn main() {
     let buffer_pages = 48;
     let threads = 4;
     let profile = DeviceProfile::osync_off();
+    let wl_config = SyntheticConfig {
+        n_r,
+        n_s,
+        record_bytes,
+        correlation: Correlation::Zipf { alpha: 1.1 },
+        mcv_count: n_r / 20,
+        seed: 0x10AD,
+    };
+    let spec = JoinSpec::paper_synthetic(record_bytes, buffer_pages);
+    let nocap = NocapJoin::new(spec, NocapConfig::default());
+    let dhh = DhhJoin::with_defaults(spec);
+    let smj = SortMergeJoin::new(spec);
 
     println!(
         "# exp_io_audit: n_R = {n_r}, n_S = {n_s}, {record_bytes}-byte records, \
@@ -52,26 +92,15 @@ fn main() {
     );
 
     // A real device behind a latency-measuring tracer: every page access is
-    // timed around the actual syscalls.
-    let file_device = FileDevice::new_temp().expect("temp FileDevice");
+    // timed around the actual syscalls (or the write-behind buffer insert —
+    // the block layer coalesces appends into one pwrite per block).
+    let file_device = FileDevice::builder().build_arc().expect("temp FileDevice");
     println!("# device dir: {}", file_device.dir().display());
-    let device = TracedDevice::with_latency_ref(Arc::new(file_device));
+    let device = TracedDevice::with_latency_ref(file_device.clone());
 
-    let workload = synthetic::generate(
-        device.clone(),
-        &SyntheticConfig {
-            n_r,
-            n_s,
-            record_bytes,
-            correlation: Correlation::Zipf { alpha: 1.1 },
-            mcv_count: n_r / 20,
-            seed: 0x10AD,
-        },
-    )
-    .expect("workload generation");
+    let workload = synthetic::generate(device.clone(), &wl_config).expect("workload generation");
     device.reset_stats();
 
-    let spec = JoinSpec::paper_synthetic(record_bytes, buffer_pages);
     let audit_run = |name: &str, run: &dyn Fn(&Obs) -> JoinRunReport| -> (String, IoAudit) {
         device.reset_stats();
         let obs = Obs::recording();
@@ -81,41 +110,63 @@ fn main() {
             workload.expected_join_output(),
             "{name}: wrong join output"
         );
-        let trace = report.trace.as_ref().expect("recording attaches a trace");
-        let audit = IoAudit::from_trace(trace, profile);
-        println!("# ---- {name} ----");
-        for line in audit.report_text().lines() {
-            println!("#   {line}");
-        }
-        assert!(
-            audit.mismatches().is_empty(),
-            "{name}: traced events disagree with the engine's modeled I/O"
-        );
-        assert_eq!(audit.leading_events, 0, "{name}: events before any marker");
-        assert_eq!(
-            audit.trailing_events, 0,
-            "{name}: events after the last marker"
-        );
-        assert!(
-            audit.flagged_declarations().is_empty(),
-            "{name}: declared I/O kinds contradict the observed access patterns"
-        );
-        (name.to_string(), audit)
+        (name.to_string(), audited(name, &report, profile))
     };
 
-    let nocap = NocapJoin::new(spec, NocapConfig::default());
-    let smj = SortMergeJoin::new(spec);
     let audits = [
         audit_run("NOCAP", &|obs| {
             nocap
                 .run_parallel_obs(&workload.r, &workload.s, &workload.mcvs, threads, obs)
                 .expect("NOCAP run")
         }),
+        audit_run("DHH", &|obs| {
+            dhh.run_parallel_obs(&workload.r, &workload.s, &workload.mcvs, threads, obs)
+                .expect("DHH run")
+        }),
         audit_run("SMJ", &|obs| {
             smj.run_parallel_obs(&workload.r, &workload.s, threads, obs)
                 .expect("SMJ run")
         }),
     ];
+
+    // ---- O_SYNC on vs off: measured latency tables ---------------------
+    // Two fresh block-layer devices differing only in durability policy:
+    // `SyncPolicy::None` (audited against the osync_off profile) and
+    // `SyncPolicy::Sync` (fsync per physical write batch, audited against
+    // osync_on). The joined table puts the measured on/off latency ratio
+    // per I/O kind next to the ratio the analytic profiles assume.
+    let sync_run = |policy: SyncPolicy, profile: DeviceProfile| -> IoAudit {
+        let fdev = FileDevice::builder()
+            .sync_policy(policy)
+            .build_arc()
+            .expect("sync-policy FileDevice");
+        let device = TracedDevice::with_latency_ref(fdev.clone());
+        let workload = synthetic::generate(device.clone(), &wl_config).expect("workload");
+        device.reset_stats();
+        let obs = Obs::recording();
+        let report = nocap
+            .run_parallel_obs(&workload.r, &workload.s, &workload.mcvs, threads, &obs)
+            .expect("sync-comparison NOCAP run");
+        assert_eq!(report.output_records, workload.expected_join_output());
+        let syncs = fdev.block_stats().syncs;
+        match policy {
+            SyncPolicy::None => assert_eq!(syncs, 0, "SyncPolicy::None must not sync"),
+            _ => assert!(syncs > 0, "durable policies must issue sync syscalls"),
+        }
+        println!(
+            "# sync policy {}: {} sync syscall(s) across generation + run",
+            policy.label(),
+            syncs
+        );
+        audited(&format!("NOCAP / SyncPolicy::{policy:?}"), &report, profile)
+    };
+    let off_audit = sync_run(SyncPolicy::None, DeviceProfile::osync_off());
+    let on_audit = sync_run(SyncPolicy::Sync, DeviceProfile::osync_on());
+    let comparison = SyncComparison::between(&off_audit, &on_audit);
+    println!("# ---- O_SYNC on vs off ----");
+    for line in comparison.report_text().lines() {
+        println!("#   {line}");
+    }
 
     // ---- BENCH_io.json -------------------------------------------------
     let mut json = String::from("{\n");
@@ -124,16 +175,16 @@ fn main() {
          \"record_bytes\": {record_bytes},\n  \"buffer_pages\": {buffer_pages},\n  \
          \"threads\": {threads},\n  \"quick\": {quick}\n }},\n"
     ));
-    for (i, (name, audit)) in audits.iter().enumerate() {
+    for (name, audit) in audits.iter() {
         json.push_str(&format!(
-            " \"{}\": {}",
+            " \"{}\": {},\n",
             name.to_lowercase(),
             audit.to_json()
         ));
-        json.push_str(if i + 1 < audits.len() { ",\n" } else { "\n" });
     }
+    json.push_str(&format!(" \"sync_comparison\": {}\n", comparison.to_json()));
     json.push_str("}\n");
     std::fs::write(&out, json).expect("write BENCH_io.json");
     println!("# wrote {out}");
-    println!("# model audit exact for NOCAP and SMJ: every traced window matches the engine");
+    println!("# model audit exact for NOCAP, DHH and SMJ: every traced window matches the engine");
 }

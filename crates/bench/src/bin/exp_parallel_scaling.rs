@@ -21,13 +21,14 @@ use std::time::Instant;
 
 use nocap::{NocapConfig, NocapJoin};
 use nocap_bench::harness::{
-    fault_stack, faults_seed, io_audit_enabled, maybe_audit_io, print_fault_summary, report_trace,
+    base_device, device_mode, fault_stack, faults_seed, maybe_audit_io, print_fault_summary,
+    report_trace,
 };
 use nocap_joins::{DhhJoin, SortMergeJoin};
 use nocap_model::{JoinRunReport, JoinSpec};
 use nocap_obs::Obs;
 use nocap_stats::{StatsCollector, StatsConfig};
-use nocap_storage::{DeviceProfile, SimDevice, TracedDevice};
+use nocap_storage::DeviceProfile;
 use nocap_workload::{synthetic, Correlation, GeneratedWorkload, SyntheticConfig};
 
 /// The shared timing protocol of every table below: runs `run(threads)`
@@ -135,15 +136,13 @@ fn main() {
          B = {buffer_pages} pages, Zipf(1.0), best of {repeats} runs"
     );
     println!("# detected available parallelism: {cores} hardware thread(s)");
+    println!("# device: {}", device_mode().label());
 
-    // NOCAP_IO_AUDIT wraps the device so the traced breakdowns capture
-    // device-level events; the wrapper is pass-through for the timed runs
-    // (no recorder attached there).
-    let base = if io_audit_enabled() {
-        TracedDevice::new_ref(SimDevice::new_ref())
-    } else {
-        SimDevice::new_ref()
-    };
+    // NOCAP_DEVICE selects the base device (SimDevice or the block-layer
+    // FileDevice); NOCAP_IO_AUDIT additionally wraps it in a tracer so the
+    // traced breakdowns capture device-level events. The wrappers are
+    // pass-through for the timed runs (no recorder attached there).
+    let base = base_device();
     // NOCAP_FAULTS layers checksums + retry over a seeded errors-only fault
     // schedule. Recovered faults leave the modeled I/O bit-identical, so
     // every parallel-vs-sequential assertion below still holds — that

@@ -8,7 +8,10 @@ use nocap_joins::{DhhConfig, DhhJoin, GraceHashJoin, HistoJoin, SortMergeJoin};
 use nocap_model::{CorrelationTable, JoinRunReport, JoinSpec};
 use nocap_obs::{ExecutionTrace, IoAudit};
 use nocap_storage::device::DeviceRef;
-use nocap_storage::{CheckedDevice, DeviceProfile, FaultDevice, FaultPlan, Relation, RetryPolicy};
+use nocap_storage::{
+    CheckedDevice, DeviceProfile, FaultDevice, FaultPlan, FileDevice, Relation, RetryPolicy,
+    SimDevice, TracedDevice,
+};
 use nocap_workload::GeneratedWorkload;
 
 /// One measured data point of a figure: an algorithm at one x-value.
@@ -281,6 +284,63 @@ pub fn print_fault_summary(label: &str, rig: &FaultInjection) {
     );
 }
 
+/// Base-device selection of the experiment bins, driven by `NOCAP_DEVICE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceMode {
+    /// In-memory `SimDevice` (the default): full sweeps at memory speed.
+    Sim,
+    /// Block-layer `FileDevice` in a fresh temp directory: the paper's
+    /// figures on real I/O (read-ahead + write-behind enabled).
+    File,
+}
+
+impl DeviceMode {
+    /// Label for the bins' config banner.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeviceMode::Sim => "SimDevice",
+            DeviceMode::File => "FileDevice",
+        }
+    }
+}
+
+/// Parses the `NOCAP_DEVICE` environment hook: `file` selects the
+/// block-layer [`FileDevice`], anything else (or unset) the in-memory
+/// [`SimDevice`]. Unknown values fail loudly rather than silently running
+/// the sweep on the wrong device.
+pub fn device_mode() -> DeviceMode {
+    match std::env::var("NOCAP_DEVICE") {
+        Ok(v) if v.eq_ignore_ascii_case("file") => DeviceMode::File,
+        Ok(v) if v.is_empty() || v.eq_ignore_ascii_case("sim") => DeviceMode::Sim,
+        Ok(v) => panic!("NOCAP_DEVICE={v}: expected 'sim' or 'file'"),
+        Err(_) => DeviceMode::Sim,
+    }
+}
+
+/// Builds the base device the experiment bins run on, honoring
+/// `NOCAP_DEVICE` and `NOCAP_IO_AUDIT`: the audit hook wraps the base in a
+/// `TracedDevice` (latency-measuring on the file device) so audited runs
+/// see device-level events.
+pub fn base_device() -> DeviceRef {
+    match device_mode() {
+        DeviceMode::Sim => {
+            if io_audit_enabled() {
+                TracedDevice::new_ref(SimDevice::new_ref())
+            } else {
+                SimDevice::new_ref()
+            }
+        }
+        DeviceMode::File => {
+            let dev = FileDevice::builder().build_arc().expect("temp FileDevice") as DeviceRef;
+            if io_audit_enabled() {
+                TracedDevice::with_latency_ref(dev)
+            } else {
+                dev
+            }
+        }
+    }
+}
+
 /// True when the `NOCAP_IO_AUDIT` environment hook is active. Experiment
 /// bins use this to decide whether to wrap their `SimDevice` in a
 /// `TracedDevice` so the audited runs actually see device-level events.
@@ -314,6 +374,17 @@ pub fn maybe_audit_io(label: &str, report: &JoinRunReport, profile: &DeviceProfi
     for line in audit.report_text().lines() {
         println!("#   {line}");
     }
+    // The audit exists to catch divergence: a mismatch anywhere must fail
+    // the bin (and CI) loudly, on simulated and real devices alike.
+    assert!(
+        audit.mismatches().is_empty(),
+        "{label}: traced events disagree with the engine's modeled I/O"
+    );
+    assert_eq!(audit.leading_events, 0, "{label}: events before any marker");
+    assert_eq!(
+        audit.trailing_events, 0,
+        "{label}: events after the last marker"
+    );
     if base != "1" {
         let path = format!("{base}.{label}.io_audit.json");
         std::fs::write(&path, audit.to_json()).expect("write NOCAP_IO_AUDIT output");

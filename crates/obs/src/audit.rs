@@ -655,6 +655,159 @@ impl IoAudit {
     }
 }
 
+/// One row of a durability (sync-on vs sync-off) latency comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyncComparisonRow {
+    /// The declared kind.
+    pub kind: IoKind,
+    /// Mean measured latency with syncing off, microseconds.
+    pub off_mean_us: f64,
+    /// Mean measured latency with syncing on, microseconds.
+    pub on_mean_us: f64,
+    /// The sync-off profile's per-access latency, microseconds.
+    pub off_predicted_us: f64,
+    /// The sync-on profile's per-access latency, microseconds.
+    pub on_predicted_us: f64,
+}
+
+impl SyncComparisonRow {
+    /// Measured on/off slowdown for this kind.
+    pub fn measured_ratio(&self) -> f64 {
+        self.on_mean_us / self.off_mean_us
+    }
+
+    /// The profiles' predicted on/off slowdown for this kind.
+    pub fn predicted_ratio(&self) -> f64 {
+        self.on_predicted_us / self.off_predicted_us
+    }
+}
+
+/// Side-by-side latency tables of the same workload audited under a
+/// sync-off and a sync-on device configuration — the measured counterpart
+/// of the paper's `DeviceProfile::{osync_off, osync_on}` pair.
+///
+/// Built with [`SyncComparison::between`] from two [`IoAudit`]s whose
+/// profiles carry the respective model parameters. The interesting columns
+/// are the *ratios*: how much each I/O kind slows down when every append
+/// batch is synced, measured vs what the two profiles predict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncComparison {
+    /// Per-kind rows, for every kind present in both audits' latency tables.
+    pub rows: Vec<SyncComparisonRow>,
+    /// Empirical μ under sync-off / sync-on (None without write+read latency).
+    pub mu: (Option<f64>, Option<f64>),
+    /// Empirical τ under sync-off / sync-on.
+    pub tau: (Option<f64>, Option<f64>),
+    /// Model μ of the two profiles.
+    pub model_mu: (f64, f64),
+    /// Model τ of the two profiles.
+    pub model_tau: (f64, f64),
+}
+
+impl SyncComparison {
+    /// Joins the latency tables of a sync-off and a sync-on audit.
+    pub fn between(off: &IoAudit, on: &IoAudit) -> SyncComparison {
+        let rows = ALL_KINDS
+            .iter()
+            .filter_map(|&kind| {
+                let o = off.latency.iter().find(|r| r.kind == kind)?;
+                let n = on.latency.iter().find(|r| r.kind == kind)?;
+                Some(SyncComparisonRow {
+                    kind,
+                    off_mean_us: o.mean_us,
+                    on_mean_us: n.mean_us,
+                    off_predicted_us: o.predicted_us,
+                    on_predicted_us: n.predicted_us,
+                })
+            })
+            .collect();
+        SyncComparison {
+            rows,
+            mu: (off.empirical_mu(), on.empirical_mu()),
+            tau: (off.empirical_tau(), on.empirical_tau()),
+            model_mu: (off.profile.mu(), on.profile.mu()),
+            model_tau: (off.profile.tau(), on.profile.tau()),
+        }
+    }
+
+    /// Human-readable comparison table.
+    pub fn report_text(&self) -> String {
+        let mut out =
+            String::from("sync-off vs sync-on latency (measured means vs the two profiles):\n");
+        out.push_str("  kind        off_us     on_us  on/off  model_on/off\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "  {:<10} {:>7.3} {:>9.3} {:>7.3} {:>13.3}\n",
+                io_kind_name(r.kind),
+                r.off_mean_us,
+                r.on_mean_us,
+                r.measured_ratio(),
+                r.predicted_ratio()
+            ));
+        }
+        let opt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.3}"));
+        out.push_str(&format!(
+            "  empirical mu {} -> {} (model {:.3} -> {:.3}), tau {} -> {} (model {:.3} -> {:.3})\n",
+            opt(self.mu.0),
+            opt(self.mu.1),
+            self.model_mu.0,
+            self.model_mu.1,
+            opt(self.tau.0),
+            opt(self.tau.1),
+            self.model_tau.0,
+            self.model_tau.1
+        ));
+        out
+    }
+
+    /// The comparison as a JSON object.
+    pub fn to_json(&self) -> String {
+        fn f(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.3}")
+            } else {
+                "null".to_string()
+            }
+        }
+        fn opt_f(v: Option<f64>) -> String {
+            v.map_or_else(|| "null".to_string(), f)
+        }
+        let mut out = String::from("{\n    \"kinds\": [");
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n      {{\"kind\": {}, \"off_mean_us\": {}, \"on_mean_us\": {}, \
+                 \"measured_ratio\": {}, \"off_predicted_us\": {}, \"on_predicted_us\": {}, \
+                 \"predicted_ratio\": {}}}",
+                json_str(io_kind_name(r.kind)),
+                f(r.off_mean_us),
+                f(r.on_mean_us),
+                f(r.measured_ratio()),
+                f(r.off_predicted_us),
+                f(r.on_predicted_us),
+                f(r.predicted_ratio())
+            ));
+        }
+        out.push_str(&format!(
+            "\n    ],\n    \"empirical_mu\": {{\"off\": {}, \"on\": {}}},\n    \
+             \"empirical_tau\": {{\"off\": {}, \"on\": {}}},\n    \
+             \"model_mu\": {{\"off\": {}, \"on\": {}}},\n    \
+             \"model_tau\": {{\"off\": {}, \"on\": {}}}\n  }}",
+            opt_f(self.mu.0),
+            opt_f(self.mu.1),
+            opt_f(self.tau.0),
+            opt_f(self.tau.1),
+            f(self.model_mu.0),
+            f(self.model_mu.1),
+            f(self.model_tau.0),
+            f(self.model_tau.1)
+        ));
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -876,6 +1029,60 @@ mod tests {
         assert!((audit.empirical_tau().unwrap() - 1.5).abs() < 1e-9);
         assert!((audit.empirical_rand_read_ratio().unwrap() - 1.2).abs() < 1e-9);
         assert_eq!(audit.latency.len(), 4);
+    }
+
+    #[test]
+    fn sync_comparison_joins_the_two_latency_tables() {
+        let mk_audit = |profile: DeviceProfile, scale: u64| {
+            let mk = |seq: u64, kind: IoKind, lat: u64| {
+                ev(
+                    seq,
+                    None,
+                    None,
+                    0,
+                    seq as usize,
+                    kind,
+                    IoOp::Read,
+                    Some(lat),
+                )
+            };
+            let trace = ExecutionTrace {
+                io_events: vec![
+                    mk(0, IoKind::SeqRead, 10_000),
+                    mk(1, IoKind::RandWrite, 20_000 * scale),
+                    mk(2, IoKind::SeqWrite, 15_000 * scale),
+                ],
+                ..Default::default()
+            };
+            IoAudit::from_trace(&trace, profile)
+        };
+        let off = mk_audit(DeviceProfile::osync_off(), 1);
+        let on = mk_audit(DeviceProfile::osync_on(), 4);
+        let cmp = SyncComparison::between(&off, &on);
+        // RandRead is absent from both tables, so 3 joined rows remain.
+        assert_eq!(cmp.rows.len(), 3);
+        let rw = cmp
+            .rows
+            .iter()
+            .find(|r| r.kind == IoKind::RandWrite)
+            .unwrap();
+        assert!((rw.measured_ratio() - 4.0).abs() < 1e-9);
+        assert!(
+            (rw.predicted_ratio()
+                - DeviceProfile::osync_on().rand_write_us
+                    / DeviceProfile::osync_off().rand_write_us)
+                .abs()
+                < 1e-9
+        );
+        // Sync-on writes slowed 4x while reads did not, so empirical mu/tau
+        // must grow by the same factor.
+        assert!((cmp.mu.1.unwrap() / cmp.mu.0.unwrap() - 4.0).abs() < 1e-9);
+        assert!((cmp.tau.1.unwrap() / cmp.tau.0.unwrap() - 4.0).abs() < 1e-9);
+        let text = cmp.report_text();
+        assert!(text.contains("on/off"), "{text}");
+        let json = cmp.to_json();
+        assert!(json.contains("\"measured_ratio\""), "{json}");
+        assert!(json.contains("\"empirical_mu\""), "{json}");
     }
 
     #[test]

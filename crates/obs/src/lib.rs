@@ -50,7 +50,8 @@ mod recorder;
 mod trace;
 
 pub use audit::{
-    DeclarationRow, FileHeatmap, IoAudit, IoWindow, LatencyRow, PhaseIoRow, HEATMAP_BUCKETS,
+    DeclarationRow, FileHeatmap, IoAudit, IoWindow, LatencyRow, PhaseIoRow, SyncComparison,
+    SyncComparisonRow, HEATMAP_BUCKETS,
 };
 pub use hist::HistogramSummary;
 pub use io::{io_kind_name, io_marker_name, io_op_name, IoEventRec, IoMarkerRec, IoPhaseMark};

@@ -9,9 +9,10 @@
 //!   device used by every experiment: it makes the full parameter sweeps of
 //!   the paper feasible on a laptop while producing exactly the I/O counts
 //!   the paper's cost model reasons about.
-//! * [`FileDevice`] — writes pages to real files under a temporary
-//!   directory. Used by examples that want to demonstrate the algorithms on
-//!   an actual filesystem.
+//! * [`FileDevice`] — the production block layer over real files:
+//!   a sharded open-file-handle cache with positioned reads, block-granular
+//!   read-ahead and write-behind coalescing, and durability knobs. Lives in
+//!   [`crate::block`] and is re-exported here.
 //!
 //! Devices are shared by value as [`DeviceRef`] (an `Arc`), with interior
 //! locking inside each implementation. Since the `nocap-par` execution
@@ -24,15 +25,13 @@
 //! bottleneck the device is supposed to *measure*.
 
 use std::collections::HashMap;
-use std::fs;
-use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, RwLock};
 
+pub use crate::block::FileDevice;
 use crate::iostats::{AtomicIoStats, IoKind, IoStats};
 use crate::page::Page;
-use crate::sync::{lock_unpoisoned, read_unpoisoned, write_unpoisoned};
+use crate::sync::{read_unpoisoned, write_unpoisoned};
 use crate::{Result, StorageError};
 
 /// Identifier of a file (a growable sequence of pages) on a device.
@@ -191,195 +190,6 @@ impl BlockDevice for SimDevice {
     }
 }
 
-// ---------------------------------------------------------------------------
-// FileDevice
-// ---------------------------------------------------------------------------
-
-struct FileMeta {
-    path: PathBuf,
-    page_size: usize,
-    pages: usize,
-}
-
-struct FileState {
-    files: HashMap<FileId, FileMeta>,
-    next_id: u64,
-}
-
-/// A block device backed by real files in a temporary directory.
-///
-/// The I/O accounting is identical to [`SimDevice`]; in addition every page
-/// append/read is materialized with actual `write`/`read` system calls so
-/// the examples can be pointed at a real disk. Metadata lives behind a
-/// single mutex — the syscalls dominate, so finer-grained locking would buy
-/// nothing here.
-pub struct FileDevice {
-    dir: PathBuf,
-    state: Mutex<FileState>,
-    stats: AtomicIoStats,
-    remove_dir_on_drop: bool,
-}
-
-impl FileDevice {
-    /// Creates a device rooted at a fresh directory under the system
-    /// temporary directory.
-    pub fn new_temp() -> Result<Self> {
-        let mut dir = std::env::temp_dir();
-        let unique = format!(
-            "nocap-device-{}-{:?}",
-            std::process::id(),
-            std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .map(|d| d.as_nanos())
-                .unwrap_or(0)
-        );
-        dir.push(unique);
-        fs::create_dir_all(&dir).map_err(|e| StorageError::Io(e.to_string()))?;
-        Ok(FileDevice {
-            dir,
-            state: Mutex::new(FileState {
-                files: HashMap::new(),
-                next_id: 0,
-            }),
-            stats: AtomicIoStats::default(),
-            remove_dir_on_drop: true,
-        })
-    }
-
-    /// Creates a device rooted at `dir` (which must exist). Files are still
-    /// deleted individually through [`BlockDevice::delete_file`], but the
-    /// directory itself is left alone on drop.
-    pub fn at_dir(dir: PathBuf) -> Result<Self> {
-        if !dir.is_dir() {
-            return Err(StorageError::Io(format!(
-                "{} is not a directory",
-                dir.display()
-            )));
-        }
-        Ok(FileDevice {
-            dir,
-            state: Mutex::new(FileState {
-                files: HashMap::new(),
-                next_id: 0,
-            }),
-            stats: AtomicIoStats::default(),
-            remove_dir_on_drop: false,
-        })
-    }
-
-    /// Directory the device stores its files in.
-    pub fn dir(&self) -> &PathBuf {
-        &self.dir
-    }
-
-    fn file_path(&self, id: FileId) -> PathBuf {
-        self.dir.join(format!("file-{}.pages", id.0))
-    }
-}
-
-impl Drop for FileDevice {
-    fn drop(&mut self) {
-        if self.remove_dir_on_drop {
-            let _ = fs::remove_dir_all(&self.dir);
-        }
-    }
-}
-
-impl BlockDevice for FileDevice {
-    fn create_file(&self) -> FileId {
-        let mut st = lock_unpoisoned(&self.state);
-        let id = FileId(st.next_id);
-        st.next_id += 1;
-        let path = self.file_path(id);
-        st.files.insert(
-            id,
-            FileMeta {
-                path,
-                page_size: 0,
-                pages: 0,
-            },
-        );
-        id
-    }
-
-    fn file_pages(&self, file: FileId) -> Result<usize> {
-        lock_unpoisoned(&self.state)
-            .files
-            .get(&file)
-            .map(|m| m.pages)
-            .ok_or(StorageError::UnknownFile(file))
-    }
-
-    fn append_page(&self, file: FileId, page: &Page, kind: IoKind) -> Result<usize> {
-        let mut st = lock_unpoisoned(&self.state);
-        let meta = st
-            .files
-            .get_mut(&file)
-            .ok_or(StorageError::UnknownFile(file))?;
-        // Counted after validation, like SimDevice: failed operations never
-        // reach the disk, so they must not show up in the modeled trace.
-        self.stats.record(kind);
-        if meta.pages == 0 {
-            meta.page_size = page.size();
-        } else if meta.page_size != page.size() {
-            return Err(StorageError::Io(format!(
-                "file {file:?} stores {}-byte pages, got a {}-byte page",
-                meta.page_size,
-                page.size()
-            )));
-        }
-        let mut f = fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&meta.path)
-            .map_err(|e| StorageError::Io(e.to_string()))?;
-        f.write_all(page.as_bytes())
-            .map_err(|e| StorageError::Io(e.to_string()))?;
-        meta.pages += 1;
-        Ok(meta.pages - 1)
-    }
-
-    fn read_page(&self, file: FileId, index: usize, kind: IoKind) -> Result<Arc<Page>> {
-        // Resolve metadata under the lock, then do the syscalls outside it so
-        // concurrent readers of different offsets are not serialized.
-        let (path, page_size, pages) = {
-            let st = lock_unpoisoned(&self.state);
-            let meta = st.files.get(&file).ok_or(StorageError::UnknownFile(file))?;
-            (meta.path.clone(), meta.page_size, meta.pages)
-        };
-        if index >= pages {
-            return Err(StorageError::PageOutOfBounds { index, len: pages });
-        }
-        self.stats.record(kind);
-        let mut f = fs::File::open(&path).map_err(|e| StorageError::Io(e.to_string()))?;
-        f.seek(SeekFrom::Start((index * page_size) as u64))
-            .map_err(|e| StorageError::Io(e.to_string()))?;
-        let mut buf = vec![0u8; page_size];
-        f.read_exact(&mut buf)
-            .map_err(|e| StorageError::Io(e.to_string()))?;
-        Page::from_bytes(buf).map(Arc::new)
-    }
-
-    fn delete_file(&self, file: FileId) -> Result<()> {
-        let meta = lock_unpoisoned(&self.state)
-            .files
-            .remove(&file)
-            .ok_or(StorageError::UnknownFile(file))?;
-        if meta.path.exists() {
-            fs::remove_file(&meta.path).map_err(|e| StorageError::Io(e.to_string()))?;
-        }
-        Ok(())
-    }
-
-    fn stats(&self) -> IoStats {
-        self.stats.snapshot()
-    }
-
-    fn reset_stats(&self) {
-        self.stats.reset();
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -494,37 +304,5 @@ mod tests {
         assert_eq!(s.seq_reads, 4 * 16);
         assert_eq!(s.rand_writes, 4 * 16);
         assert_eq!(s.seq_writes, 16);
-    }
-
-    #[test]
-    fn file_device_roundtrip_and_cleanup() {
-        let dev = FileDevice::new_temp().unwrap();
-        let dir = dev.dir().clone();
-        let f = dev.create_file();
-        dev.append_page(f, &page_with(&[10, 20]), IoKind::SeqWrite)
-            .unwrap();
-        dev.append_page(f, &page_with(&[30]), IoKind::SeqWrite)
-            .unwrap();
-        assert_eq!(dev.file_pages(f).unwrap(), 2);
-        let p = dev.read_page(f, 1, IoKind::SeqRead).unwrap();
-        assert_eq!(p.records().map(|r| r.key()).collect::<Vec<_>>(), vec![30]);
-        assert_eq!(dev.stats().seq_writes, 2);
-        assert_eq!(dev.stats().seq_reads, 1);
-        dev.delete_file(f).unwrap();
-        drop(dev);
-        assert!(
-            !dir.exists(),
-            "temporary directory should be removed on drop"
-        );
-    }
-
-    #[test]
-    fn file_device_rejects_mixed_page_sizes() {
-        let dev = FileDevice::new_temp().unwrap();
-        let f = dev.create_file();
-        dev.append_page(f, &page_with(&[1]), IoKind::SeqWrite)
-            .unwrap();
-        let other = Page::empty(512, RecordLayout::new(8));
-        assert!(dev.append_page(f, &other, IoKind::SeqWrite).is_err());
     }
 }

@@ -18,8 +18,13 @@
 //!   ([`DeviceProfile`]) used to convert an I/O trace into estimated latency.
 //! * [`device`] — the [`BlockDevice`] trait with two implementations:
 //!   [`SimDevice`] (in-memory, exact I/O accounting — the default used by all
-//!   experiments) and [`FileDevice`] (a real temporary file, for examples
-//!   that want bytes to actually hit the filesystem).
+//!   experiments) and [`FileDevice`] (real files).
+//! * [`block`] — the real-device block layer behind [`FileDevice`]: a
+//!   sharded open-file-handle cache with positioned reads, block-granular
+//!   read-ahead and write-behind coalescing, torn-page recovery, and
+//!   [`SyncPolicy`] durability knobs via [`FileDeviceBuilder`]. Modeled
+//!   [`IoStats`] stay per-page and bit-identical to [`SimDevice`];
+//!   [`BlockStats`] reports the physical syscall shape.
 //! * [`buffer`] — a strict page-budget [`BufferPool`]; every join draws its
 //!   working memory from one of these so the *B*-page budget of the paper is
 //!   enforced rather than assumed.
@@ -61,6 +66,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod block;
 pub mod bloom;
 pub mod buffer;
 pub mod checked;
@@ -76,6 +82,7 @@ pub mod spill;
 pub mod sync;
 pub mod traced;
 
+pub use block::{BlockStats, FileDeviceBuilder, SyncPolicy, DEFAULT_PAGES_PER_BLOCK};
 pub use bloom::BloomFilter;
 pub use buffer::{BufferPool, Reservation};
 pub use checked::{page_checksum, CheckedDevice, RetryPolicy, RetryStats};

@@ -332,6 +332,82 @@ fn persistent_faults_fail_cleanly_with_zero_leaked_files_or_pages() {
 }
 
 #[test]
+fn fault_device_over_file_device_keeps_modeled_io_bit_identical_to_sim() {
+    // Satellite pin for the phantom-I/O bugfix: the block-layer FileDevice
+    // must count exactly like SimDevice even while errors are being injected
+    // and retried around it, and even while a *real* torn write fails one of
+    // its own flush syscalls mid-run. Before the fix, `stats.record` fired
+    // before the syscalls, so every retried failure inflated the modeled
+    // counters and this differential could not hold.
+    let schedule = || {
+        vec![
+            FaultSpec::any(FaultKind::TransientError { failures: 3 })
+                .reads()
+                .after(23),
+            FaultSpec::any(FaultKind::TransientError { failures: 2 })
+                .appends()
+                .after(7),
+            FaultSpec::any(FaultKind::TransientError { failures: 2 })
+                .reads()
+                .after(301),
+        ]
+    };
+    for join in Join::all() {
+        let base_wl = generate_on(SimDevice::new_ref());
+        let baseline = join.run(&base_wl, 1).expect("fault-free baseline");
+        let base_stats = base_wl.r.device().stats();
+        for threads in [1usize, 4] {
+            // torn_append_after(75): workload generation issues exactly 72
+            // coalesced physical writes, so the injected torn write lands
+            // inside the join run's own spill traffic (wherever it lands,
+            // CheckedDevice must absorb it without perturbing the modeled
+            // counters).
+            let file_dev = Arc::new(
+                FileDevice::builder()
+                    .torn_append_after(75)
+                    .build()
+                    .expect("file device"),
+            );
+            let fault = FaultDevice::new_arc(file_dev.clone() as DeviceRef, schedule());
+            let checked = CheckedDevice::new_arc(fault.clone() as DeviceRef, patient());
+            let wl = generate_on(checked.clone() as DeviceRef);
+            fault.arm();
+            let report = join
+                .run(&wl, threads)
+                .expect("transient faults over a real device must be retried to success");
+            assert_eq!(
+                report.output_records,
+                baseline.output_records,
+                "{}: wrong output on the faulted block layer at {threads} threads",
+                join.name()
+            );
+            assert_eq!(
+                checked.stats(),
+                base_stats,
+                "{}: FileDevice modeled I/O diverged from SimDevice under faults \
+                 at {threads} threads (phantom I/Os counted?)",
+                join.name()
+            );
+            assert_eq!(
+                fault.fault_stats().injected_errors,
+                7,
+                "{}: all three windows (3+2+2) must fire in full",
+                join.name()
+            );
+            assert_eq!(
+                file_dev.block_stats().torn_writes_repaired,
+                1,
+                "{}: the injected torn write must fire and be repaired",
+                join.name()
+            );
+            let rs = checked.retry_stats();
+            assert!(rs.recovered > 0, "{}", join.name());
+            assert_eq!(rs.exhausted, 0, "{}", join.name());
+        }
+    }
+}
+
+#[test]
 fn file_device_on_disk_bit_flip_is_caught_and_service_restored_after_repair() {
     // The same checksum layer over a real filesystem: corrupt the backing
     // file directly on disk, watch CorruptPage surface through the bounded
@@ -363,8 +439,12 @@ fn file_device_on_disk_bit_flip_is_caught_and_service_restored_after_repair() {
             .expect("append");
     }
 
-    // Flip one body byte of page 1 directly in the backing file.
-    let path = dir.join(format!("file-{}.pages", f.0));
+    // Make the write-behind tail durable, then flip one body byte of page 1
+    // directly in the backing file (the block layer namespaces its backing
+    // files per device instance, so ask it for the real path).
+    file_dev.flush().expect("flush write-behind tail");
+    let path = file_dev.backing_path(f).expect("backing path");
+    assert!(path.starts_with(&dir));
     let flip = |offset: usize| {
         let mut bytes = std::fs::read(&path).expect("read backing file");
         bytes[offset] ^= 0x40;

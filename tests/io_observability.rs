@@ -125,11 +125,11 @@ fn file_device_at_dir_survives_a_drop_reopen_cycle() {
         256,
         "exactly one 256-byte page was written"
     );
-    // A reopened device starts from a clean namespace: clear the stale file
-    // first, then verify a fresh round-trip works in the same directory.
-    for path in leftovers {
-        std::fs::remove_file(path).expect("remove stale file");
-    }
+    // A reopened device gets its own filename namespace: it must coexist
+    // with the stale leftover (as after a crash) instead of silently
+    // appending to it, even though both instances assign FileId(0).
+    let stale = leftovers[0].clone();
+    let stale_bytes = std::fs::read(&stale).expect("stale bytes");
     let device = FileDevice::at_dir(dir.clone()).expect("reopen");
     let file = device.create_file();
     device
@@ -137,7 +137,22 @@ fn file_device_at_dir_survives_a_drop_reopen_cycle() {
         .expect("append after reopen");
     let page = device.read_page(file, 0, IoKind::RandRead).expect("read");
     assert_eq!(page.records().map(|r| r.key()).collect::<Vec<_>>(), [7]);
+    assert_ne!(
+        device.backing_path(file).expect("backing path"),
+        stale,
+        "a reopened device must not adopt a stale backing file"
+    );
     drop(device);
+    assert_eq!(
+        std::fs::read(&stale).expect("stale bytes after reopen"),
+        stale_bytes,
+        "the stale file must be untouched by the reopened device"
+    );
+    assert_eq!(
+        std::fs::read_dir(&dir).expect("read dir").count(),
+        2,
+        "old and new backing files coexist"
+    );
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 

@@ -25,7 +25,10 @@ use nocap_suite::storage::{BufferPool, SimDevice, StorageError};
 use nocap_suite::workload::{synthetic, Correlation, GeneratedWorkload, SyntheticConfig};
 
 /// One labeled executor invocation of the tiny-budget sweep.
-type SweepRun<'a> = (&'a str, Box<dyn Fn() -> nocap_suite::storage::Result<u64> + 'a>);
+type SweepRun<'a> = (
+    &'a str,
+    Box<dyn Fn() -> nocap_suite::storage::Result<u64> + 'a>,
+);
 
 fn generate(n_r: usize, n_s: usize) -> (Arc<SimDevice>, GeneratedWorkload) {
     let sim = Arc::new(SimDevice::new());
