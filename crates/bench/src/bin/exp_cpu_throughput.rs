@@ -10,7 +10,18 @@
 //! * **sort_run_gen** — external-sort run generation over S (chunk fill,
 //!   sort, spill; throughput over `n_S` records);
 //! * **smj_merge** — the fused SMJ merge-join over the pre-sorted runs of R
-//!   and S (throughput over `n_R + n_S` records).
+//!   and S (throughput over `n_R + n_S` records);
+//!
+//! plus the SIMD-era kernel rows, each measured against the same legacy
+//! baseline as its unaccelerated sibling:
+//!
+//! * **build_probe_sealed** — build, `seal()` into the bucket-contiguous
+//!   layout, then probe through the vectorized key compares;
+//! * **partition_sweep_radix** — the partition sweep with the
+//!   [`RadixRouter`](nocap_storage::RadixRouter) write buffers in front of
+//!   the partition writers;
+//! * **probe_bloom_skewed** — probe-only on a miss-heavy skewed S stream,
+//!   bloom-filtered sealed probes vs the legacy hash-map probes.
 //!
 //! Each kernel runs both as the current zero-copy implementation and as a
 //! faithful reproduction of the pre-refactor path (`Record::read_from` per
@@ -74,6 +85,15 @@ fn main() {
     let bp_fast = bp_records / fast_secs;
     let bp_speedup = bp_fast / bp_legacy;
 
+    // ---- sealed build + probe (SIMD key compares) ------------------------
+    let (sealed_secs, sealed_out) = best_secs(repeats, || cpu::build_probe_sealed(&r, &s).unwrap());
+    assert_eq!(
+        sealed_out, legacy_out,
+        "sealing must not change the join output"
+    );
+    let bp_sealed = bp_records / sealed_secs;
+    let bp_sealed_speedup = bp_sealed / bp_legacy;
+
     // ---- partition sweep -------------------------------------------------
     let (sweep_legacy_secs, _) = best_secs(repeats, || {
         cpu::partition_sweep_legacy(&s, partitions).unwrap()
@@ -84,6 +104,23 @@ fn main() {
     let sweep_legacy = n_s as f64 / sweep_legacy_secs;
     let sweep_fast = n_s as f64 / sweep_fast_secs;
     let sweep_speedup = sweep_fast / sweep_legacy;
+
+    // ---- radix-buffered partition sweep ----------------------------------
+    // The write buffers pay off at high fan-out, where the direct sweep's
+    // open page buffers and writer metadata overflow the cache and every
+    // route is a scattered miss; measured at 512-way against the legacy
+    // sweep at the same fan-out.
+    let radix_partitions = 8 * partitions;
+    let (sweep_legacy_hi_secs, _) = best_secs(repeats, || {
+        cpu::partition_sweep_legacy(&s, radix_partitions).unwrap()
+    });
+    let (sweep_radix_secs, radix_routed) = best_secs(repeats, || {
+        cpu::partition_sweep_radix(&s, radix_partitions).unwrap()
+    });
+    assert_eq!(radix_routed, n_s as u64, "the radix sweep routes all of S");
+    let sweep_legacy_hi = n_s as f64 / sweep_legacy_hi_secs;
+    let sweep_radix = n_s as f64 / sweep_radix_secs;
+    let sweep_radix_speedup = sweep_radix / sweep_legacy_hi;
 
     // ---- sort run generation ---------------------------------------------
     let (sort_legacy_secs, sort_legacy_out) =
@@ -120,11 +157,41 @@ fn main() {
         run.delete().expect("run cleanup");
     }
 
+    // ---- bloom-filtered probes on a skewed, miss-heavy S -----------------
+    // Table/bloom/legacy-map construction is prep, not kernel: only the
+    // probe loop over S is timed, so the row isolates what the bloom
+    // pre-filter buys when most probes would miss.
+    let bloom_device = SimDevice::new_ref();
+    let (br, bs) = cpu::build_skewed_probe_input(bloom_device, n_r, n_s, record_bytes, 4096)
+        .expect("skewed probe workload");
+    let legacy_table = cpu::build_legacy_table(&br).expect("legacy table");
+    let (sealed_table, bloom) = cpu::sealed_table_and_bloom(&br).expect("sealed table + bloom");
+    let (probe_legacy_secs, probe_legacy_out) = best_secs(repeats, || {
+        cpu::probe_legacy_table(&legacy_table, &bs).unwrap()
+    });
+    let (probe_bloom_secs, probe_bloom_out) = best_secs(repeats, || {
+        cpu::probe_bloom_filtered(&sealed_table, &bloom, &bs).unwrap()
+    });
+    assert_eq!(
+        probe_bloom_out, probe_legacy_out,
+        "the bloom filter must not change the join output"
+    );
+    let probe_legacy_rps = n_s as f64 / probe_legacy_secs;
+    let probe_bloom_rps = n_s as f64 / probe_bloom_secs;
+    let probe_bloom_speedup = probe_bloom_rps / probe_legacy_rps;
+
     println!("kernel,legacy_records_per_sec,zero_copy_records_per_sec,speedup");
     println!("build_probe,{bp_legacy:.0},{bp_fast:.0},{bp_speedup:.2}");
+    println!("build_probe_sealed,{bp_legacy:.0},{bp_sealed:.0},{bp_sealed_speedup:.2}");
     println!("partition_sweep,{sweep_legacy:.0},{sweep_fast:.0},{sweep_speedup:.2}");
+    println!(
+        "partition_sweep_radix,{sweep_legacy_hi:.0},{sweep_radix:.0},{sweep_radix_speedup:.2}"
+    );
     println!("sort_run_gen,{sort_legacy:.0},{sort_fast:.0},{sort_speedup:.2}");
     println!("smj_merge,{merge_legacy:.0},{merge_fast:.0},{merge_speedup:.2}");
+    println!(
+        "probe_bloom_skewed,{probe_legacy_rps:.0},{probe_bloom_rps:.0},{probe_bloom_speedup:.2}"
+    );
 
     // ---- end-to-end phase breakdowns (recorder on vs off) ----------------
     // One full SMJ and GHJ run with the trace recorder enabled shows where
@@ -164,12 +231,19 @@ fn main() {
          \"repeats\": {repeats}, \"quick\": {quick} }},\n  \
          \"build_probe\": {{ \"legacy_records_per_sec\": {bp_legacy:.0}, \
          \"zero_copy_records_per_sec\": {bp_fast:.0}, \"speedup\": {bp_speedup:.3} }},\n  \
+         \"build_probe_sealed\": {{ \"legacy_records_per_sec\": {bp_legacy:.0}, \
+         \"zero_copy_records_per_sec\": {bp_sealed:.0}, \"speedup\": {bp_sealed_speedup:.3} }},\n  \
          \"partition_sweep\": {{ \"legacy_records_per_sec\": {sweep_legacy:.0}, \
          \"zero_copy_records_per_sec\": {sweep_fast:.0}, \"speedup\": {sweep_speedup:.3} }},\n  \
+         \"partition_sweep_radix\": {{ \"partitions\": {radix_partitions}, \
+         \"legacy_records_per_sec\": {sweep_legacy_hi:.0}, \
+         \"zero_copy_records_per_sec\": {sweep_radix:.0}, \"speedup\": {sweep_radix_speedup:.3} }},\n  \
          \"sort_run_gen\": {{ \"legacy_records_per_sec\": {sort_legacy:.0}, \
          \"zero_copy_records_per_sec\": {sort_fast:.0}, \"speedup\": {sort_speedup:.3} }},\n  \
          \"smj_merge\": {{ \"legacy_records_per_sec\": {merge_legacy:.0}, \
-         \"zero_copy_records_per_sec\": {merge_fast:.0}, \"speedup\": {merge_speedup:.3} }}\n}}\n"
+         \"zero_copy_records_per_sec\": {merge_fast:.0}, \"speedup\": {merge_speedup:.3} }},\n  \
+         \"probe_bloom_skewed\": {{ \"legacy_records_per_sec\": {probe_legacy_rps:.0}, \
+         \"zero_copy_records_per_sec\": {probe_bloom_rps:.0}, \"speedup\": {probe_bloom_speedup:.3} }}\n}}\n"
     );
     std::fs::write("BENCH_cpu.json", &json).expect("write BENCH_cpu.json");
     println!("# wrote BENCH_cpu.json");

@@ -26,8 +26,8 @@ use std::iter::Peekable;
 use nocap_storage::device::DeviceRef;
 use nocap_storage::sort::{run_chunks, sort_chunk, SortScratch};
 use nocap_storage::{
-    IoKind, JoinHashTable, PartitionHandle, PartitionReader, PartitionWriter, Record, RecordLayout,
-    Relation, Result,
+    BloomFilter, IoKind, JoinHashTable, PartitionHandle, PartitionReader, PartitionWriter,
+    RadixRouter, Record, RecordLayout, Relation, Result,
 };
 
 /// The paper's fudge factor, used by every kernel.
@@ -131,6 +131,139 @@ pub fn build_probe_legacy(r: &Relation, s: &Relation) -> Result<u64> {
     Ok(output)
 }
 
+/// Sealed build + probe: R streams into the arena [`JoinHashTable`],
+/// `seal()` freezes it into the bucket-contiguous vectorized layout, and
+/// every S record probes through the SIMD key-compare path. Returns the
+/// join output count.
+pub fn build_probe_sealed(r: &Relation, s: &Relation) -> Result<u64> {
+    let mut table = JoinHashTable::new(r.layout(), r.page_size(), FUDGE);
+    let mut r_scan = r.scan();
+    while let Some(page) = r_scan.next_page()? {
+        for rec in page.record_refs() {
+            table.insert_ref(rec);
+        }
+    }
+    table.seal();
+    let mut output = 0u64;
+    let mut s_scan = s.scan();
+    while let Some(page) = s_scan.next_page()? {
+        for rec in page.record_refs() {
+            output += table.probe_count(rec.key());
+        }
+    }
+    Ok(output)
+}
+
+/// Builds the miss-heavy probe workload for the bloom kernels: R carries
+/// keys `0..n_r`, and only one S record in sixteen carries a key from R's
+/// domain (drawn with a quadratic skew toward the low keys, mirroring a
+/// zipf-ish hit profile); the other fifteen miss. This is the probe-side
+/// shape the paper's skewed workloads produce after partitioning, where a
+/// bloom pre-filter pays for itself.
+pub fn build_skewed_probe_input(
+    device: DeviceRef,
+    n_r: usize,
+    n_s: usize,
+    record_bytes: usize,
+    page_size: usize,
+) -> Result<(Relation, Relation)> {
+    let layout = RecordLayout::new(record_bytes.saturating_sub(RecordLayout::KEY_BYTES));
+    let payload = layout.payload_bytes();
+    let r = Relation::bulk_load(
+        device.clone(),
+        layout,
+        page_size,
+        (0..n_r as u64).map(|k| Record::with_fill(k, payload, 1)),
+    )?;
+    let n = n_r as u64;
+    let s = Relation::bulk_load(
+        device,
+        layout,
+        page_size,
+        (0..n_s as u64).map(|i| {
+            let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^= z >> 31;
+            let key = if z & 15 == 0 {
+                let u = z % n;
+                u * u / n
+            } else {
+                n + z % (n * 8)
+            };
+            Record::with_fill(key, payload, 2)
+        }),
+    )?;
+    Ok((r, s))
+}
+
+/// Prep for the probe-only kernels (not part of any measured region): R
+/// folded into a sealed arena table plus a speed-tuned bloom filter over
+/// its keys — ~24 bits per key but only two hash functions, so the fill
+/// ratio stays low and nearly every negative lookup exits on its first
+/// probe bit.
+pub fn sealed_table_and_bloom(r: &Relation) -> Result<(JoinHashTable, BloomFilter)> {
+    let mut table = JoinHashTable::new(r.layout(), r.page_size(), FUDGE);
+    let mut keys = Vec::new();
+    let mut r_scan = r.scan();
+    while let Some(page) = r_scan.next_page()? {
+        for rec in page.record_refs() {
+            table.insert_ref(rec);
+            keys.push(rec.key());
+        }
+    }
+    table.seal();
+    let pages = (table.num_keys() * 24).div_ceil(8 * r.page_size()).max(1);
+    let mut bloom = BloomFilter::with_page_budget_and_hashes(pages, r.page_size(), 2);
+    for k in keys {
+        bloom.insert(k);
+    }
+    Ok((table, bloom))
+}
+
+/// Prep for the legacy probe-only kernel: R folded into the pre-refactor
+/// owned-record hash map.
+pub fn build_legacy_table(r: &Relation) -> Result<LegacyHashTable> {
+    let mut table = LegacyHashTable::new();
+    for rec in r.scan() {
+        table.insert(rec?);
+    }
+    Ok(table)
+}
+
+/// Probe-only legacy kernel: every S record probes the pre-refactor
+/// `HashMap<u64, Vec<Record>>` through the owned-record scan. Returns the
+/// join output count.
+pub fn probe_legacy_table(table: &LegacyHashTable, s: &Relation) -> Result<u64> {
+    let mut output = 0u64;
+    for rec in s.scan() {
+        output += table.probe(rec?.key()).len() as u64;
+    }
+    Ok(output)
+}
+
+/// Probe-only bloom kernel: every S record consults the cache-blocked
+/// bloom filter first and only probes the sealed table on a positive —
+/// exactly the executors' S-loop routing, so misses never touch the table
+/// arena. Returns the join output count (bit-identical to the unfiltered
+/// probes: the filter has no false negatives and a filtered-out record
+/// contributes zero matches either way).
+pub fn probe_bloom_filtered(
+    table: &JoinHashTable,
+    bloom: &BloomFilter,
+    s: &Relation,
+) -> Result<u64> {
+    let mut output = 0u64;
+    let mut s_scan = s.scan();
+    while let Some(page) = s_scan.next_page()? {
+        for rec in page.record_refs() {
+            if bloom.may_contain(rec.key()) {
+                output += table.probe_count(rec.key());
+            }
+        }
+    }
+    Ok(output)
+}
+
 /// Zero-copy one-pass partition sweep: routes every record of `relation`
 /// into `m` spill partitions (hash, then `memcpy` into the partition's
 /// output buffer). Returns the number of records routed; the spill files
@@ -156,6 +289,40 @@ pub fn partition_sweep_zero_copy(relation: &Relation, m: usize) -> Result<u64> {
             routed += 1;
         }
     }
+    for w in writers {
+        w.finish()?.delete()?;
+    }
+    Ok(routed)
+}
+
+/// Radix-buffered partition sweep: the same hash-route-and-copy pass as
+/// [`partition_sweep_zero_copy`], but with the cache-line-sized
+/// [`RadixRouter`] write buffers in front of the partition writers, so the
+/// scattered per-record `push_ref` calls become bursts of appends into one
+/// partition at a time. Returns the number of records routed.
+pub fn partition_sweep_radix(relation: &Relation, m: usize) -> Result<u64> {
+    let device = relation.device().clone();
+    let mut writers: Vec<PartitionWriter> = (0..m)
+        .map(|_| {
+            PartitionWriter::new(
+                device.clone(),
+                relation.layout(),
+                relation.page_size(),
+                IoKind::RandWrite,
+            )
+        })
+        .collect();
+    let mut router = RadixRouter::new(relation.layout(), m);
+    let mut routed = 0u64;
+    let mut scan = relation.scan();
+    while let Some(page) = scan.next_page()? {
+        for rec in page.record_refs() {
+            let p = (rec.key().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % m;
+            router.push(p, rec, &mut |p, r| writers[p].push_ref(r))?;
+            routed += 1;
+        }
+    }
+    router.finish(&mut |p, r| writers[p].push_ref(r))?;
     for w in writers {
         w.finish()?.delete()?;
     }
@@ -472,6 +639,40 @@ mod tests {
         let routed_slow = partition_sweep_legacy(&r, 16).unwrap();
         assert_eq!(routed_fast, 2_000);
         assert_eq!(routed_slow, 2_000);
+    }
+
+    #[test]
+    fn radix_sweep_matches_the_direct_sweep_io_for_io() {
+        let device = SimDevice::new_ref();
+        let (r, _) = build_input(device.clone(), 2_000, 8_000, 64, 4096).unwrap();
+        device.reset_stats();
+        let direct = partition_sweep_zero_copy(&r, 16).unwrap();
+        let direct_io = device.stats();
+        device.reset_stats();
+        let radix = partition_sweep_radix(&r, 16).unwrap();
+        let radix_io = device.stats();
+        assert_eq!(radix, direct);
+        assert_eq!(radix, 2_000);
+        assert_eq!(radix_io, direct_io, "buffering must not change modeled I/O");
+    }
+
+    #[test]
+    fn sealed_and_bloom_probes_agree_with_the_legacy_table() {
+        let device = SimDevice::new_ref();
+        let (r, s) = build_skewed_probe_input(device, 2_000, 20_000, 64, 4096).unwrap();
+        let legacy_table = build_legacy_table(&r).unwrap();
+        let legacy = probe_legacy_table(&legacy_table, &s).unwrap();
+        let sealed = build_probe_sealed(&r, &s).unwrap();
+        let (table, bloom) = sealed_table_and_bloom(&r).unwrap();
+        let filtered = probe_bloom_filtered(&table, &bloom, &s).unwrap();
+        assert_eq!(sealed, legacy, "sealing must not change the join output");
+        assert_eq!(filtered, legacy, "the bloom filter must not drop matches");
+        assert!(legacy > 0, "the skewed workload must contain some hits");
+        // ~90% of the skewed S stream misses R entirely.
+        assert!(
+            legacy < 20_000 / 2,
+            "the skewed workload must be miss-heavy (got {legacy} matches)"
+        );
     }
 
     #[test]

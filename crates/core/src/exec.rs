@@ -22,13 +22,15 @@
 //! the §4.1 memory breakdown is enforced at run time, not just assumed.
 
 use nocap_model::pairwise::smart_partition_join;
-use nocap_model::{BudgetLadder, DegradedRun, JoinRunReport, JoinSpec, RoundedHashParams};
+use nocap_model::{
+    BudgetLadder, DegradedRun, JoinRunReport, JoinSpec, ProbeBloom, RoundedHashParams,
+};
 use nocap_obs::{Obs, Phase};
 use nocap_par::QuotaStager;
 use nocap_stats::{StatsCollector, StatsSummary};
 use nocap_storage::{
-    BufferPool, IoKind, JoinHashTable, PartitionHandle, PartitionWriter, RecordBatch, RecordLayout,
-    RecordRef, Relation, SpillGuard,
+    BufferPool, IoKind, JoinHashTable, PartitionHandle, PartitionWriter, RadixRouter, RecordBatch,
+    RecordLayout, RecordRef, Relation, SpillGuard,
 };
 
 use crate::plan::NocapPlan;
@@ -40,6 +42,10 @@ use crate::rounded_hash::RoundedHash;
 pub struct NocapConfig {
     /// Planner configuration (grid resolution, rounded-hash parameters).
     pub planner: PlannerConfig,
+    /// Probe-side Bloom pre-filter over the in-memory build table (§6 SIP;
+    /// on by default, a pure CPU optimization — output and modeled I/O are
+    /// identical with the filter on or off).
+    pub bloom: ProbeBloom,
 }
 
 /// The NOCAP join operator.
@@ -259,6 +265,10 @@ impl NocapJoin {
         let _io_pages = pool.reserve(2)?;
         let _fixed = pool.reserve(plan.fixed_memory_pages(spec).min(pool.available()))?;
         let rest_budget = pool.available();
+        // The probe-side bloom filter is reserved only after the residual
+        // budget is read, so partition geometry and quotas never shift; an
+        // exhausted pool skips the filter instead of failing.
+        let bloom_reservation = self.config.bloom.reserve(&pool);
 
         let timer = obs.run_timer();
         let base_stats = device.stats();
@@ -325,6 +335,13 @@ impl NocapJoin {
                 ht_mem.insert_ref(rec);
             }
         }
+        // The build side is complete: freeze the table into its vectorized
+        // probe layout and summarize its keys for the probe pre-filter.
+        ht_mem.seal();
+        let bloom = self
+            .config
+            .bloom
+            .build(&ht_mem, &bloom_reservation, spec.page_size);
 
         // ---- Phase 2: partition / probe S (Algorithm 9) -------------------
         let mut output = 0u64;
@@ -360,7 +377,14 @@ impl NocapJoin {
                     s_disk_writers[pid as usize].push_ref(rec)?;
                     continue;
                 }
-                let matches = ht_mem.probe_count(rec.key());
+                // A bloom-negative key takes exactly the `matches == 0`
+                // route (the filter has no false negatives), so routing and
+                // modeled I/O are identical with the filter on or off.
+                let matches = if bloom.as_ref().is_none_or(|b| b.may_contain(rec.key())) {
+                    ht_mem.probe_count(rec.key())
+                } else {
+                    0
+                };
                 if matches > 0 {
                     output += matches;
                     continue;
@@ -522,6 +546,11 @@ impl RestGeometry {
 pub struct RestPartitioner {
     geometry: RestGeometry,
     stager: QuotaStager,
+    /// Cache-line-sized per-partition write buffers in front of the stager:
+    /// records batch up per partition and flush in runs, keeping the hot
+    /// routing loop inside a few cache lines. Per-partition arrival order is
+    /// preserved, so staged contents are byte-identical to direct pushes.
+    router: RadixRouter,
 }
 
 impl RestPartitioner {
@@ -547,8 +576,13 @@ impl RestPartitioner {
         layout: RecordLayout,
         geometry: RestGeometry,
     ) -> Self {
+        let router = RadixRouter::new(layout, geometry.num_partitions());
         let stager = QuotaStager::new(device, spec, layout, geometry.caps.clone());
-        RestPartitioner { geometry, stager }
+        RestPartitioner {
+            geometry,
+            stager,
+            router,
+        }
     }
 
     /// Number of residual partitions.
@@ -570,12 +604,15 @@ impl RestPartitioner {
     /// key push plus payload `memcpy` into the partition's arena).
     pub fn insert(&mut self, rec: RecordRef<'_>) -> nocap_storage::Result<()> {
         let p = self.geometry.rh.partition_of(rec.key());
-        self.stager.insert(p, rec)
+        let stager = &mut self.stager;
+        self.router.push(p, rec, &mut |p, r| stager.insert(p, r))
     }
 
     /// Finishes the R pass: remaining staged records go to the caller's
     /// in-memory hash table, spilled partitions become handles.
-    pub fn finish_build(self) -> nocap_storage::Result<RestBuild> {
+    pub fn finish_build(mut self) -> nocap_storage::Result<RestBuild> {
+        let stager = &mut self.stager;
+        self.router.finish(&mut |p, r| stager.insert(p, r))?;
         let build = self.stager.finish()?;
         Ok(RestBuild {
             staged_records: build.staged_records,

@@ -40,7 +40,7 @@ use nocap_par::{page_shards, run_workers_obs, sum_tasks_obs, ParallelStager, Sha
 use nocap_stats::StatsCollector;
 use nocap_storage::{
     into_inner_unpoisoned, lock_unpoisoned, BufferPool, IoKind, JoinHashTable, PartitionHandle,
-    Relation, Reservation, SpillGuard,
+    RadixRouter, Relation, Reservation, SpillGuard,
 };
 
 use crate::exec::{record_partition_skew, NocapJoin, RestGeometry};
@@ -211,6 +211,13 @@ impl NocapJoin {
         let _io_pages = pool.reserve(2)?;
         let _fixed = pool.reserve(plan.fixed_memory_pages(&spec).min(pool.available()))?;
         let rest_budget = pool.available();
+        // Reserve the probe-side bloom *after* reading the residual budget
+        // (so geometry matches the sequential path) and *before* the quota
+        // carving below consumes every remaining page. Both executors read
+        // the same `pool.available()` here, so the filter is sized
+        // identically and its bits depend only on the staged key multiset —
+        // thread-count invariant.
+        let bloom_reservation = self.config().bloom.reserve(&pool);
 
         let timer = obs.run_timer();
         let base_stats = device.stats();
@@ -244,6 +251,12 @@ impl NocapJoin {
         let r_partition_span = obs.span(Phase::Partition);
         let stages = run_workers_obs(threads, obs, Phase::Partition, |w, _wobs| {
             let mut stage = stager.worker_stage();
+            // Per-worker radix write buffers: residual records batch up per
+            // partition and flush into the stager in cache-friendly runs.
+            // Per-partition arrival order within this worker is preserved
+            // and quota destaging depends only on per-partition counts, so
+            // staged contents and spill decisions are unchanged.
+            let mut router = RadixRouter::new(r.layout(), geometry.num_partitions());
             let mut scan = r.scan_range(r_shards[w].clone());
             while let Some(page) = scan.next_page()? {
                 for rec in page.record_refs() {
@@ -255,10 +268,11 @@ impl NocapJoin {
                         r_disk.push(pid as usize, rec)?;
                     } else {
                         let p = geometry.rh.partition_of(rec.key());
-                        stager.insert(&mut stage, p, rec)?;
+                        router.push(p, rec, &mut |p, r| stager.insert(&mut stage, p, r))?;
                     }
                 }
             }
+            router.finish(&mut |p, r| stager.insert(&mut stage, p, r))?;
             Ok(stage)
         })?;
         drop(r_partition_span);
@@ -278,6 +292,13 @@ impl NocapJoin {
                 ht_mem.insert_ref(rec);
             }
         }
+        // Freeze the completed build side for vectorized probes and build
+        // the probe pre-filter from its keys (order-invariant bit contents).
+        ht_mem.seal();
+        let bloom = self
+            .config()
+            .bloom
+            .build(&ht_mem, &bloom_reservation, spec.page_size);
 
         // ---- Phase 2: partition / probe S (Algorithm 9, sharded) ---------
         let s_disk = SharedWriterSet::new(
@@ -296,6 +317,7 @@ impl NocapJoin {
         );
         let s_shards = page_shards(s.num_pages(), threads);
         let ht_ref = &ht_mem;
+        let bloom_ref = &bloom;
         let pob = &rest_build.pob;
         let s_partition_span = obs.span(Phase::Partition);
         let probe_counts = run_workers_obs(threads, obs, Phase::Partition, |w, _wobs| {
@@ -307,7 +329,14 @@ impl NocapJoin {
                         s_disk.push(pid as usize, rec)?;
                         continue;
                     }
-                    let matches = ht_ref.probe_count(rec.key());
+                    // Bloom-negative keys take the identical `matches == 0`
+                    // route (no false negatives), so routing and modeled
+                    // I/O match the filterless run bit for bit.
+                    let matches = if bloom_ref.as_ref().is_none_or(|b| b.may_contain(rec.key())) {
+                        ht_ref.probe_count(rec.key())
+                    } else {
+                        0
+                    };
                     if matches > 0 {
                         output += matches;
                         continue;

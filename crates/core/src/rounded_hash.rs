@@ -16,12 +16,13 @@
 use nocap_model::RoundedHashParams;
 
 /// SplitMix64 — a fast, well-mixed 64-bit hash used for partition routing.
+///
+/// Delegates to the workspace-wide [`nocap_storage::hash::mix64`] (pinned
+/// bit-for-bit there) so every router, hash table and bloom filter agrees on
+/// the key hash.
 #[inline]
 pub fn mix_key(key: u64) -> u64 {
-    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    nocap_storage::hash::mix64(key)
 }
 
 /// A partition-routing function: either plain hash or rounded hash.

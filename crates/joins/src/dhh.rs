@@ -35,7 +35,7 @@ use std::collections::HashSet;
 use std::sync::Mutex;
 
 use nocap_model::pairwise::smart_partition_join;
-use nocap_model::{BudgetLadder, DegradedRun, JoinRunReport, JoinSpec};
+use nocap_model::{BudgetLadder, DegradedRun, JoinRunReport, JoinSpec, ProbeBloom};
 use nocap_obs::{Obs, Phase};
 use nocap_par::{
     default_threads, even_caps, page_shards, run_workers_obs, sum_tasks_obs, ParallelStager,
@@ -45,16 +45,12 @@ use nocap_stats::StatsSummary;
 use nocap_storage::device::DeviceRef;
 use nocap_storage::{
     into_inner_unpoisoned, lock_unpoisoned, BufferPool, IoKind, JoinHashTable, PartitionHandle,
-    PartitionWriter, RecordBatch, RecordLayout, RecordRef, Relation, Reservation, SpillGuard,
+    PartitionWriter, RadixRouter, RecordBatch, RecordLayout, RecordRef, Relation, Reservation,
+    SpillGuard,
 };
 
-/// SplitMix64 hash for partition routing.
-fn hash_key(key: u64) -> u64 {
-    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// SplitMix64 hash for partition routing (the shared workspace key hash).
+use nocap_storage::hash::mix64 as hash_key;
 
 /// Tuning knobs of DHH's skew optimization.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,12 +100,24 @@ impl DhhConfig {
 pub struct DhhJoin {
     spec: JoinSpec,
     config: DhhConfig,
+    bloom: ProbeBloom,
 }
 
 impl DhhJoin {
     /// Creates a DHH operator with the given spec and skew configuration.
     pub fn new(spec: JoinSpec, config: DhhConfig) -> Self {
-        DhhJoin { spec, config }
+        DhhJoin {
+            spec,
+            config,
+            bloom: ProbeBloom::default(),
+        }
+    }
+
+    /// Overrides the probe-side Bloom pre-filter knob (on by default; a
+    /// pure CPU optimization — output and modeled I/O are unchanged).
+    pub fn with_bloom(mut self, bloom: ProbeBloom) -> Self {
+        self.bloom = bloom;
+        self
     }
 
     /// Creates a DHH operator with the default (PostgreSQL-like) thresholds.
@@ -189,6 +197,9 @@ impl DhhJoin {
             .min(pool.available().saturating_sub(1).max(1));
         let mut partitioner =
             DhhPartitioner::new(device.clone(), *spec, r.layout(), pool.available(), m_dhh);
+        // Reserve the probe-side bloom only after the partition geometry has
+        // consumed its budget view; an exhausted pool skips the filter.
+        let bloom_reservation = self.bloom.reserve(&pool);
         let mut skew_table = JoinHashTable::new(r.layout(), spec.page_size, spec.fudge);
         let r_partition_span = obs.span(Phase::Partition);
         let mut r_scan = r.scan();
@@ -218,6 +229,12 @@ impl DhhJoin {
                 ht_mem.insert_ref(rec);
             }
         }
+        // Freeze the completed build side for vectorized probes and build
+        // the probe pre-filter from its keys.
+        ht_mem.seal();
+        let bloom = self
+            .bloom
+            .build(&ht_mem, &bloom_reservation, spec.page_size);
 
         // ---- Partition / probe S (Algorithm 2) -----------------------------
         let mut output = 0u64;
@@ -239,7 +256,14 @@ impl DhhJoin {
         let mut s_scan = s.scan();
         while let Some(page) = s_scan.next_page()? {
             for rec in page.record_refs() {
-                let matches = ht_mem.probe_count(rec.key());
+                // Bloom-negative keys take the identical `matches == 0`
+                // route (no false negatives), leaving routing and I/O
+                // unchanged.
+                let matches = if bloom.as_ref().is_none_or(|b| b.may_contain(rec.key())) {
+                    ht_mem.probe_count(rec.key())
+                } else {
+                    0
+                };
                 if matches > 0 {
                     output += matches;
                     continue;
@@ -313,7 +337,8 @@ impl DhhJoin {
         obs: &Obs,
     ) -> nocap_storage::Result<DegradedRun> {
         nocap_model::run_degrading(admission, self.spec.buffer_pages, ladder, obs, |budget| {
-            let degraded = DhhJoin::new(self.spec.with_buffer_pages(budget), self.config);
+            let degraded = DhhJoin::new(self.spec.with_buffer_pages(budget), self.config)
+                .with_bloom(self.bloom);
             degraded.run_obs(r, s, mcvs, obs)
         })
     }
@@ -391,6 +416,11 @@ impl DhhJoin {
             .m_dhh(r.num_records())
             .min(pool.available().saturating_sub(1).max(1));
         let caps = DhhPartitioner::caps(pool.available(), m_dhh);
+        // Reserve the probe-side bloom at the same pool state the sequential
+        // path sees (after the quota geometry is derived, before the carving
+        // below consumes every remaining page), so both paths size the
+        // filter identically.
+        let bloom_reservation = self.bloom.reserve(&pool);
         // Make the quota carving visible to the pool, one reservation per
         // partition covering exactly the staging budget.
         let _quotas: Vec<Reservation> = pool.carve_remaining(caps.len());
@@ -401,6 +431,10 @@ impl DhhJoin {
         let r_partition_span = obs.span(Phase::Partition);
         let stages = run_workers_obs(threads, obs, Phase::Partition, |w, _wobs| {
             let mut stage = stager.worker_stage();
+            // Per-worker radix write buffers in front of the stager (see
+            // `DhhPartitioner::insert`): per-partition arrival order within
+            // this worker is preserved and destaging depends only on counts.
+            let mut router = RadixRouter::new(r.layout(), stager.num_partitions());
             let mut scan = r.scan_range(r_shards[w].clone());
             while let Some(page) = scan.next_page()? {
                 for rec in page.record_refs() {
@@ -410,10 +444,11 @@ impl DhhJoin {
                         lock_unpoisoned(&ht_shared).insert_ref(rec);
                     } else {
                         let p = (hash_key(rec.key()) % stager.num_partitions() as u64) as usize;
-                        stager.insert(&mut stage, p, rec)?;
+                        router.push(p, rec, &mut |p, r| stager.insert(&mut stage, p, r))?;
                     }
                 }
             }
+            router.finish(&mut |p, r| stager.insert(&mut stage, p, r))?;
             Ok(stage)
         })?;
         drop(r_partition_span);
@@ -432,6 +467,12 @@ impl DhhJoin {
                 ht_mem.insert_ref(rec);
             }
         }
+        // Same sealing point as the sequential path; the filter's bits are
+        // multiset-determined, hence thread-count invariant.
+        ht_mem.seal();
+        let bloom = self
+            .bloom
+            .build(&ht_mem, &bloom_reservation, spec.page_size);
 
         // ---- Partition / probe S (Algorithm 2, sharded) ------------------
         let s_writers = SharedWriterSet::new_masked(
@@ -443,6 +484,7 @@ impl DhhJoin {
         );
         let s_shards = page_shards(s.num_pages(), threads);
         let ht_ref = &ht_mem;
+        let bloom_ref = &bloom;
         let pob = &build.pob;
         let s_partition_span = obs.span(Phase::Partition);
         let probe_counts = run_workers_obs(threads, obs, Phase::Partition, |w, _wobs| {
@@ -450,7 +492,11 @@ impl DhhJoin {
             let mut scan = s.scan_range(s_shards[w].clone());
             while let Some(page) = scan.next_page()? {
                 for rec in page.record_refs() {
-                    let matches = ht_ref.probe_count(rec.key());
+                    let matches = if bloom_ref.as_ref().is_none_or(|b| b.may_contain(rec.key())) {
+                        ht_ref.probe_count(rec.key())
+                    } else {
+                        0
+                    };
                     if matches > 0 {
                         output += matches;
                         continue;
@@ -601,6 +647,10 @@ struct DhhBuild {
 /// staging pages.
 struct DhhPartitioner {
     stager: QuotaStager,
+    /// Cache-line-sized per-partition write buffers in front of the stager;
+    /// per-partition arrival order is preserved, so staged contents and the
+    /// destaged set are identical to direct pushes.
+    router: RadixRouter,
 }
 
 impl DhhPartitioner {
@@ -619,8 +669,10 @@ impl DhhPartitioner {
         num_partitions: usize,
     ) -> Self {
         let caps = Self::caps(budget_pages, num_partitions);
+        let router = RadixRouter::new(layout, caps.len());
         DhhPartitioner {
             stager: QuotaStager::new(device, spec, layout, caps),
+            router,
         }
     }
 
@@ -631,10 +683,13 @@ impl DhhPartitioner {
 
     fn insert(&mut self, rec: RecordRef<'_>) -> nocap_storage::Result<()> {
         let p = (hash_key(rec.key()) % self.stager.num_partitions() as u64) as usize;
-        self.stager.insert(p, rec)
+        let stager = &mut self.stager;
+        self.router.push(p, rec, &mut |p, r| stager.insert(p, r))
     }
 
-    fn finish(self) -> nocap_storage::Result<DhhBuild> {
+    fn finish(mut self) -> nocap_storage::Result<DhhBuild> {
+        let stager = &mut self.stager;
+        self.router.finish(&mut |p, r| stager.insert(p, r))?;
         let build = self.stager.finish()?;
         Ok(DhhBuild {
             staged_records: build.staged_records,

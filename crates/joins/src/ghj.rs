@@ -8,24 +8,21 @@
 //! be cheaper.
 
 use nocap_model::classic_cost::nbj_cost_best;
-use nocap_model::pairwise::nbj_partition_join;
-use nocap_model::{ghj_cost, JoinRunReport, JoinSpec};
+use nocap_model::pairwise::nbj_partition_join_filtered;
+use nocap_model::{ghj_cost, JoinRunReport, JoinSpec, ProbeBloom};
 use nocap_obs::{Obs, Phase};
 use nocap_par::{page_shards, run_workers_obs, sum_tasks_obs, SharedWriterSet};
 use nocap_storage::device::DeviceRef;
 use nocap_storage::{
-    BufferPool, IoKind, JoinHashTable, PartitionHandle, PartitionWriter, Relation, SpillGuard,
+    BufferPool, IoKind, JoinHashTable, PartitionHandle, PartitionWriter, RadixRouter, Relation,
+    SpillGuard,
 };
 
 /// SplitMix64 with a per-recursion-level salt so nested partitioning uses an
-/// independent hash function.
+/// independent hash function (the shared workspace hash, pinned bit-for-bit
+/// in `nocap_storage::hash`).
 fn level_hash(key: u64, level: u32) -> u64 {
-    let mut z = key
-        .wrapping_add(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add((level as u64) << 56 | (level as u64).wrapping_mul(0xA24B_AED4_963E_E407));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    nocap_storage::hash::mix64_seeded(key, nocap_storage::hash::level_seed_salted(level))
 }
 
 /// Grace Hash Join executor.
@@ -35,12 +32,26 @@ pub struct GraceHashJoin {
     /// Maximum recursive partitioning depth before unconditionally falling
     /// back to NBJ (a safety valve, 3 matches any realistic budget).
     max_depth: u32,
+    /// Probe-side Bloom pre-filter for the partition-pair NBJs (on by
+    /// default; a pure CPU optimization — output and modeled I/O are
+    /// unchanged).
+    bloom: ProbeBloom,
 }
 
 impl GraceHashJoin {
     /// Creates a GHJ operator with the given spec.
     pub fn new(spec: JoinSpec) -> Self {
-        GraceHashJoin { spec, max_depth: 3 }
+        GraceHashJoin {
+            spec,
+            max_depth: 3,
+            bloom: ProbeBloom::default(),
+        }
+    }
+
+    /// Overrides the probe-side Bloom pre-filter knob.
+    pub fn with_bloom(mut self, bloom: ProbeBloom) -> Self {
+        self.bloom = bloom;
+        self
     }
 
     /// Executes `r ⋈ s`.
@@ -81,12 +92,16 @@ impl GraceHashJoin {
         let partition_io = device.stats().since(&base);
         record_ghj_skew(obs, &r_parts, &s_parts);
 
-        // Join each pair.
+        // Join each pair. The per-chunk probe filters are charged to the
+        // pool for the whole probe phase; an exhausted pool turns the
+        // filter off instead of failing.
+        let bloom_reservation = self.bloom.reserve(&pool);
+        let bloom_cfg = clamp_bloom(&self.bloom, &bloom_reservation);
         let probe_base = device.stats();
         let probe_span = obs.span(Phase::Probe);
         let mut output = 0u64;
         for (r_part, s_part) in r_parts.iter().zip(s_parts.iter()) {
-            output += self.join_pair(&device, r_part, s_part, 1)?;
+            output += self.join_pair(&device, r_part, s_part, &bloom_cfg, 1)?;
         }
         drop(probe_span);
         let probe_io = device.stats().since(&probe_base);
@@ -158,13 +173,18 @@ impl GraceHashJoin {
                 );
                 let shards = page_shards(relation.num_pages(), threads);
                 run_workers_obs(threads, obs, Phase::Partition, |w, _wobs| {
+                    // Per-worker radix write buffers: shared-writer pushes
+                    // happen in per-partition runs instead of one lock per
+                    // record; `⌈n/b⌉` flushes per partition are preserved.
+                    let mut router = RadixRouter::new(relation.layout(), num_partitions);
                     let mut scan = relation.scan_range(shards[w].clone());
                     while let Some(page) = scan.next_page()? {
                         for rec in page.record_refs() {
                             let p = (level_hash(rec.key(), 0) % num_partitions as u64) as usize;
-                            writers.push(p, rec)?;
+                            router.push(p, rec, &mut |p, r| writers.push(p, r))?;
                         }
                     }
+                    router.finish(&mut |p, r| writers.push(p, r))?;
                     Ok(())
                 })?;
                 writers.finish_dense()
@@ -179,10 +199,14 @@ impl GraceHashJoin {
         let partition_io = device.stats().since(&base);
         record_ghj_skew(obs, &r_parts, &s_parts);
 
+        // Same probe-filter charge as the sequential path: both executors
+        // see the same pool state here, so the clamped filter is identical.
+        let bloom_reservation = self.bloom.reserve(&pool);
+        let bloom_cfg = clamp_bloom(&self.bloom, &bloom_reservation);
         let probe_base = device.stats();
         let probe_span = obs.span(Phase::Probe);
         let output = sum_tasks_obs(threads, obs, Phase::Probe, r_parts.len(), |i| {
-            self.join_pair(&device, &r_parts[i], &s_parts[i], 1)
+            self.join_pair(&device, &r_parts[i], &s_parts[i], &bloom_cfg, 1)
         })?;
         drop(probe_span);
         let probe_io = device.stats().since(&probe_base);
@@ -206,6 +230,7 @@ impl GraceHashJoin {
         device: &DeviceRef,
         r_part: &PartitionHandle,
         s_part: &PartitionHandle,
+        bloom: &ProbeBloom,
         depth: u32,
     ) -> nocap_storage::Result<u64> {
         let spec = &self.spec;
@@ -217,14 +242,14 @@ impl GraceHashJoin {
                 + 2
                 <= spec.buffer_pages;
         if fits || depth > self.max_depth {
-            return nbj_partition_join(r_part, s_part, spec, |_, _| {});
+            return nbj_partition_join_filtered(r_part, s_part, spec, bloom, |_, _| {});
         }
         // The partition is still too large: recurse only if another
         // partitioning pass is estimated to be cheaper than NBJ.
         let nbj = nbj_cost_best(r_part.pages(), s_part.pages(), spec);
         let ghj = ghj_cost(r_part.pages(), s_part.pages(), spec);
         if nbj <= ghj {
-            return nbj_partition_join(r_part, s_part, spec, |_, _| {});
+            return nbj_partition_join_filtered(r_part, s_part, spec, bloom, |_, _| {});
         }
         let num_partitions = spec.buffer_pages.saturating_sub(1).max(2);
         // Fail-clean recursion: the sub-partitions are deleted when the
@@ -236,9 +261,18 @@ impl GraceHashJoin {
         guard.adopt_all(s_sub.iter().cloned());
         let mut output = 0u64;
         for (rp, sp) in r_sub.iter().zip(s_sub.iter()) {
-            output += self.join_pair(device, rp, sp, depth + 1)?;
+            output += self.join_pair(device, rp, sp, bloom, depth + 1)?;
         }
         Ok(output)
+    }
+}
+
+/// Clamps the probe-filter page budget to what was actually reserved; a
+/// missing reservation turns the filter off.
+fn clamp_bloom(bloom: &ProbeBloom, reservation: &Option<nocap_storage::Reservation>) -> ProbeBloom {
+    match reservation {
+        Some(res) => ProbeBloom::with_pages(bloom.pages.min(res.pages())),
+        None => ProbeBloom::off(),
     }
 }
 
@@ -277,13 +311,18 @@ fn partition_relation_scan(
             )
         })
         .collect();
+    // Cache-line-sized per-partition write buffers in front of the spill
+    // writers: per-partition arrival order is preserved, so partition files
+    // are byte-identical to direct pushes.
+    let mut router = RadixRouter::new(relation.layout(), m);
     let mut scan = relation.scan();
     while let Some(page) = scan.next_page()? {
         for rec in page.record_refs() {
             let p = (level_hash(rec.key(), level) % m as u64) as usize;
-            writers[p].push_ref(rec)?;
+            router.push(p, rec, &mut |p, r| writers[p].push_ref(r))?;
         }
     }
+    router.finish(&mut |p, r| writers[p].push_ref(r))?;
     // Fail-clean finish: a mid-loop error deletes the handles produced so
     // far (unfinished writers delete their own files on drop).
     let mut guard = SpillGuard::new();

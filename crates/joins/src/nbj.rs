@@ -69,6 +69,8 @@ impl NestedBlockJoin {
             if table.is_empty() {
                 break;
             }
+            // Freeze the chunk into the vectorized probe layout.
+            table.seal();
             chunks += 1;
             let scan_span = obs.span(Phase::Scan);
             let mut outer_scan = outer.scan();

@@ -43,6 +43,7 @@ pub mod hash_cost;
 pub mod pairwise;
 pub mod partitioning;
 pub mod report;
+pub mod sip;
 pub mod spec;
 
 pub use classic_cost::{best_partition_join, ghj_cost, nbj_cost, smj_cost, PartitionJoinMethod};
@@ -53,4 +54,5 @@ pub use estimate::McvEstimate;
 pub use hash_cost::{g_ph, g_rh, rounded_passes, RoundedHashParams};
 pub use partitioning::{cal_cost, Partitioning};
 pub use report::JoinRunReport;
+pub use sip::ProbeBloom;
 pub use spec::JoinSpec;

@@ -1,0 +1,25 @@
+//! Autodetects `std::simd` support: on a nightly compiler the `nocap_simd`
+//! cfg is set and the hot kernels use explicit `u64x4` portable SIMD; on
+//! stable they fall back to chunked scalar loops (which the optimizer
+//! auto-vectorizes). Behaviour is identical either way — only the codegen
+//! differs — so no feature flag leaks into the public API.
+
+use std::process::Command;
+
+fn main() {
+    println!("cargo::rustc-check-cfg=cfg(nocap_simd)");
+    println!("cargo::rerun-if-changed=build.rs");
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    let is_nightly = Command::new(rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .map(|out| {
+            let version = String::from_utf8_lossy(&out.stdout);
+            version.contains("nightly") || version.contains("dev")
+        })
+        .unwrap_or(false);
+    if is_nightly {
+        println!("cargo::rustc-cfg=nocap_simd");
+    }
+}

@@ -25,16 +25,26 @@
 //! key + a `Box<[u8]>` per record), whose allocations dominated build-side
 //! CPU once I/O was overlapped.
 //!
+//! # Sealing
+//!
+//! A chain walk loads one key per pointer chase, so a probe is a string of
+//! dependent cache misses. Once the build side is complete, callers invoke
+//! [`seal`](JoinHashTable::seal): a counting sort groups every bucket's
+//! keys into one contiguous run (plus an index back into the arena), after
+//! which a probe is a linear sweep compared [`crate::simd::LANES`] keys per
+//! step by the vectorized kernels in [`crate::simd`]. Sealing is optional
+//! and purely an execution detail — results are identical either way, and
+//! a post-seal insert simply drops the packed index until the next seal.
+//!
 //! The *accounting* is unchanged and deliberately independent of the
 //! physical layout: `pages_required`/`pages_for`/`capacity_for_pages`
 //! implement the paper's `⌈n·rec·F/page⌉` and `⌊b·pages/F⌋` formulas (now in
 //! exact integer arithmetic — see [`JoinHashTable::pages_for`]).
 
+use crate::hash::fib_bucket;
 use crate::page::records_per_page;
 use crate::record::{Record, RecordLayout, RecordRef};
-
-/// Multiplicative (Fibonacci) hashing constant: `2^64 / φ`, odd.
-const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+use crate::simd;
 
 /// Parts-per-million scale used to carry the fudge factor in integers.
 const PPM: u128 = 1_000_000;
@@ -59,9 +69,24 @@ pub struct JoinHashTable {
     /// Contiguous payload arena; entry `i`'s payload starts at
     /// `i × payload_bytes`.
     payloads: Vec<u8>,
+    /// Bucket-contiguous probe index, present between [`seal`](Self::seal)
+    /// and the next insert.
+    packed: Option<PackedIndex>,
     layout: RecordLayout,
     page_size: usize,
     fudge: f64,
+}
+
+/// The sealed probe layout: every bucket's keys gathered into one
+/// contiguous run so probes sweep linearly instead of chasing chain links.
+#[derive(Debug, Clone)]
+struct PackedIndex {
+    /// Keys grouped by bucket (insertion order within a bucket).
+    keys: Vec<u64>,
+    /// `entries[i]` is the arena entry index of `keys[i]`.
+    entries: Vec<u32>,
+    /// Per-bucket offsets into `keys`/`entries` (`buckets + 1` entries).
+    starts: Vec<u32>,
 }
 
 impl JoinHashTable {
@@ -80,6 +105,7 @@ impl JoinHashTable {
             keys: Vec::new(),
             next: Vec::new(),
             payloads: Vec::new(),
+            packed: None,
             layout,
             page_size,
             fudge,
@@ -88,7 +114,7 @@ impl JoinHashTable {
 
     #[inline]
     fn bucket_of(&self, key: u64) -> usize {
-        (key.wrapping_mul(FIB) >> self.shift) as usize
+        fib_bucket(key, self.shift)
     }
 
     /// Doubles the bucket directory and relinks every entry. Amortized O(1)
@@ -120,6 +146,9 @@ impl JoinHashTable {
             self.layout.payload_bytes(),
             "record layout must match the table's layout"
         );
+        // Any mutation invalidates the packed probe index; callers re-seal
+        // after the build side is complete.
+        self.packed = None;
         if self.keys.len() == self.buckets.len() {
             self.grow();
         }
@@ -138,27 +167,93 @@ impl JoinHashTable {
         RecordRef::new(self.keys[i], &self.payloads[i * w..(i + 1) * w])
     }
 
+    /// Freezes the current contents into the bucket-contiguous probe layout
+    /// (see the module docs): one counting sort over the entries, after
+    /// which probes sweep a contiguous key run with the vectorized
+    /// [`crate::simd`] kernels instead of chasing chain links.
+    ///
+    /// Idempotent; a later insert drops the index (and the next seal
+    /// rebuilds it). Probe results are identical sealed or not.
+    pub fn seal(&mut self) {
+        if self.packed.is_some() {
+            return;
+        }
+        let n = self.keys.len();
+        let num_buckets = self.buckets.len();
+        let mut starts = vec![0u32; num_buckets + 1];
+        for &key in &self.keys {
+            starts[self.bucket_of(key) + 1] += 1;
+        }
+        for b in 0..num_buckets {
+            starts[b + 1] += starts[b];
+        }
+        let mut cursor = starts.clone();
+        let mut keys = vec![0u64; n];
+        let mut entries = vec![0u32; n];
+        for (i, &key) in self.keys.iter().enumerate() {
+            let pos = cursor[self.bucket_of(key)] as usize;
+            cursor[self.bucket_of(key)] += 1;
+            keys[pos] = key;
+            entries[pos] = i as u32;
+        }
+        self.packed = Some(PackedIndex {
+            keys,
+            entries,
+            starts,
+        });
+    }
+
+    /// Whether the packed probe index is currently present.
+    pub fn is_sealed(&self) -> bool {
+        self.packed.is_some()
+    }
+
+    /// The packed key run of `key`'s bucket, when sealed.
+    #[inline]
+    fn packed_bucket(&self, key: u64) -> Option<(&PackedIndex, usize, usize)> {
+        let packed = self.packed.as_ref()?;
+        if self.buckets.is_empty() {
+            return Some((packed, 0, 0));
+        }
+        let b = self.bucket_of(key);
+        Some((
+            packed,
+            packed.starts[b] as usize,
+            packed.starts[b + 1] as usize,
+        ))
+    }
+
     /// All records whose key equals `key`, as borrowed views into the arena
-    /// (empty iterator if none). Duplicate keys are yielded in reverse
-    /// insertion order; callers must not rely on any particular order.
+    /// (empty iterator if none). The yield order of duplicate keys is
+    /// unspecified (it differs between the sealed and chained layouts);
+    /// callers must not rely on any particular order.
     pub fn probe(&self, key: u64) -> ProbeIter<'_> {
-        let head = if self.buckets.is_empty() {
-            0
-        } else {
-            self.buckets[self.bucket_of(key)]
+        let mode = match self.packed_bucket(key) {
+            Some((_, start, end)) => ProbeMode::Packed { pos: start, end },
+            None => ProbeMode::Chain {
+                cur: if self.buckets.is_empty() {
+                    0
+                } else {
+                    self.buckets[self.bucket_of(key)]
+                },
+            },
         };
         ProbeIter {
             table: self,
             key,
-            cur: head,
+            mode,
         }
     }
 
     /// Number of records whose key equals `key` (the probe-loop fast path:
-    /// counting matches without materializing them).
+    /// counting matches without materializing them). On a sealed table this
+    /// is one vectorized sweep over the bucket's contiguous key run.
     #[inline]
     pub fn probe_count(&self, key: u64) -> u64 {
-        self.probe(key).count() as u64
+        match self.packed_bucket(key) {
+            Some((packed, start, end)) => simd::count_matches(&packed.keys[start..end], key),
+            None => self.probe(key).count() as u64,
+        }
     }
 
     /// Returns `true` if at least one record with `key` is present.
@@ -257,8 +352,16 @@ impl JoinHashTable {
 pub struct ProbeIter<'a> {
     table: &'a JoinHashTable,
     key: u64,
+    mode: ProbeMode,
+}
+
+/// How a [`ProbeIter`] steps: chain links on a live table, a vectorized
+/// sweep of the bucket's contiguous key run on a sealed one.
+enum ProbeMode {
     /// Current chain position: entry index + 1, 0 = end.
-    cur: u32,
+    Chain { cur: u32 },
+    /// Next packed position to inspect and the bucket's end position.
+    Packed { pos: usize, end: usize },
 }
 
 impl<'a> Iterator for ProbeIter<'a> {
@@ -266,14 +369,28 @@ impl<'a> Iterator for ProbeIter<'a> {
 
     #[inline]
     fn next(&mut self) -> Option<Self::Item> {
-        while self.cur != 0 {
-            let i = (self.cur - 1) as usize;
-            self.cur = self.table.next[i];
-            if self.table.keys[i] == self.key {
-                return Some(self.table.entry(i));
+        match &mut self.mode {
+            ProbeMode::Chain { cur } => {
+                while *cur != 0 {
+                    let i = (*cur - 1) as usize;
+                    *cur = self.table.next[i];
+                    if self.table.keys[i] == self.key {
+                        return Some(self.table.entry(i));
+                    }
+                }
+                None
+            }
+            ProbeMode::Packed { pos, end } => {
+                let packed = self
+                    .table
+                    .packed
+                    .as_ref()
+                    .expect("packed probe iterator requires a sealed table");
+                let hit = simd::next_match(&packed.keys[..*end], *pos, self.key)?;
+                *pos = hit + 1;
+                Some(self.table.entry(packed.entries[hit] as usize))
             }
         }
-        None
     }
 }
 
@@ -429,5 +546,67 @@ mod tests {
     #[should_panic(expected = "fudge factor")]
     fn fudge_below_one_is_rejected() {
         let _ = JoinHashTable::new(layout(), 4096, 0.5);
+    }
+
+    /// Differential pin of the tentpole: a sealed table must answer every
+    /// probe identically to the chained layout — same multiplicities, same
+    /// payload multisets — across duplicate-heavy and unique keys.
+    #[test]
+    fn sealed_probes_match_chained_probes_exactly() {
+        let mut ht = JoinHashTable::new(RecordLayout::new(8), 4096, 1.02);
+        // Heavy duplication: key k appears (k % 5) + 1 times.
+        for k in 0..2_000u64 {
+            for copy in 0..(k % 5) + 1 {
+                ht.insert(Record::new(k, (k * 10 + copy).to_le_bytes().to_vec()));
+            }
+        }
+        let chained: Vec<(u64, Vec<Vec<u8>>)> = (0..2_100u64)
+            .map(|k| {
+                let mut payloads: Vec<Vec<u8>> =
+                    ht.probe(k).map(|r| r.payload().to_vec()).collect();
+                payloads.sort();
+                (ht.probe_count(k), payloads)
+            })
+            .collect();
+        ht.seal();
+        assert!(ht.is_sealed());
+        for (k, (count, payloads)) in (0..2_100u64).zip(chained.iter()) {
+            assert_eq!(ht.probe_count(k), *count, "count diverged at key {k}");
+            let mut sealed: Vec<Vec<u8>> = ht.probe(k).map(|r| r.payload().to_vec()).collect();
+            sealed.sort();
+            assert_eq!(&sealed, payloads, "payloads diverged at key {k}");
+        }
+    }
+
+    #[test]
+    fn seal_is_idempotent_and_inserts_unseal() {
+        let mut ht = JoinHashTable::new(layout(), 4096, 1.02);
+        ht.seal(); // Sealing an empty table is fine.
+        assert!(ht.is_sealed());
+        assert_eq!(ht.probe_count(7), 0);
+        ht.insert(Record::with_fill(7, 24, 1));
+        assert!(!ht.is_sealed(), "an insert must drop the packed index");
+        ht.seal();
+        ht.seal();
+        assert!(ht.is_sealed());
+        assert_eq!(ht.probe_count(7), 1);
+        assert!(ht.contains(7));
+        assert_eq!(ht.num_keys(), 1, "diagnostics still work sealed");
+    }
+
+    #[test]
+    fn sealed_probe_yields_bucket_runs_with_correct_records() {
+        let mut ht = JoinHashTable::new(RecordLayout::new(8), 4096, 1.02);
+        for k in 0..10_000u64 {
+            ht.insert(Record::new(k, k.to_le_bytes().to_vec()));
+        }
+        ht.seal();
+        for k in (0..10_000u64).step_by(997) {
+            let matches: Vec<_> = ht.probe(k).collect();
+            assert_eq!(matches.len(), 1, "key {k}");
+            assert_eq!(matches[0].key(), k);
+            assert_eq!(matches[0].payload(), &k.to_le_bytes());
+        }
+        assert!(!ht.contains(10_000));
     }
 }

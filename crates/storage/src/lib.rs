@@ -33,7 +33,17 @@
 //! * [`spill`] — partition spill files with one-page output buffers
 //!   (random-write accounting), used by every partitioning join.
 //! * [`hash_table`] — an in-memory build/probe hash table with fudge-factor
-//!   (F) space accounting.
+//!   (F) space accounting, a sealed bucket-contiguous probe layout and
+//!   vectorized key compares.
+//! * [`hash`] — the one key-hashing utility every crate shares: SplitMix64
+//!   routing hash, seeded recursion-level hashes, the independent Murmur
+//!   stream and the Fibonacci bucket mapping.
+//! * [`simd`] — the vectorized key-scan kernels behind the hash table and
+//!   bloom filter (`std::simd` on nightly, auto-vectorizable chunked
+//!   scalar on stable — autodetected at build time).
+//! * [`radix`] — software-managed, cache-line-sized per-partition write
+//!   buffers ([`RadixRouter`]) that batch records in front of any
+//!   partition sink without changing per-partition arrival order.
 //! * [`sort`] — external sort (arena-backed run generation over a fixed
 //!   chunk grid + loser-tree multiway merge) used by the sort-merge join
 //!   baseline.
@@ -65,6 +75,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(nocap_simd, feature(portable_simd))]
 
 pub mod block;
 pub mod bloom;
@@ -72,11 +83,14 @@ pub mod buffer;
 pub mod checked;
 pub mod device;
 pub mod fault;
+pub mod hash;
 pub mod hash_table;
 pub mod iostats;
 pub mod page;
+pub mod radix;
 pub mod record;
 pub mod relation;
+pub mod simd;
 pub mod sort;
 pub mod spill;
 pub mod sync;
@@ -91,6 +105,7 @@ pub use fault::{FaultDevice, FaultKind, FaultPlan, FaultSpec, FaultStats, FaultT
 pub use hash_table::{JoinHashTable, ProbeIter};
 pub use iostats::{AtomicIoStats, DeviceProfile, IoKind, IoStats};
 pub use page::{Page, DEFAULT_PAGE_SIZE};
+pub use radix::RadixRouter;
 pub use record::{Record, RecordBatch, RecordLayout, RecordRef};
 pub use relation::{Relation, RelationBuilder, RelationScan};
 pub use sort::{run_chunks, sort_chunk, ExternalSorter, LoserTree, MergeIterator, SortScratch};

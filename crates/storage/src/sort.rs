@@ -409,6 +409,15 @@ pub struct LoserTree {
     /// the advance lets `next_ref` hand out a borrow of the winner's page
     /// without replaying the tree first.
     pending: Option<usize>,
+    /// The runner-up: the best cursor among the losers on the current
+    /// winner's leaf-to-root path — by the classic loser-tree argument,
+    /// the second-best cursor overall. Cached by [`replay`](Self::replay)
+    /// whenever the winner's path survives a replay unswapped, it turns
+    /// the common refill case (the advanced winner still wins — long
+    /// duplicate or presorted stretches) into a single batched key compare
+    /// instead of a `⌈log₂ k⌉`-step replay. `None` whenever the path
+    /// changed and the runner-up would have to be recomputed.
+    runner_up: Option<usize>,
 }
 
 impl LoserTree {
@@ -423,6 +432,7 @@ impl LoserTree {
             cursors,
             tree: Vec::new(),
             pending: None,
+            runner_up: None,
         };
         tree.build();
         Ok(tree)
@@ -463,23 +473,57 @@ impl LoserTree {
 
     /// Replays the path from cursor `j`'s leaf to the root after `j`
     /// advanced, restoring the loser-tree invariant in `⌈log₂ k⌉` steps.
+    ///
+    /// While the path stays *intact* — no node swaps its loser, i.e. `j`
+    /// wins every match and remains the overall winner — the losers it
+    /// meets are exactly the losers on the winner's path, so the best of
+    /// them is the runner-up and is cached for the batched-refill fast
+    /// path in [`settle`](Self::settle). The first swap changes the path's
+    /// losers (and possibly the winner), so the cache is dropped: a
+    /// streaming top-2 over the visited values would be *wrong* in that
+    /// case, because the true second-best can be a leaf not on `j`'s path
+    /// at all once the winner changes.
     fn replay(&mut self, j: usize) {
         let k = self.cursors.len();
         let mut winner = j;
         let mut node = (k + j) / 2;
+        let mut runner_up: Option<usize> = None;
+        let mut intact = true;
         while node >= 1 {
             if self.beats(self.tree[node], winner) {
                 std::mem::swap(&mut self.tree[node], &mut winner);
+                intact = false;
+            } else if intact {
+                runner_up = Some(match runner_up {
+                    Some(r) if self.beats(r, self.tree[node]) => r,
+                    _ => self.tree[node],
+                });
             }
             node /= 2;
         }
         self.tree[0] = winner;
+        self.runner_up = if intact { runner_up } else { None };
     }
 
     /// Performs the advance owed from the previous `next_*` call, if any.
+    ///
+    /// Fast path: when the runner-up is cached, one comparison of the
+    /// advanced winner against it decides whether the whole tree is
+    /// already settled — the runner-up is the best of the other cursors,
+    /// so beating it means beating everyone. The tree and the cache are
+    /// both left untouched (no loser moved), which keeps the fast path
+    /// valid for arbitrarily long winning streaks: duplicate-heavy keys
+    /// and presorted stretches refill in O(1) comparisons per record
+    /// instead of `⌈log₂ k⌉`.
     fn settle(&mut self) -> Result<()> {
         if let Some(j) = self.pending.take() {
             self.cursors[j].advance()?;
+            if let Some(r) = self.runner_up {
+                debug_assert_eq!(self.tree[0], j, "only the winner owes an advance");
+                if self.beats(j, r) {
+                    return Ok(());
+                }
+            }
             self.replay(j);
         }
         Ok(())
@@ -641,6 +685,50 @@ mod tests {
             .collect();
         assert_eq!(merged.len(), 3_000);
         assert!(merged.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Adversarial pin of the batched refill: long duplicate streaks keep
+    /// the runner-up fast path hot, tight interleavings force the winner to
+    /// change every record (invalidating the cache), and an early-exhausting
+    /// run exercises done-cursor comparisons — the merge order must stay
+    /// exactly the canonical (key, run index) order in every regime.
+    #[test]
+    fn loser_tree_fast_refill_preserves_the_canonical_merge_order() {
+        let dev = SimDevice::new_ref();
+        let layout = RecordLayout::new(8);
+        let runs_keys: Vec<Vec<u64>> = vec![
+            std::iter::repeat_n(5u64, 300).chain(600..900).collect(),
+            (0..600u64).map(|i| i / 2).collect(),
+            (0..200u64).map(|i| i * 3).collect(),
+            vec![7; 50],
+        ];
+        let mut runs = Vec::new();
+        for (ri, keys) in runs_keys.iter().enumerate() {
+            let mut w = crate::spill::PartitionWriter::new(
+                dev.clone(),
+                layout,
+                crate::page::DEFAULT_PAGE_SIZE,
+                IoKind::RandWrite,
+            );
+            for &k in keys {
+                w.push(&Record::with_fill(k, 8, ri as u8)).unwrap();
+            }
+            runs.push(w.finish().unwrap());
+        }
+        // The documented canonical order: ascending key, ties broken by run
+        // index, run-internal order preserved (stable sort).
+        let mut expected: Vec<(u64, u8)> = runs_keys
+            .iter()
+            .enumerate()
+            .flat_map(|(ri, keys)| keys.iter().map(move |&k| (k, ri as u8)))
+            .collect();
+        expected.sort_by_key(|&(k, ri)| (k, ri));
+        let mut tree = LoserTree::new(&runs).unwrap();
+        let mut got = Vec::new();
+        while let Some(rec) = tree.next_ref().unwrap() {
+            got.push((rec.key(), rec.payload()[0]));
+        }
+        assert_eq!(got, expected);
     }
 
     #[test]
